@@ -1,0 +1,141 @@
+// Experiment E1 — knowledge acquisition: mining ILFDs and discovering
+// extended keys from instances.
+//
+// The paper's conclusion: semantic information "can be supplied either by
+// database administrators during schema integration or through some
+// knowledge acquisition tools." This bench measures that tool on the
+// synthetic world, where ground truth is known:
+//
+//   * ILFD mining — precision (mined rules implied by the true knowledge)
+//     and taxonomy recall (true speciality→cuisine rules recovered), as
+//     the support threshold varies; plus cross-confirmation on a second
+//     sample;
+//   * extended-key discovery — does the designed key {name, speciality}
+//     surface among the minimal identifying attribute sets?
+//   * end-to-end — identification driven purely by *mined* knowledge vs
+//     the true knowledge.
+
+#include <cstdio>
+#include <set>
+
+#include "bench_util.h"
+#include "eid.h"
+#include "workload/generator.h"
+
+using namespace eid;
+
+int main() {
+  bench::Banner("E1", "knowledge acquisition — mining ILFDs and keys");
+
+  GeneratorConfig gen;
+  gen.seed = 41;
+  gen.overlap_entities = 150;
+  gen.r_only_entities = 75;
+  gen.s_only_entities = 75;
+  gen.name_pool = 600;
+  gen.street_pool = 900;
+  gen.cities = 10;
+  gen.speciality_pool = 24;
+  gen.cuisines = 6;
+  gen.ilfd_coverage = 1.0;
+  GeneratedWorld world = GenerateWorld(gen).value();
+
+  // A second sample drawn from the *same taxonomies* for confirmation.
+  gen.resample_seed = 4242;
+  GeneratedWorld witness = GenerateWorld(gen).value();
+  gen.resample_seed = 0;
+
+  bench::Section("ILFD mining from the universe sample");
+  std::printf("%-12s %8s %11s %16s %13s\n", "min_support", "mined",
+              "precision", "taxonomy-recall", "confirmed");
+  for (size_t support : {2u, 3u, 5u}) {
+    MinerOptions opts;
+    opts.min_support = support;
+    opts.max_antecedent = 1;
+    std::vector<MinedIlfd> mined = MineIlfds(world.universe, opts);
+    size_t correct = 0, taxonomy = 0;
+    for (const MinedIlfd& m : mined) {
+      if (world.ilfds.Implies(m.ilfd)) ++correct;
+      if (m.ilfd.AntecedentAttributes() ==
+              std::vector<std::string>{"speciality"} &&
+          m.ilfd.ConsequentAttributes() ==
+              std::vector<std::string>{"cuisine"}) {
+        ++taxonomy;
+      }
+    }
+    // Taxonomy recall: specialities with >= support occurrences.
+    std::map<std::string, size_t> spec_counts;
+    size_t spec_idx = *world.universe.schema().IndexOf("speciality");
+    for (const Row& row : world.universe.rows()) {
+      spec_counts[row[spec_idx].ToString()]++;
+    }
+    size_t reachable = 0;
+    for (const auto& [spec, count] : spec_counts) {
+      if (count >= support) ++reachable;
+    }
+    size_t confirmed = ConfirmOn(mined, witness.universe).size();
+    std::printf("%-12zu %8zu %10.1f%% %11zu/%-4zu %13zu\n", support,
+                mined.size(), mined.empty() ? 100.0
+                                            : 100.0 * correct / mined.size(),
+                taxonomy, reachable, confirmed);
+  }
+  std::cout << "(expected shape: precision rises with support; the "
+               "speciality→cuisine taxonomy is fully recovered for every "
+               "sufficiently-supported speciality)\n";
+
+  bench::Section("extended-key discovery over the universe");
+  KeyDiscoveryOptions key_opts;
+  key_opts.max_size = 2;
+  std::vector<ExtendedKey> keys =
+      DiscoverMinimalKeys(world.universe, key_opts).value();
+  std::cout << "minimal identifying sets (size<=2): ";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::cout << (i ? ", " : "") << keys[i].ToString();
+  }
+  std::cout << "\n";
+  std::vector<RankedKey> ranked =
+      RankKeysForPair(keys, world.correspondence, world.ilfds);
+  std::cout << "usable for the R/S pair (ILFD-derivable), best first: ";
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    std::cout << (i ? ", " : "") << ranked[i].key.ToString();
+  }
+  std::cout << "\ndesigned key " << world.extended_key.ToString()
+            << " discovered: "
+            << (std::find(keys.begin(), keys.end(), world.extended_key) !=
+                        keys.end()
+                    ? "yes"
+                    : "no (subsumed by a smaller key)")
+            << "\n";
+
+  bench::Section("identification with mined knowledge only");
+  {
+    MinerOptions opts;
+    opts.min_support = 2;
+    opts.max_antecedent = 2;
+    // Mine from the union of both *source* relations' joinable info plus
+    // the universe sample (a DBA-curated sample of the integrated world).
+    IlfdSet mined = MineIlfdSet(world.universe, opts);
+    IdentifierConfig config;
+    config.correspondence = world.correspondence;
+    config.extended_key = world.extended_key;
+    config.ilfds = mined;
+    IdentificationResult with_mined =
+        EntityIdentifier(config).Identify(world.r, world.s).value();
+    config.ilfds = world.ilfds;
+    IdentificationResult with_true =
+        EntityIdentifier(config).Identify(world.r, world.s).value();
+    std::set<TuplePair> truth(world.truth.begin(), world.truth.end());
+    size_t mined_correct = 0;
+    for (const TuplePair& p : with_mined.matching.pairs()) {
+      if (truth.count(p) > 0) ++mined_correct;
+    }
+    std::printf(
+        "true knowledge: %zu matches; mined knowledge: %zu matches "
+        "(%zu correct, %zu unsound)\n",
+        with_true.matching.size(), with_mined.matching.size(), mined_correct,
+        with_mined.matching.size() - mined_correct);
+    std::cout << "(mined pair-rules can overfit — the bench quantifies how "
+                 "far acquisition alone gets before DBA review)\n";
+  }
+  return 0;
+}

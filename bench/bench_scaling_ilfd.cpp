@@ -1,0 +1,162 @@
+// Experiment S2 — ILFD reasoning scaling (google-benchmark).
+//
+// The paper notes (§5.2) that computing the full closure F⁺ is expensive
+// (it can be exponentially large) while the symbol closure X⁺_F is cheap —
+// "the algorithm for computing X⁺_F is the same as that for computing the
+// closure of a set of attributes with respect to a set of FDs". Measured
+// here:
+//   * X⁺_F (forward closure) vs |F| — linear in total ILFD size;
+//   * chain-depth sweeps (derivations through k intermediate attributes);
+//   * per-tuple derivation (exhaustive vs first-match);
+//   * Armstrong proof construction + verification.
+
+#include <benchmark/benchmark.h>
+
+#include "eid.h"
+#include "workload/rng.h"
+
+namespace eid {
+namespace {
+
+/// F with `chains` independent chains of length `depth`:
+/// a_c0=1 -> a_c1=1 -> ... -> a_c(depth)=1.
+IlfdSet ChainSet(size_t chains, size_t depth) {
+  IlfdSet set;
+  for (size_t c = 0; c < chains; ++c) {
+    for (size_t d = 0; d < depth; ++d) {
+      std::string from = "a" + std::to_string(c) + "_" + std::to_string(d);
+      std::string to = "a" + std::to_string(c) + "_" + std::to_string(d + 1);
+      set.Add(Ilfd::Implies({Atom{from, Value::Int(1)}},
+                            Atom{to, Value::Int(1)}));
+    }
+  }
+  return set;
+}
+
+void BM_ConditionClosure(benchmark::State& state) {
+  size_t chains = static_cast<size_t>(state.range(0));
+  IlfdSet set = ChainSet(chains, 8);
+  std::vector<Atom> seed;
+  for (size_t c = 0; c < chains; ++c) {
+    seed.push_back(Atom{"a" + std::to_string(c) + "_0", Value::Int(1)});
+  }
+  for (auto _ : state) {
+    std::vector<Atom> closure = set.ConditionClosure(seed);
+    benchmark::DoNotOptimize(closure.size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(set.size()));
+  state.counters["ilfds"] = static_cast<double>(set.size());
+}
+BENCHMARK(BM_ConditionClosure)->Range(8, 512)->Complexity(benchmark::oN);
+
+void BM_DerivationChainDepth(benchmark::State& state) {
+  size_t depth = static_cast<size_t>(state.range(0));
+  IlfdSet set = ChainSet(/*chains=*/1, depth);
+  Relation r("R", Schema({Attribute{"a0_0", ValueType::kInt}}));
+  EID_CHECK(r.Insert(Row{Value::Int(1)}).ok());
+  for (auto _ : state) {
+    Result<Derivation> d = DeriveTuple(r.tuple(0), set);
+    EID_CHECK(d.ok());
+    benchmark::DoNotOptimize(d->derived.size());
+  }
+  state.counters["derived"] = static_cast<double>(depth);
+}
+BENCHMARK(BM_DerivationChainDepth)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_DerivationFirstMatchChainDepth(benchmark::State& state) {
+  size_t depth = static_cast<size_t>(state.range(0));
+  IlfdSet set = ChainSet(/*chains=*/1, depth);
+  Relation r("R", Schema({Attribute{"a0_0", ValueType::kInt}}));
+  EID_CHECK(r.Insert(Row{Value::Int(1)}).ok());
+  DerivationOptions opts;
+  opts.mode = DerivationMode::kFirstMatch;
+  opts.target_attributes = {"a0_" + std::to_string(depth)};
+  for (auto _ : state) {
+    Result<Derivation> d = DeriveTuple(r.tuple(0), set, opts);
+    EID_CHECK(d.ok());
+    benchmark::DoNotOptimize(d->derived.size());
+  }
+}
+BENCHMARK(BM_DerivationFirstMatchChainDepth)
+    ->RangeMultiplier(4)
+    ->Range(4, 256);
+
+void BM_ImpliesQuery(benchmark::State& state) {
+  size_t chains = static_cast<size_t>(state.range(0));
+  IlfdSet set = ChainSet(chains, 8);
+  Ilfd query = Ilfd::Implies({Atom{"a0_0", Value::Int(1)}},
+                             Atom{"a0_8", Value::Int(1)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.Implies(query));
+  }
+  state.counters["ilfds"] = static_cast<double>(set.size());
+}
+BENCHMARK(BM_ImpliesQuery)->Range(8, 512);
+
+void BM_ArmstrongProofBuildAndVerify(benchmark::State& state) {
+  size_t depth = static_cast<size_t>(state.range(0));
+  IlfdSet set = ChainSet(/*chains=*/1, depth);
+  Ilfd target = Ilfd::Implies({Atom{"a0_0", Value::Int(1)}},
+                              Atom{"a0_" + std::to_string(depth),
+                                   Value::Int(1)});
+  AtomTable table;
+  for (auto _ : state) {
+    Result<Proof> proof = set.Prove(target, &table);
+    EID_CHECK(proof.ok());
+    AtomTable scratch = set.atoms();
+    Implication imp = set.ToImplication(target, &scratch);
+    Status verified = VerifyProof(set.kb(), *proof, imp);
+    EID_CHECK(verified.ok());
+    benchmark::DoNotOptimize(proof->steps.size());
+  }
+  state.counters["proof_steps"] = static_cast<double>(3 * depth + 2);
+}
+BENCHMARK(BM_ArmstrongProofBuildAndVerify)->RangeMultiplier(4)->Range(4, 64);
+
+void BM_MinimalCover(benchmark::State& state) {
+  // Redundancy removal is quadratic in |F| times closure cost — the
+  // expensive operation the paper alludes to for F⁺-style reasoning.
+  size_t chains = static_cast<size_t>(state.range(0));
+  IlfdSet set = ChainSet(chains, 4);
+  // Add one redundant (transitively implied) ILFD per chain.
+  for (size_t c = 0; c < chains; ++c) {
+    set.Add(Ilfd::Implies({Atom{"a" + std::to_string(c) + "_0",
+                                Value::Int(1)}},
+                          Atom{"a" + std::to_string(c) + "_4",
+                               Value::Int(1)}));
+  }
+  for (auto _ : state) {
+    IlfdSet cover = set.MinimalCover();
+    benchmark::DoNotOptimize(cover.size());
+  }
+  state.counters["ilfds"] = static_cast<double>(set.size());
+}
+BENCHMARK(BM_MinimalCover)->RangeMultiplier(4)->Range(4, 64);
+
+void BM_ViolationScan(benchmark::State& state) {
+  // Tuple-at-a-time ILFD violation checking over a relation.
+  size_t rows = static_cast<size_t>(state.range(0));
+  IlfdSet set;
+  for (int v = 0; v < 32; ++v) {
+    set.Add(Ilfd::Implies({Atom{"speciality", Value::Int(v)}},
+                          Atom{"cuisine", Value::Int(v % 7)}));
+  }
+  Relation r("R", Schema({Attribute{"speciality", ValueType::kInt},
+                          Attribute{"cuisine", ValueType::kInt}}));
+  Rng rng(5);
+  for (size_t i = 0; i < rows; ++i) {
+    int64_t sp = static_cast<int64_t>(rng.Below(32));
+    EID_CHECK(r.Insert(Row{Value::Int(sp), Value::Int(sp % 7)}).ok());
+  }
+  for (auto _ : state) {
+    std::vector<IlfdViolation> v = CheckViolations(r, set);
+    benchmark::DoNotOptimize(v.size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ViolationScan)->Range(64, 4096)->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace eid
+
+BENCHMARK_MAIN();

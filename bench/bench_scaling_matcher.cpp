@@ -1,0 +1,144 @@
+// Experiment S1 — matching-table construction scaling (google-benchmark).
+//
+// Sweeps |R| = |S| and compares:
+//   * the direct pipeline (extension + hash join) — near-linear;
+//   * the §4.2 relational-expression pipeline (IM-table joins) — also
+//     hash-join based but with materialisation overhead per stage;
+//   * a naive nested-loop pairwise matcher — quadratic.
+//
+// Absolute numbers are machine-dependent; the paper-relevant *shape* is
+// that sound extended-key matching costs roughly a constant factor over a
+// plain join, far from the quadratic pairwise comparison some §2.2
+// baselines require.
+
+#include <benchmark/benchmark.h>
+
+#include "eid.h"
+#include "workload/generator.h"
+
+namespace eid {
+namespace {
+
+GeneratedWorld MakeWorld(size_t per_side) {
+  GeneratorConfig gen;
+  gen.seed = 1234;
+  gen.overlap_entities = per_side / 2;
+  gen.r_only_entities = per_side / 2;
+  gen.s_only_entities = per_side / 2;
+  gen.name_pool = per_side * 2;
+  gen.street_pool = per_side * 3;
+  gen.cities = 32;
+  gen.speciality_pool = 128;
+  gen.cuisines = 16;
+  gen.ilfd_coverage = 1.0;
+  Result<GeneratedWorld> world = GenerateWorld(gen);
+  EID_CHECK(world.ok());
+  return std::move(world).value();
+}
+
+void BM_DirectMatcher(benchmark::State& state) {
+  GeneratedWorld world = MakeWorld(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Result<MatcherResult> result =
+        BuildMatchingTable(world.r, world.s, world.correspondence,
+                           world.extended_key, world.ilfds);
+    EID_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->matching.size());
+  }
+  state.SetComplexityN(state.range(0));
+  state.counters["pairs_matched"] = static_cast<double>(world.truth.size());
+}
+BENCHMARK(BM_DirectMatcher)->Range(256, 8192)->Complexity(benchmark::oN);
+
+void BM_AlgebraPipeline(benchmark::State& state) {
+  GeneratedWorld world = MakeWorld(static_cast<size_t>(state.range(0)));
+  Result<std::vector<IlfdTable>> tables =
+      IlfdTable::Partition(world.ilfds.ilfds());
+  EID_CHECK(tables.ok());
+  for (auto _ : state) {
+    Result<AlgebraPipelineResult> result = BuildMatchingTableAlgebraically(
+        world.r, world.s, world.correspondence, world.extended_key, *tables);
+    EID_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->matching.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AlgebraPipeline)->Range(256, 4096)->Complexity(benchmark::oN);
+
+void BM_NaivePairwiseMatcher(benchmark::State& state) {
+  GeneratedWorld world = MakeWorld(static_cast<size_t>(state.range(0)));
+  // Extend once (shared cost), then measure the quadratic pair scan the
+  // §2.2 pairwise techniques need.
+  Result<ExtensionResult> rx =
+      ExtendRelation(world.r, Side::kR, world.correspondence,
+                     world.extended_key, world.ilfds);
+  Result<ExtensionResult> sx =
+      ExtendRelation(world.s, Side::kS, world.correspondence,
+                     world.extended_key, world.ilfds);
+  EID_CHECK(rx.ok() && sx.ok());
+  const Relation& re = rx->extended;
+  const Relation& se = sx->extended;
+  std::vector<size_t> r_idx, s_idx;
+  for (const std::string& a : world.extended_key.attributes()) {
+    r_idx.push_back(*re.schema().IndexOf(a));
+    s_idx.push_back(*se.schema().IndexOf(a));
+  }
+  for (auto _ : state) {
+    size_t matches = 0;
+    for (size_t i = 0; i < re.size(); ++i) {
+      for (size_t j = 0; j < se.size(); ++j) {
+        bool all = true;
+        for (size_t k = 0; k < r_idx.size(); ++k) {
+          if (!NonNullEq(re.row(i)[r_idx[k]], se.row(j)[s_idx[k]])) {
+            all = false;
+            break;
+          }
+        }
+        if (all) ++matches;
+      }
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NaivePairwiseMatcher)
+    ->Range(256, 4096)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_ExtensionOnly(benchmark::State& state) {
+  GeneratedWorld world = MakeWorld(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Result<ExtensionResult> rx =
+        ExtendRelation(world.r, Side::kR, world.correspondence,
+                       world.extended_key, world.ilfds);
+    EID_CHECK(rx.ok());
+    benchmark::DoNotOptimize(rx->extended.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExtensionOnly)->Range(256, 8192)->Complexity(benchmark::oN);
+
+void BM_IntegratedTable(benchmark::State& state) {
+  GeneratedWorld world = MakeWorld(static_cast<size_t>(state.range(0)));
+  Result<MatcherResult> matcher =
+      BuildMatchingTable(world.r, world.s, world.correspondence,
+                         world.extended_key, world.ilfds);
+  EID_CHECK(matcher.ok());
+  IdentificationResult assembled;
+  assembled.r_extended = std::move(matcher->r_extension.extended);
+  assembled.s_extended = std::move(matcher->s_extension.extended);
+  assembled.matching = std::move(matcher->matching);
+  for (auto _ : state) {
+    Result<Relation> t =
+        BuildIntegratedTable(assembled, IntegrationLayout::kMerged);
+    EID_CHECK(t.ok());
+    benchmark::DoNotOptimize(t->size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IntegratedTable)->Range(256, 8192)->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace eid
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Shared helpers for the bench harness: banner printing and wall-clock
+// timing. Each bench binary regenerates one table/figure of the paper (see
+// DESIGN.md's per-experiment index) and prints both the paper's expected
+// artefact and the value this implementation measures.
+
+#ifndef EID_BENCH_BENCH_UTIL_H_
+#define EID_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+namespace eid {
+namespace bench {
+
+inline void Banner(const std::string& experiment_id,
+                   const std::string& title) {
+  std::string rule(72, '=');
+  std::cout << rule << "\n" << experiment_id << " — " << title << "\n"
+            << rule << "\n";
+}
+
+inline void Section(const std::string& title) {
+  std::cout << "\n--- " << title << " ---\n";
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bench
+}  // namespace eid
+
+#endif  // EID_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,300 @@
+// eidcli — command-line entity identification over CSV files.
+//
+// Usage:
+//   eidcli --r R.csv --s S.csv --key name,cuisine [options]
+//
+// Options:
+//   --r FILE          left relation (CSV, header row = attribute names)
+//   --s FILE          right relation
+//   --rkey a,b        candidate key of R (default: all attributes)
+//   --skey a,b        candidate key of S
+//   --key a,b,c       extended key (world attribute names)
+//   --ilfds FILE      ILFDs, one per line:  speciality=Mughalai -> cuisine=Indian
+//   --distinct FILE   distinctness rules, one per line:
+//                       e1.speciality = "Mughalai" & e2.cuisine != "Indian"
+//   --first-match     prototype (Prolog-cut) derivation order
+//   --print WHAT      mt | nmt | extended | integrated | partition (default:
+//                     mt,partition; comma-separated)
+//   --mine            instead of matching, mine candidate ILFDs from R and
+//                     confirm them on S
+//   --suggest-keys    discover minimal extended keys from R ∪-compatible
+//                     sample (uses R as the universe sample)
+//   --demo            write demo CSV/rule files beside the binary and run
+//                     the paper's Example 3 on them
+//
+// Attribute names shared by the two CSVs are treated as semantically
+// equivalent (identity correspondence) — resolve schema heterogeneity
+// before this tool, as the paper assumes.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "eid.h"
+#include "workload/fixtures.h"
+
+using namespace eid;
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+Result<std::string> Slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int Fail(const Status& status) {
+  std::cerr << "eidcli: " << status.ToString() << "\n";
+  return 1;
+}
+
+void Usage() {
+  std::cout <<
+      "usage: eidcli --r R.csv --s S.csv --key a,b [--ilfds FILE]\n"
+      "              [--distinct FILE] [--rkey a,b] [--skey a,b]\n"
+      "              [--first-match] [--print mt,nmt,extended,integrated,"
+      "partition]\n"
+      "       eidcli --r R.csv --s S.csv --mine\n"
+      "       eidcli --r R.csv --suggest-keys\n"
+      "       eidcli --demo\n";
+}
+
+int RunDemo();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  std::vector<std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      Usage();
+      return 1;
+    }
+    if (arg == "--first-match" || arg == "--mine" || arg == "--demo" ||
+        arg == "--suggest-keys") {
+      flags.push_back(arg);
+      continue;
+    }
+    if (i + 1 >= argc) {
+      Usage();
+      return 1;
+    }
+    args[arg] = argv[++i];
+  }
+  auto has_flag = [&](const std::string& f) {
+    return std::find(flags.begin(), flags.end(), f) != flags.end();
+  };
+  if (argc == 1) {
+    Usage();
+    return 1;
+  }
+  if (has_flag("--demo")) return RunDemo();
+
+  if (args.count("--r") == 0) {
+    Usage();
+    return 1;
+  }
+  Result<std::string> r_text = Slurp(args["--r"]);
+  if (!r_text.ok()) return Fail(r_text.status());
+  Result<Relation> r_parsed = ReadCsv(*r_text, "R");
+  if (!r_parsed.ok()) return Fail(r_parsed.status());
+  Relation r = std::move(r_parsed).value();
+
+  if (has_flag("--suggest-keys")) {
+    KeyDiscoveryOptions opts;
+    Result<std::vector<ExtendedKey>> keys = DiscoverMinimalKeys(r, opts);
+    if (!keys.ok()) return Fail(keys.status());
+    std::cout << "minimal identifying attribute sets of " << args["--r"]
+              << " (extended-key candidates):\n";
+    for (const ExtendedKey& key : *keys) {
+      std::cout << "  " << key.ToString() << "\n";
+    }
+    return 0;
+  }
+
+  if (args.count("--s") == 0) {
+    Usage();
+    return 1;
+  }
+  Result<std::string> s_text = Slurp(args["--s"]);
+  if (!s_text.ok()) return Fail(s_text.status());
+  Result<Relation> s_parsed = ReadCsv(*s_text, "S");
+  if (!s_parsed.ok()) return Fail(s_parsed.status());
+  Relation s = std::move(s_parsed).value();
+
+  // Candidate keys need to be declared before rows exist, so rebuild.
+  auto with_key = [](Relation rel,
+                     const std::vector<std::string>& key) -> Result<Relation> {
+    if (key.empty()) return rel;
+    Relation out(rel.name(), rel.schema());
+    EID_RETURN_IF_ERROR(out.DeclareKey(key));
+    for (const Row& row : rel.rows()) EID_RETURN_IF_ERROR(out.Insert(row));
+    return out;
+  };
+  if (args.count("--rkey")) {
+    Result<Relation> rk = with_key(std::move(r), SplitCommas(args["--rkey"]));
+    if (!rk.ok()) return Fail(rk.status());
+    r = std::move(rk).value();
+  }
+  if (args.count("--skey")) {
+    Result<Relation> sk = with_key(std::move(s), SplitCommas(args["--skey"]));
+    if (!sk.ok()) return Fail(sk.status());
+    s = std::move(sk).value();
+  }
+
+  if (has_flag("--mine")) {
+    MinerOptions opts;
+    opts.min_support = 2;
+    std::vector<MinedIlfd> mined = MineIlfds(r, opts);
+    std::vector<MinedIlfd> confirmed = ConfirmOn(mined, s);
+    std::cout << "mined " << mined.size() << " candidate ILFDs from R; "
+              << confirmed.size() << " also hold on S:\n";
+    for (const MinedIlfd& m : confirmed) {
+      std::cout << "  [support " << m.support << "] " << m.ilfd.ToString()
+                << "\n";
+    }
+    std::cout << "(candidates are instance regularities — confirm with a "
+                 "domain expert before use)\n";
+    return 0;
+  }
+
+  if (args.count("--key") == 0) {
+    Usage();
+    return 1;
+  }
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.extended_key = ExtendedKey(SplitCommas(args["--key"]));
+  if (args.count("--ilfds")) {
+    Result<std::string> text = Slurp(args["--ilfds"]);
+    if (!text.ok()) return Fail(text.status());
+    Result<std::vector<Ilfd>> ilfds = ParseIlfdList(*text);
+    if (!ilfds.ok()) return Fail(ilfds.status());
+    for (Ilfd& f : *ilfds) config.ilfds.Add(std::move(f));
+  }
+  if (args.count("--distinct")) {
+    Result<std::string> text = Slurp(args["--distinct"]);
+    if (!text.ok()) return Fail(text.status());
+    std::istringstream lines(*text);
+    std::string line;
+    size_t n = 0;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      Result<DistinctnessRule> rule =
+          ParseDistinctnessRule("user" + std::to_string(++n), line);
+      if (!rule.ok()) return Fail(rule.status());
+      config.distinctness_rules.push_back(std::move(rule).value());
+    }
+  }
+  if (has_flag("--first-match")) {
+    config.matcher_options.extension.derivation.mode =
+        DerivationMode::kFirstMatch;
+  }
+
+  EntityIdentifier identifier(config);
+  Result<IdentificationResult> result = identifier.Identify(r, s);
+  if (!result.ok()) return Fail(result.status());
+
+  std::vector<std::string> prints =
+      SplitCommas(args.count("--print") ? args["--print"] : "mt,partition");
+  for (const std::string& what : prints) {
+    PrintOptions opts;
+    if (what == "mt") {
+      opts.title = "matching table MT_RS";
+      Result<Relation> mt = result->MatchingRelation();
+      if (!mt.ok()) return Fail(mt.status());
+      PrintTable(std::cout, *mt, opts);
+    } else if (what == "nmt") {
+      opts.title = "negative matching table NMT_RS";
+      Result<Relation> nmt = result->NegativeRelation();
+      if (!nmt.ok()) return Fail(nmt.status());
+      PrintTable(std::cout, *nmt, opts);
+    } else if (what == "extended") {
+      opts.title = "R'";
+      PrintTable(std::cout, result->r_extended, opts);
+      opts.title = "S'";
+      PrintTable(std::cout, result->s_extended, opts);
+    } else if (what == "integrated") {
+      Result<Relation> t =
+          BuildIntegratedTable(*result, IntegrationLayout::kSideBySide);
+      if (!t.ok()) return Fail(t.status());
+      opts.title = "integrated table T_RS";
+      PrintTable(std::cout, *t, opts);
+    } else if (what == "partition") {
+      std::cout << "matched: " << result->partition.matched
+                << "  non-matched: " << result->partition.non_matched
+                << "  undetermined: " << result->partition.undetermined
+                << "  sound: " << (result->Sound() ? "yes" : "NO") << "\n";
+      if (!result->uniqueness.ok()) {
+        std::cout << "  uniqueness: " << result->uniqueness.ToString() << "\n";
+      }
+      if (!result->consistency.ok()) {
+        std::cout << "  consistency: " << result->consistency.ToString()
+                  << "\n";
+      }
+    } else {
+      std::cerr << "eidcli: unknown --print item '" << what << "'\n";
+      return 1;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+namespace {
+
+int RunDemo() {
+  const std::string dir = "eidcli_demo";
+  // Write Example 3 as CSV + rule files for replaying through the CLI.
+  if (WriteCsvFile(fixtures::Example3R(), dir + "_R.csv").ok() &&
+      WriteCsvFile(fixtures::Example3S(), dir + "_S.csv").ok()) {
+    std::ofstream ilfds(dir + "_ilfds.txt");
+    IlfdSet knowledge = fixtures::Example3Ilfds();
+    for (const Ilfd& f : knowledge.ilfds()) {
+      ilfds << f.ToString() << "\n";
+    }
+  }
+  // And run the same configuration in-process.
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.extended_key = fixtures::Example3ExtendedKey();
+  config.ilfds = fixtures::Example3Ilfds();
+  EntityIdentifier identifier(config);
+  Result<IdentificationResult> result = identifier.Identify(r, s);
+  if (!result.ok()) return Fail(result.status());
+  PrintOptions opts;
+  opts.title = "matching table MT_RS (paper Example 3)";
+  Result<Relation> mt = result->MatchingRelation();
+  if (!mt.ok()) return Fail(mt.status());
+  PrintTable(std::cout, *mt, opts);
+  std::cout << "\nwrote " << dir << "_R.csv, " << dir << "_S.csv, " << dir
+            << "_ilfds.txt — try:\n  eidcli --r " << dir << "_R.csv --s "
+            << dir << "_S.csv --rkey name,cuisine --skey name,speciality "
+            << "--key name,cuisine,speciality --ilfds " << dir
+            << "_ilfds.txt --print mt,nmt,integrated,partition\n";
+  return 0;
+}
+
+}  // namespace

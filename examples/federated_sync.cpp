@@ -1,0 +1,84 @@
+// Monotonic incremental identification in a federated setting (§3.3).
+//
+// In a federation the component databases keep operating autonomously, and
+// the DBA supplies identity knowledge over time. This example drives
+// MonotonicEngine over a generated two-database world: ILFDs arrive in
+// batches, and after every batch the three regions of Fig. 3 (matching /
+// non-matching / undetermined pairs) are reported. Matching and
+// non-matching only grow; undetermined only shrinks; soundness holds
+// throughout.
+//
+// Build & run:  ./build/examples/federated_sync
+
+#include <cstdio>
+#include <iostream>
+
+#include "eid.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace eid;
+
+  GeneratorConfig gen;
+  gen.seed = 2024;
+  gen.overlap_entities = 30;
+  gen.r_only_entities = 15;
+  gen.s_only_entities = 15;
+  gen.name_pool = 40;
+  gen.street_pool = 120;
+  gen.cities = 6;
+  gen.speciality_pool = 18;
+  gen.cuisines = 5;
+  gen.ilfd_coverage = 1.0;
+  GeneratedWorld world = GenerateWorld(gen).value();
+
+  std::cout << "federated world: |R| = " << world.r.size()
+            << ", |S| = " << world.s.size() << ", true matches = "
+            << world.truth.size() << "\n\n";
+
+  // Split the knowledge: taxonomy ILFDs are known up front; the
+  // per-entity ILFDs trickle in (the DBA documents one territory at a
+  // time).
+  IlfdSet base, incoming;
+  for (const Ilfd& f : world.ilfds.ilfds()) {
+    if (f.ConsequentAttributes() == std::vector<std::string>{"speciality"}) {
+      incoming.Add(f);
+    } else {
+      base.Add(f);
+    }
+  }
+
+  IdentifierConfig config;
+  config.correspondence = world.correspondence;
+  config.extended_key = world.extended_key;
+  config.ilfds = base;
+
+  MonotonicEngine engine(world.r, world.s, config);
+  std::printf("%-28s %9s %12s %13s %6s\n", "knowledge", "matching",
+              "non-matching", "undetermined", "sound");
+  auto report = [&](const std::string& label) {
+    const PairPartition& p = engine.result().partition;
+    std::printf("%-28s %9zu %12zu %13zu %6s\n", label.c_str(), p.matched,
+                p.non_matched, p.undetermined,
+                engine.result().Sound() ? "yes" : "no");
+  };
+  report("taxonomies only");
+
+  const size_t batch = 6;
+  for (size_t start = 0; start < incoming.size(); start += batch) {
+    for (size_t i = start; i < std::min(start + batch, incoming.size());
+         ++i) {
+      Status st = engine.AddIlfd(incoming.ilfd(i));
+      EID_CHECK(st.ok());
+    }
+    report("+ " + std::to_string(std::min(start + batch, incoming.size())) +
+           " territory ILFDs");
+  }
+
+  std::cout << "\nmonotonicity violations: " << engine.violations().size()
+            << "\ncomplete (no undetermined pairs): "
+            << (engine.Complete() ? "yes" : "no") << "\n";
+  std::cout << "recovered " << engine.result().partition.matched << " of "
+            << world.truth.size() << " true matches, all sound\n";
+  return 0;
+}

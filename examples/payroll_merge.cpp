@@ -1,0 +1,90 @@
+// Soundness-critical matching: the paper's §4 motivation.
+//
+// "A company wanting to dismiss employees with sales performance below
+// expectation requires matching between the employee records in one
+// database and their performance records in another database. It is
+// crucial that the set of matched records be correct; otherwise, some
+// people may be wrongly fired."
+//
+// Two HR databases: Employees(name, badge, office) and
+// Performance(name, region, rating). The relations share only `name`, and
+// two different people are both called "J. Smith". A heuristic same-name
+// matcher picks one of them arbitrarily; the extended-key + ILFD technique
+// derives the missing badge from sales-territory knowledge, matches the
+// right J. Smith, and *certifies* the other one distinct.
+//
+// Build & run:  ./build/examples/payroll_merge
+
+#include <iostream>
+
+#include "baselines/heuristic_rules.h"
+#include "eid.h"
+
+int main() {
+  using namespace eid;
+
+  Relation employees("Employees",
+                     Schema::OfStrings({"name", "badge", "office"}));
+  EID_CHECK(employees.DeclareKey({"name", "badge"}).ok());
+  EID_CHECK(employees.InsertText({"J.Smith", "B-101", "Mpls"}).ok());
+  EID_CHECK(employees.InsertText({"J.Smith", "B-202", "St.Paul"}).ok());
+  EID_CHECK(employees.InsertText({"A.Chen", "B-303", "Mpls"}).ok());
+
+  Relation performance("Performance",
+                       Schema::OfStrings({"name", "region", "rating"}));
+  EID_CHECK(performance.DeclareKey({"name", "region"}).ok());
+  EID_CHECK(performance.InsertText({"J.Smith", "North", "below"}).ok());
+  EID_CHECK(performance.InsertText({"A.Chen", "South", "above"}).ok());
+
+  AttributeCorrespondence corr =
+      AttributeCorrespondence::Identity(employees, performance);
+
+  // ------------------------------------------------------------------
+  // The unsound way: heuristic "same name ⇒ same person".
+  // ------------------------------------------------------------------
+  HeuristicRuleMatcher heuristic(
+      corr, {IdentityRule::KeyEquivalence("same-name", {"name"})});
+  BaselineResult by_name = heuristic.Match(employees, performance).value();
+  std::cout << "heuristic same-name matcher claims " << by_name.matching.size()
+            << " matches:\n";
+  for (const TuplePair& p : by_name.matching.pairs()) {
+    std::cout << "  " << employees.tuple(p.r_index).ToString() << "  <->  "
+              << performance.tuple(p.s_index).ToString() << "\n";
+  }
+  std::cout << "  -> badge B-101 J.Smith gets the \"below\" rating by "
+               "accident of iteration order; B-202 J.Smith could equally "
+               "be the one. Someone may be wrongly fired.\n\n";
+
+  // ------------------------------------------------------------------
+  // The sound way: extended key {name, badge} + knowledge mapping the
+  // performance DB's region to badges ("the North region is covered by
+  // badge B-202", says the sales org chart).
+  // ------------------------------------------------------------------
+  IdentifierConfig config;
+  config.correspondence = corr;
+  config.extended_key = ExtendedKey({"name", "badge"});
+  config.ilfds.AddText("region=North -> badge=B-202").value();
+  config.ilfds.AddText("region=South -> badge=B-303").value();
+
+  EntityIdentifier identifier(config);
+  IdentificationResult result =
+      identifier.Identify(employees, performance).value();
+
+  std::cout << "extended-key + ILFD matcher (sound = "
+            << (result.Sound() ? "yes" : "no") << "):\n";
+  for (const TuplePair& p : result.matching.pairs()) {
+    std::cout << "  " << employees.tuple(p.r_index).ToString() << "  <->  "
+              << performance.tuple(p.s_index).ToString() << "\n";
+  }
+  std::cout << "  certified distinct: " << result.negative.table.size()
+            << " pair(s); undetermined: " << result.partition.undetermined
+            << "\n\n";
+
+  std::cout << "decision for (B-101 J.Smith, North J.Smith): "
+            << MatchDecisionName(result.Decide(0, 0)) << "\n";
+  std::cout << "decision for (B-202 J.Smith, North J.Smith): "
+            << MatchDecisionName(result.Decide(1, 0)) << "\n";
+  std::cout << "decision for (A.Chen, South A.Chen):         "
+            << MatchDecisionName(result.Decide(2, 1)) << "\n";
+  return 0;
+}

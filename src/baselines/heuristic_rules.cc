@@ -1,0 +1,43 @@
+#include "baselines/heuristic_rules.h"
+
+#include "eid/extension.h"
+
+namespace eid {
+
+Result<BaselineResult> HeuristicRuleMatcher::Match(const Relation& r,
+                                                   const Relation& s) const {
+  EID_RETURN_IF_ERROR(corr_.ValidateAgainst(r, s));
+  // Extend both sides with whatever the heuristic knowledge derives.
+  ExtensionOptions ext;
+  ext.derive_all = true;
+  ext.derivation.mode = DerivationMode::kFirstMatch;  // heuristics: take the
+                                                      // first answer
+  EID_ASSIGN_OR_RETURN(
+      ExtensionResult rx,
+      ExtendRelation(r, Side::kR, corr_, ExtendedKey(std::vector<std::string>{}),
+                     options_.heuristics, ext));
+  EID_ASSIGN_OR_RETURN(
+      ExtensionResult sx,
+      ExtendRelation(s, Side::kS, corr_, ExtendedKey(std::vector<std::string>{}),
+                     options_.heuristics, ext));
+
+  BaselineResult out;
+  for (size_t i = 0; i < rx.extended.size(); ++i) {
+    TupleView e1 = rx.extended.tuple(i);
+    for (size_t j = 0; j < sx.extended.size(); ++j) {
+      if (options_.one_to_one && out.matching.HasR(i)) break;
+      TupleView e2 = sx.extended.tuple(j);
+      if (options_.one_to_one && out.matching.HasS(j)) continue;
+      for (const IdentityRule& rule : rules_) {
+        if (rule.Matches(e1, e2) == Truth::kTrue) {
+          Status st = out.matching.Add(TuplePair{i, j});
+          if (!st.ok() && out.applicability.ok()) out.applicability = st;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace eid

@@ -1,0 +1,16 @@
+#include "baselines/ilfd_technique.h"
+
+namespace eid {
+
+Result<BaselineResult> IlfdTechniqueMatcher::Match(const Relation& r,
+                                                   const Relation& s) const {
+  EID_ASSIGN_OR_RETURN(IdentificationResult result, identifier_.Identify(r, s));
+  BaselineResult out;
+  out.matching = std::move(result.matching);
+  out.negative = std::move(result.negative.table);
+  if (!result.uniqueness.ok()) out.applicability = result.uniqueness;
+  else if (!result.consistency.ok()) out.applicability = result.consistency;
+  return out;
+}
+
+}  // namespace eid

@@ -1,0 +1,25 @@
+#include "baselines/user_specified.h"
+
+namespace eid {
+
+Result<BaselineResult> UserSpecifiedMatcher::Match(const Relation& r,
+                                                   const Relation& s) const {
+  BaselineResult out;
+  for (const UserEquivalence& e : assertions_) {
+    std::optional<size_t> ri = r.FindByKey(e.r_key_values);
+    if (!ri.has_value()) {
+      return Status::NotFound(
+          "user-specified assertion names a missing R tuple");
+    }
+    std::optional<size_t> si = s.FindByKey(e.s_key_values);
+    if (!si.has_value()) {
+      return Status::NotFound(
+          "user-specified assertion names a missing S tuple");
+    }
+    Status st = out.matching.Add(TuplePair{*ri, *si});
+    if (!st.ok()) return st;  // contradictory user assertions
+  }
+  return out;
+}
+
+}  // namespace eid

@@ -1,0 +1,80 @@
+// Mining candidate ILFDs from relation instances.
+//
+// The paper points at this twice: "advanced techniques in knowledge
+// discovery may also suggest some identity or distinctness rules that have
+// been overlooked by the database administrator" (§3.2), and semantic
+// information "can be supplied either by database administrators during
+// schema integration or through some knowledge acquisition tools"
+// (Conclusion). This module is that acquisition tool: it proposes
+// value-level dependencies
+//
+//     (A_1=a_1) ∧ … ∧ (A_k=a_k)  →  (B=b)
+//
+// that *hold in the instance* with a minimum support. Mined candidates are
+// suggestions — an instance-level regularity is not yet a semantic
+// constraint of the integrated world — so each carries its support and
+// must be confirmed by a DBA before use (the paper's soundness stance).
+
+#ifndef EID_DISCOVERY_ILFD_MINER_H_
+#define EID_DISCOVERY_ILFD_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "ilfd/ilfd_set.h"
+#include "relational/relation.h"
+
+namespace eid {
+
+/// One mined candidate with its evidence.
+struct MinedIlfd {
+  Ilfd ilfd;
+  /// Tuples satisfying the antecedent (all of them satisfy the consequent,
+  /// or the candidate would not be emitted).
+  size_t support = 0;
+
+  bool operator==(const MinedIlfd& other) const {
+    return ilfd == other.ilfd && support == other.support;
+  }
+};
+
+/// Mining options.
+struct MinerOptions {
+  /// Minimum antecedent support: candidates seen fewer times are noise.
+  size_t min_support = 2;
+  /// Maximum antecedent size (1 = single-condition rules like the paper's
+  /// I1–I4/I7; 2 adds pair rules like I5/I6/I8).
+  size_t max_antecedent = 2;
+  /// Drop candidates implied by the already-accepted ones (closure-based
+  /// redundancy pruning) so the output approximates a minimal cover.
+  bool prune_implied = true;
+  /// Attributes allowed in consequents; empty = all attributes.
+  std::vector<std::string> consequent_attributes;
+  /// NULL antecedent/consequent values never participate.
+  /// Cap on distinct values per attribute considered for antecedents —
+  /// near-key attributes (almost every value distinct) produce per-tuple
+  /// "rules" that are overfit; attributes above the cap are skipped for
+  /// antecedent roles unless paired (max_antecedent ≥ 2 pairs still use
+  /// them, mirroring I5/I6's (name, street) antecedents).
+  size_t max_attribute_cardinality = 0;  // 0 = unlimited
+};
+
+/// Mines candidate ILFDs from `relation`. Deterministic: candidates are
+/// ordered by antecedent size, then attribute names, then values.
+std::vector<MinedIlfd> MineIlfds(const Relation& relation,
+                                 const MinerOptions& options = {});
+
+/// Convenience: mined candidates at or above `min_support`, as an IlfdSet
+/// (supports dropped). The caller should review before trusting.
+IlfdSet MineIlfdSet(const Relation& relation, const MinerOptions& options = {});
+
+/// Cross-validates mined ILFDs against a second instance: returns the
+/// subset of `candidates` that `witness` also satisfies (no violating
+/// tuple). Mined-on-R-confirmed-on-S is the minimum bar before a DBA
+/// review (both instances can still share a coincidence).
+std::vector<MinedIlfd> ConfirmOn(const std::vector<MinedIlfd>& candidates,
+                                 const Relation& witness);
+
+}  // namespace eid
+
+#endif  // EID_DISCOVERY_ILFD_MINER_H_

@@ -1,0 +1,115 @@
+#include "discovery/key_discovery.h"
+
+#include <algorithm>
+#include <set>
+
+namespace eid {
+
+Result<std::vector<ExtendedKey>> DiscoverMinimalKeys(
+    const Relation& universe, const KeyDiscoveryOptions& options) {
+  std::vector<std::string> attrs;
+  for (const Attribute& a : universe.schema().attributes()) {
+    if (std::find(options.exclude.begin(), options.exclude.end(), a.name) ==
+        options.exclude.end()) {
+      attrs.push_back(a.name);
+    }
+  }
+  std::sort(attrs.begin(), attrs.end());
+  const size_t n = attrs.size();
+  if (n == 0) {
+    return Status::InvalidArgument("universe has no usable attributes");
+  }
+
+  std::vector<ExtendedKey> keys;
+  std::vector<std::vector<size_t>> identifying;  // index sets found so far
+  size_t examined = 0;
+
+  // Breadth-first by size: a set is a *minimal* key iff it identifies and
+  // no identifying proper subset exists — with BFS, equivalently no
+  // previously-found identifying set is a subset.
+  for (size_t k = 1; k <= options.max_size && k <= n; ++k) {
+    std::vector<size_t> idx(k);
+    for (size_t i = 0; i < k; ++i) idx[i] = i;
+    while (true) {
+      if (++examined > options.enumeration_cap) {
+        return Status::FailedPrecondition(
+            "key discovery exceeded the enumeration cap; lower max_size or "
+            "raise the cap");
+      }
+      bool has_identifying_subset = false;
+      for (const std::vector<size_t>& found : identifying) {
+        if (std::includes(idx.begin(), idx.end(), found.begin(),
+                          found.end())) {
+          has_identifying_subset = true;
+          break;
+        }
+      }
+      if (!has_identifying_subset) {
+        std::vector<std::string> names;
+        for (size_t i : idx) names.push_back(attrs[i]);
+        EID_ASSIGN_OR_RETURN(bool ident, IsIdentifying(universe, names));
+        if (ident) {
+          identifying.push_back(idx);
+          keys.push_back(ExtendedKey(names));
+        }
+      }
+      // Next k-combination.
+      size_t i = k;
+      bool done = false;
+      while (i > 0) {
+        --i;
+        if (idx[i] != i + n - k) {
+          ++idx[i];
+          for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+          break;
+        }
+        if (i == 0) done = true;
+      }
+      if (done) break;
+    }
+  }
+  return keys;
+}
+
+std::vector<RankedKey> RankKeysForPair(const std::vector<ExtendedKey>& keys,
+                                       const AttributeCorrespondence& corr,
+                                       const IlfdSet& ilfds) {
+  std::set<std::string> derivable;
+  for (const Ilfd& f : ilfds.ilfds()) {
+    for (const std::string& c : f.ConsequentAttributes()) derivable.insert(c);
+  }
+  std::vector<RankedKey> ranked;
+  for (const ExtendedKey& key : keys) {
+    RankedKey entry{key, 0, 0};
+    bool usable = true;
+    for (const std::string& a : key.attributes()) {
+      bool on_r = corr.LocalName(a, Side::kR).has_value();
+      bool on_s = corr.LocalName(a, Side::kS).has_value();
+      if (!on_r) {
+        if (derivable.count(a) == 0) {
+          usable = false;
+          break;
+        }
+        ++entry.derived_on_r;
+      }
+      if (!on_s) {
+        if (derivable.count(a) == 0) {
+          usable = false;
+          break;
+        }
+        ++entry.derived_on_s;
+      }
+    }
+    if (usable) ranked.push_back(std::move(entry));
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedKey& a, const RankedKey& b) {
+                     size_t da = a.derived_on_r + a.derived_on_s;
+                     size_t db = b.derived_on_r + b.derived_on_s;
+                     if (da != db) return da < db;
+                     return a.key.size() < b.key.size();
+                   });
+  return ranked;
+}
+
+}  // namespace eid

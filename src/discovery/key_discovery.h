@@ -1,0 +1,53 @@
+// Discovering extended-key candidates from an entity universe.
+//
+// §4.1 defines the extended key as a *minimal* identifying attribute set
+// for the integrated world but leaves finding one to the DBA. Given a
+// ground-truth universe relation (or any trusted sample of the integrated
+// world), this module enumerates every minimal identifying attribute set —
+// the candidate extended keys — by breadth-first subset search with
+// superset pruning.
+
+#ifndef EID_DISCOVERY_KEY_DISCOVERY_H_
+#define EID_DISCOVERY_KEY_DISCOVERY_H_
+
+#include <vector>
+
+#include "eid/extended_key.h"
+#include "ilfd/ilfd_set.h"
+#include "relational/relation.h"
+
+namespace eid {
+
+/// Options for DiscoverMinimalKeys.
+struct KeyDiscoveryOptions {
+  /// Largest attribute-set size to examine.
+  size_t max_size = 4;
+  /// Attributes to exclude (e.g. the synthetic domain attribute).
+  std::vector<std::string> exclude;
+  /// Safety cap on examined subsets.
+  size_t enumeration_cap = 100000;
+};
+
+/// All minimal identifying attribute sets of `universe` up to
+/// options.max_size, smallest first (then lexicographic). Every returned
+/// key passes ExtendedKey::VerifyAgainstUniverse.
+Result<std::vector<ExtendedKey>> DiscoverMinimalKeys(
+    const Relation& universe, const KeyDiscoveryOptions& options = {});
+
+/// Ranks candidate keys by how usable they are for matching a given
+/// relation pair: keys whose every attribute is modeled or ILFD-derivable
+/// on both sides come first; ties break toward fewer attributes. Keys with
+/// an attribute unreachable on some side are dropped.
+struct RankedKey {
+  ExtendedKey key;
+  /// Attributes needing ILFD derivation on R / S (smaller = cheaper).
+  size_t derived_on_r = 0;
+  size_t derived_on_s = 0;
+};
+std::vector<RankedKey> RankKeysForPair(const std::vector<ExtendedKey>& keys,
+                                       const AttributeCorrespondence& corr,
+                                       const IlfdSet& ilfds);
+
+}  // namespace eid
+
+#endif  // EID_DISCOVERY_KEY_DISCOVERY_H_

@@ -1,0 +1,242 @@
+#include "eid/algebra_pipeline.h"
+
+#include <algorithm>
+#include <set>
+
+#include "relational/algebra.h"
+
+namespace eid {
+namespace {
+
+/// Safety bound on derivation rounds (a chain can never be longer than the
+/// number of distinct consequent attributes; 64 is far beyond any real
+/// knowledge base and guards against pathological inputs).
+constexpr size_t kMaxRounds = 64;
+
+/// Appends an all-NULL column named `attribute` to `input`.
+Relation AppendNullColumn(const Relation& input, const std::string& attribute,
+                          ValueType type) {
+  std::vector<Attribute> attrs = input.schema().attributes();
+  attrs.push_back(Attribute{attribute, type});
+  Relation out(input.name(), Schema(std::move(attrs)));
+  for (const Row& row : input.rows()) {
+    Row extended = row;
+    extended.push_back(Value::Null());
+    Status st = out.Insert(std::move(extended));
+    EID_CHECK(st.ok());
+  }
+  return out;
+}
+
+size_t CountNonNull(const Relation& rel, const std::string& attribute) {
+  std::optional<size_t> idx = rel.schema().IndexOf(attribute);
+  if (!idx.has_value()) return 0;
+  size_t count = 0;
+  for (const Row& row : rel.rows()) {
+    if (!row[*idx].is_null()) ++count;
+  }
+  return count;
+}
+
+/// Merges derived values D(key, y) into `current`:
+///  * y absent  — natural left outer join (the paper's ⟕);
+///  * y present — rename y→y#old, left outer join with D, then per row
+///    coalesce(y#old, D.y); a key with several conflicting D rows yields
+///    several output rows, surfacing the conflict for the uniqueness check
+///    rather than hiding it.
+Result<Relation> MergeDerived(const Relation& current, const Relation& d,
+                              const std::string& y) {
+  if (!current.schema().Contains(y)) {
+    return LeftOuterJoin(current, d, NullPolicy::kNullEqualsNull);
+  }
+  EID_ASSIGN_OR_RETURN(Relation renamed, Rename(current, y, y + "#old"));
+  EID_ASSIGN_OR_RETURN(Relation joined,
+                       LeftOuterJoin(renamed, d, NullPolicy::kNullEqualsNull));
+  // Rebuild with a single y column = coalesce(y#old, y).
+  EID_ASSIGN_OR_RETURN(size_t old_idx, joined.schema().RequireIndex(y + "#old"));
+  EID_ASSIGN_OR_RETURN(size_t new_idx, joined.schema().RequireIndex(y));
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < joined.schema().size(); ++i) {
+    if (i == new_idx) continue;
+    Attribute a = joined.schema().attribute(i);
+    if (i == old_idx) a.name = y;
+    attrs.push_back(std::move(a));
+  }
+  Relation out(current.name(), Schema(std::move(attrs)));
+  for (const Row& row : joined.rows()) {
+    Row merged;
+    merged.reserve(attrs.size());
+    for (size_t i = 0; i < joined.schema().size(); ++i) {
+      if (i == new_idx) continue;
+      if (i == old_idx && row[old_idx].is_null()) {
+        merged.push_back(row[new_idx]);
+      } else {
+        merged.push_back(row[i]);
+      }
+    }
+    EID_RETURN_IF_ERROR(out.Insert(std::move(merged)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::pair<Relation, size_t>> ExtendAlgebraically(
+    const Relation& world_named, const ExtendedKey& ext_key,
+    const std::vector<IlfdTable>& tables) {
+  const std::vector<std::string> key_names = world_named.PrimaryKeyNames();
+  const std::vector<std::string> original_attrs = [&] {
+    std::vector<std::string> names;
+    for (const Attribute& a : world_named.schema().attributes()) {
+      names.push_back(a.name);
+    }
+    return names;
+  }();
+
+  // Consequent attributes, in first-table order, skipping key attributes
+  // (they are never NULL, so there is nothing to derive).
+  std::vector<std::string> consequents;
+  for (const IlfdTable& t : tables) {
+    const std::string& y = t.consequent_attribute();
+    if (std::find(key_names.begin(), key_names.end(), y) != key_names.end()) {
+      continue;
+    }
+    if (std::find(consequents.begin(), consequents.end(), y) ==
+        consequents.end()) {
+      consequents.push_back(y);
+    }
+  }
+
+  Relation current = world_named;
+  size_t rounds = 0;
+  bool changed = true;
+  while (changed && rounds < kMaxRounds) {
+    changed = false;
+    for (const std::string& y : consequents) {
+      // R_y = ∪_u Π_{K, y}(Π_{K ∪ x̄u}(current) ⋈ IM_u) over every usable
+      // IM table (the paper's union across IM tables for one attribute).
+      // The inner projection drops a partially-filled y column so the
+      // natural join binds on the antecedent attributes only.
+      std::optional<Relation> r_y;
+      for (const IlfdTable& t : tables) {
+        if (t.consequent_attribute() != y) continue;
+        bool covered = true;
+        for (const std::string& a : t.antecedent_attributes()) {
+          if (!current.schema().Contains(a)) {
+            covered = false;
+            break;
+          }
+        }
+        if (!covered) continue;
+        std::vector<std::string> inner = key_names;
+        for (const std::string& a : t.antecedent_attributes()) {
+          if (std::find(inner.begin(), inner.end(), a) == inner.end()) {
+            inner.push_back(a);
+          }
+        }
+        EID_ASSIGN_OR_RETURN(Relation narrowed, Project(current, inner));
+        EID_ASSIGN_OR_RETURN(Relation joined,
+                             NaturalJoin(narrowed, t.relation(),
+                                         NullPolicy::kNullNeverMatches));
+        std::vector<std::string> projection = key_names;
+        projection.push_back(y);
+        EID_ASSIGN_OR_RETURN(Relation d, Project(joined, projection));
+        if (!r_y.has_value()) {
+          r_y = std::move(d);
+        } else {
+          EID_ASSIGN_OR_RETURN(*r_y, Union(*r_y, d));
+        }
+      }
+      if (!r_y.has_value() || r_y->empty()) continue;
+      size_t before = CountNonNull(current, y);
+      size_t rows_before = current.size();
+      EID_ASSIGN_OR_RETURN(Relation merged, MergeDerived(current, *r_y, y));
+      // Re-merging a conflicted key joins each of its rows with every
+      // conflicting derivation again; Distinct keeps the row set at the
+      // fixpoint instead of letting it grow each sweep.
+      current = Distinct(merged);
+      size_t after = CountNonNull(current, y);
+      if (after > before || current.size() != rows_before) changed = true;
+    }
+    if (changed) ++rounds;
+  }
+
+  // Extended-key attributes no IM table can derive become NULL columns so
+  // R' has the full K_Ext schema (paper §4.2 step 1).
+  for (const std::string& a : ext_key.attributes()) {
+    if (!current.schema().Contains(a)) {
+      current = AppendNullColumn(current, a, ValueType::kString);
+    }
+  }
+
+  // Drop intermediate derived attributes (e.g. county on the R side):
+  // R' carries the original attributes plus K_Ext−R, as in the paper.
+  std::vector<std::string> keep = original_attrs;
+  for (const std::string& a : ext_key.attributes()) {
+    if (std::find(keep.begin(), keep.end(), a) == keep.end()) {
+      keep.push_back(a);
+    }
+  }
+  if (keep.size() != current.schema().size()) {
+    EID_ASSIGN_OR_RETURN(current, ProjectBag(current, keep));
+  }
+  current.set_name(world_named.name() + "'");
+  return std::make_pair(std::move(current), rounds);
+}
+
+Result<AlgebraPipelineResult> BuildMatchingTableAlgebraically(
+    const Relation& r, const Relation& s, const AttributeCorrespondence& corr,
+    const ExtendedKey& ext_key, const std::vector<IlfdTable>& tables) {
+  if (ext_key.empty()) {
+    return Status::InvalidArgument("extended key must be non-empty");
+  }
+  EID_RETURN_IF_ERROR(corr.ValidateAgainst(r, s));
+  EID_ASSIGN_OR_RETURN(Relation r_world, corr.ToWorldNaming(r, Side::kR));
+  EID_ASSIGN_OR_RETURN(Relation s_world, corr.ToWorldNaming(s, Side::kS));
+
+  const std::vector<std::string> r_keys = r_world.PrimaryKeyNames();
+  const std::vector<std::string> s_keys = s_world.PrimaryKeyNames();
+
+  AlgebraPipelineResult out;
+  {
+    EID_ASSIGN_OR_RETURN(auto extended,
+                         ExtendAlgebraically(r_world, ext_key, tables));
+    out.r_extended = std::move(extended.first);
+    out.r_rounds = extended.second;
+  }
+  {
+    EID_ASSIGN_OR_RETURN(auto extended,
+                         ExtendAlgebraically(s_world, ext_key, tables));
+    out.s_extended = std::move(extended.first);
+    out.s_rounds = extended.second;
+  }
+
+  // Prefix columns, join over the extended key, project the keys.
+  auto prefixed = [](const Relation& rel,
+                     const std::string& prefix) -> Result<Relation> {
+    std::vector<std::string> names;
+    for (const Attribute& a : rel.schema().attributes()) {
+      names.push_back(prefix + a.name);
+    }
+    return RenameAll(rel, names);
+  };
+  EID_ASSIGN_OR_RETURN(Relation r_prefixed, prefixed(out.r_extended, "R."));
+  EID_ASSIGN_OR_RETURN(Relation s_prefixed, prefixed(out.s_extended, "S."));
+
+  std::vector<JoinCondition> conditions;
+  for (const std::string& a : ext_key.attributes()) {
+    conditions.push_back(JoinCondition{"R." + a, "S." + a});
+  }
+  EID_ASSIGN_OR_RETURN(Relation joined,
+                       EquiJoin(r_prefixed, s_prefixed, conditions,
+                                NullPolicy::kNullNeverMatches));
+  std::vector<std::string> mt_columns;
+  for (const std::string& k : r_keys) mt_columns.push_back("R." + k);
+  for (const std::string& k : s_keys) mt_columns.push_back("S." + k);
+  EID_ASSIGN_OR_RETURN(Relation mt, ProjectBag(joined, mt_columns));
+  mt.set_name("MT");
+  out.matching = std::move(mt);
+  return out;
+}
+
+}  // namespace eid

@@ -1,0 +1,54 @@
+// The paper's §4.2 relational-expression formulation of matching-table
+// construction, executed literally with the relational-algebra substrate
+// and ILFD tables IM(x̄, y):
+//
+//   R_yi^u = Π_{K_R, y_i}( R ⋈ IM_(r̄u, y_i) )      one per usable IM table
+//   R_yi   = ∪_u R_yi^u
+//   R'     = R ⟕_{K_R} R_y1 ⟕_{K_R} … ⟕_{K_R} R_ym   (left outer joins)
+//   (S' analogously)
+//   MT_RS  = Π_{K_R, K_S}( R' ⋈_{K_Ext} S' )          (non-NULL equality)
+//
+// The paper's Example 3 applies *derived* ILFDs (its I9, obtained from I7
+// and I8 by pseudotransitivity) so that one join round suffices. This
+// implementation generalises to chained derivations by iterating rounds:
+// after each round the newly derived columns become available to IM tables
+// whose antecedents need them, until a fixpoint. With pre-composed ILFD
+// tables it reduces to the paper's single round.
+
+#ifndef EID_EID_ALGEBRA_PIPELINE_H_
+#define EID_EID_ALGEBRA_PIPELINE_H_
+
+#include <vector>
+
+#include "eid/correspondence.h"
+#include "eid/extended_key.h"
+#include "ilfd/ilfd_table.h"
+
+namespace eid {
+
+/// Outcome of the algebraic construction.
+struct AlgebraPipelineResult {
+  Relation r_extended;  // R' (world naming)
+  Relation s_extended;  // S'
+  /// MT_RS as a relation: R-key columns prefixed "R.", S-key columns
+  /// prefixed "S." (comparable with MatchTable::ToRelation output).
+  Relation matching;
+  /// Rounds of IM-table joins performed per side (1 = the paper's form).
+  size_t r_rounds = 0;
+  size_t s_rounds = 0;
+};
+
+/// Runs the §4.2 pipeline. `tables` are the available ILFD tables.
+Result<AlgebraPipelineResult> BuildMatchingTableAlgebraically(
+    const Relation& r, const Relation& s, const AttributeCorrespondence& corr,
+    const ExtendedKey& ext_key, const std::vector<IlfdTable>& tables);
+
+/// Extends one side algebraically (the R → R' fragment), exposed for tests.
+/// Returns the extended relation and the number of rounds used.
+Result<std::pair<Relation, size_t>> ExtendAlgebraically(
+    const Relation& world_named, const ExtendedKey& ext_key,
+    const std::vector<IlfdTable>& tables);
+
+}  // namespace eid
+
+#endif  // EID_EID_ALGEBRA_PIPELINE_H_

@@ -1,0 +1,124 @@
+#include "eid/correspondence.h"
+
+#include "relational/algebra.h"
+
+namespace eid {
+
+AttributeCorrespondence AttributeCorrespondence::Identity(const Relation& r,
+                                                          const Relation& s) {
+  AttributeCorrespondence out;
+  for (const Attribute& a : r.schema().attributes()) {
+    AttributeMapping m;
+    m.world = a.name;
+    m.in_r = a.name;
+    if (s.schema().Contains(a.name)) m.in_s = a.name;
+    Status st = out.Add(std::move(m));
+    EID_CHECK(st.ok());
+  }
+  for (const Attribute& a : s.schema().attributes()) {
+    if (out.Find(a.name) != nullptr) continue;
+    AttributeMapping m;
+    m.world = a.name;
+    m.in_s = a.name;
+    Status st = out.Add(std::move(m));
+    EID_CHECK(st.ok());
+  }
+  return out;
+}
+
+Status AttributeCorrespondence::Add(AttributeMapping mapping) {
+  if (mapping.world.empty()) {
+    return Status::InvalidArgument("world attribute name must be non-empty");
+  }
+  if (Find(mapping.world) != nullptr) {
+    return Status::AlreadyExists("world attribute '" + mapping.world +
+                                 "' already mapped");
+  }
+  if (!mapping.in_r.has_value() && !mapping.in_s.has_value()) {
+    return Status::InvalidArgument("mapping for '" + mapping.world +
+                                   "' names neither side");
+  }
+  mappings_.push_back(std::move(mapping));
+  return Status::Ok();
+}
+
+const AttributeMapping* AttributeCorrespondence::Find(
+    const std::string& world) const {
+  for (const AttributeMapping& m : mappings_) {
+    if (m.world == world) return &m;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> AttributeCorrespondence::WorldAttributesOf(
+    Side side) const {
+  std::vector<std::string> out;
+  for (const AttributeMapping& m : mappings_) {
+    const std::optional<std::string>& local = (side == Side::kR) ? m.in_r
+                                                                 : m.in_s;
+    if (local.has_value()) out.push_back(m.world);
+  }
+  return out;
+}
+
+std::vector<std::string> AttributeCorrespondence::CommonWorldAttributes()
+    const {
+  std::vector<std::string> out;
+  for (const AttributeMapping& m : mappings_) {
+    if (m.in_r.has_value() && m.in_s.has_value()) out.push_back(m.world);
+  }
+  return out;
+}
+
+std::optional<std::string> AttributeCorrespondence::LocalName(
+    const std::string& world, Side side) const {
+  const AttributeMapping* m = Find(world);
+  if (m == nullptr) return std::nullopt;
+  return (side == Side::kR) ? m->in_r : m->in_s;
+}
+
+Status AttributeCorrespondence::ValidateAgainst(const Relation& r,
+                                                const Relation& s) const {
+  for (const AttributeMapping& m : mappings_) {
+    if (m.in_r.has_value() && !r.schema().Contains(*m.in_r)) {
+      return Status::NotFound("mapped attribute '" + *m.in_r +
+                              "' not in relation '" + r.name() + "'");
+    }
+    if (m.in_s.has_value() && !s.schema().Contains(*m.in_s)) {
+      return Status::NotFound("mapped attribute '" + *m.in_s +
+                              "' not in relation '" + s.name() + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Relation> AttributeCorrespondence::ToWorldNaming(
+    const Relation& relation, Side side) const {
+  std::vector<std::string> names;
+  names.reserve(relation.schema().size());
+  for (const Attribute& a : relation.schema().attributes()) {
+    std::string world_name = a.name;
+    for (const AttributeMapping& m : mappings_) {
+      const std::optional<std::string>& local =
+          (side == Side::kR) ? m.in_r : m.in_s;
+      if (local.has_value() && *local == a.name) {
+        world_name = m.world;
+        break;
+      }
+    }
+    names.push_back(std::move(world_name));
+  }
+  // Detect collisions (an unmapped local name equal to a world name).
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      if (names[i] == names[j]) {
+        return Status::InvalidArgument(
+            "world naming collision on '" + names[i] + "' in relation '" +
+            relation.name() + "'");
+      }
+    }
+  }
+  return RenameAll(relation, names);
+}
+
+}  // namespace eid

@@ -1,0 +1,79 @@
+// Attribute correspondence between autonomous relations and the
+// integrated world.
+//
+// The paper assumes schema-level heterogeneity is resolved a priori (§1):
+// which attributes of R and S are semantically equivalent is known (e.g.
+// from schema-integration techniques [Larson et al.]). They may still carry
+// different local names — the prototype's r_name and s_name both model the
+// world attribute Name. An AttributeCorrespondence records, for each
+// *world* attribute, its name in R and/or S. Extended keys, ILFDs, and
+// identity/distinctness rules are all phrased in world attribute names.
+
+#ifndef EID_EID_CORRESPONDENCE_H_
+#define EID_EID_CORRESPONDENCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace eid {
+
+/// Which source relation a mapping refers to.
+enum class Side { kR, kS };
+
+/// One world attribute and its local names.
+struct AttributeMapping {
+  std::string world;                  // name in the integrated world
+  std::optional<std::string> in_r;    // name in relation R, if modeled
+  std::optional<std::string> in_s;    // name in relation S, if modeled
+};
+
+/// The schema-integration output this library consumes.
+class AttributeCorrespondence {
+ public:
+  AttributeCorrespondence() = default;
+  explicit AttributeCorrespondence(std::vector<AttributeMapping> mappings)
+      : mappings_(std::move(mappings)) {}
+
+  /// Identity correspondence: every attribute of R and S maps to a world
+  /// attribute of the same name (the common case after schema integration
+  /// has normalised names).
+  static AttributeCorrespondence Identity(const Relation& r,
+                                          const Relation& s);
+
+  const std::vector<AttributeMapping>& mappings() const { return mappings_; }
+
+  /// Adds a mapping; error on duplicate world names.
+  Status Add(AttributeMapping mapping);
+
+  /// The mapping for a world attribute, if any.
+  const AttributeMapping* Find(const std::string& world) const;
+
+  /// World attributes modeled (non-NULL-named) on the given side.
+  std::vector<std::string> WorldAttributesOf(Side side) const;
+
+  /// World attributes modeled on *both* sides — the candidate attributes
+  /// the prototype's setup_extkey lists for extended-key selection.
+  std::vector<std::string> CommonWorldAttributes() const;
+
+  /// Local name of a world attribute on `side`; nullopt when not modeled.
+  std::optional<std::string> LocalName(const std::string& world,
+                                       Side side) const;
+
+  /// Verifies every local name exists in the corresponding relation schema.
+  Status ValidateAgainst(const Relation& r, const Relation& s) const;
+
+  /// Renames `relation`'s mapped attributes to world names; unmapped
+  /// attributes keep their local names (they must not collide with world
+  /// names). This produces the uniform naming the matching pipeline uses.
+  Result<Relation> ToWorldNaming(const Relation& relation, Side side) const;
+
+ private:
+  std::vector<AttributeMapping> mappings_;
+};
+
+}  // namespace eid
+
+#endif  // EID_EID_CORRESPONDENCE_H_

@@ -1,0 +1,37 @@
+// Human-readable justifications for identification decisions.
+//
+// Soundness is the paper's whole point: a match must be defensible. Every
+// decision this library takes is backed by recorded provenance — ILFD
+// derivation steps (which rule produced which extended-key value) and
+// negative-pair evidence (which distinctness rule fired, in which
+// orientation). ExplainDecision turns that provenance into the
+// justification a DBA reviews before acting on a match (the §4 example:
+// before firing somebody, say *why* the records were identified).
+
+#ifndef EID_EID_EXPLAIN_H_
+#define EID_EID_EXPLAIN_H_
+
+#include <string>
+
+#include "eid/identifier.h"
+
+namespace eid {
+
+/// Explains the decision for pair (r_index, s_index) of `result`, which
+/// must have been produced by an identifier configured as `config` (the
+/// config supplies rule/ILFD texts the result only indexes).
+///
+/// The explanation contains, per case:
+///  * match        — the extended-key agreement, and for every derived key
+///                   value the ILFD chain that produced it;
+///  * non-match    — the certifying distinctness rule and its orientation
+///                   (or its origin ILFD when Proposition-1 induced);
+///  * undetermined — which extended-key attributes are missing (NULL) on
+///                   which side, i.e. what knowledge would decide the pair.
+Result<std::string> ExplainDecision(const IdentificationResult& result,
+                                    const IdentifierConfig& config,
+                                    size_t r_index, size_t s_index);
+
+}  // namespace eid
+
+#endif  // EID_EID_EXPLAIN_H_

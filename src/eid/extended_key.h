@@ -1,0 +1,68 @@
+// Extended keys (paper §4.1).
+//
+// The extended key K_Ext is a minimal set of (world) attributes, of the
+// form K_1 ∪ K_2 ∪ Ā, that uniquely identifies an entity of type E in the
+// integrated real world. Its induced identity rule — extended-key
+// equivalence — matches tuples that agree, non-NULL, on every K_Ext
+// attribute. Unlike plain key equivalence it applies when R and S share no
+// common candidate key, because missing K_Ext attributes can be derived
+// via ILFDs.
+
+#ifndef EID_EID_EXTENDED_KEY_H_
+#define EID_EID_EXTENDED_KEY_H_
+
+#include <string>
+#include <vector>
+
+#include "eid/correspondence.h"
+#include "rules/identity_rule.h"
+
+namespace eid {
+
+/// An extended key over world attribute names.
+class ExtendedKey {
+ public:
+  ExtendedKey() = default;
+  explicit ExtendedKey(std::vector<std::string> attributes);
+
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+  bool Contains(const std::string& attribute) const;
+
+  /// The induced identity rule (extended-key equivalence, §4.1).
+  IdentityRule EquivalenceRule() const;
+
+  /// K_Ext attributes *not* modeled by the given side — the K_Ext−R /
+  /// K_Ext−S of §4.2, which extension must add and ILFDs must derive.
+  std::vector<std::string> MissingOn(const AttributeCorrespondence& corr,
+                                     Side side) const;
+
+  /// Checks K_Ext against a ground-truth entity universe (a relation whose
+  /// rows are the distinct integrated-world entities, in world naming):
+  ///  * identifying: no two entities agree on all K_Ext attributes;
+  ///  * minimal: no proper subset is identifying.
+  /// Returns OK when both hold; ConstraintViolation when not identifying;
+  /// FailedPrecondition (with the redundant attribute named) when
+  /// identifying but not minimal.
+  Status VerifyAgainstUniverse(const Relation& universe) const;
+
+  /// "{name, cuisine, speciality}" display form.
+  std::string ToString() const;
+
+  bool operator==(const ExtendedKey& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+ private:
+  std::vector<std::string> attributes_;  // sorted, unique
+};
+
+/// True iff `attributes` is identifying over `universe` (helper shared with
+/// VerifyAgainstUniverse; NULLs compare by storage equality).
+Result<bool> IsIdentifying(const Relation& universe,
+                           const std::vector<std::string>& attributes);
+
+}  // namespace eid
+
+#endif  // EID_EID_EXTENDED_KEY_H_

@@ -1,0 +1,97 @@
+#include "eid/extension.h"
+
+#include <algorithm>
+#include <set>
+
+#include "relational/algebra.h"
+
+namespace eid {
+
+Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
+                                       const AttributeCorrespondence& corr,
+                                       const ExtendedKey& ext_key,
+                                       const IlfdSet& ilfds,
+                                       const ExtensionOptions& options) {
+  // 1. Rename into world naming.
+  EID_ASSIGN_OR_RETURN(Relation world, corr.ToWorldNaming(relation, side));
+
+  // 2. Determine the columns to append.
+  std::vector<std::string> added;
+  for (const std::string& a : ext_key.attributes()) {
+    if (!world.schema().Contains(a)) added.push_back(a);
+  }
+  if (options.derive_all) {
+    std::set<std::string> extra;
+    for (const Ilfd& f : ilfds.ilfds()) {
+      for (const std::string& a : f.ConsequentAttributes()) {
+        if (!world.schema().Contains(a)) extra.insert(a);
+      }
+    }
+    for (const std::string& a : extra) {
+      if (std::find(added.begin(), added.end(), a) == added.end()) {
+        added.push_back(a);
+      }
+    }
+  }
+
+  // 3. Build the extended schema. Added columns default to string type
+  //    unless some ILFD consequent suggests otherwise.
+  std::vector<Attribute> attrs = world.schema().attributes();
+  for (const std::string& name : added) {
+    ValueType type = ValueType::kString;
+    for (const Ilfd& f : ilfds.ilfds()) {
+      for (const Atom& c : f.consequent()) {
+        if (c.attribute == name && !c.value.is_null()) {
+          type = c.value.type();
+          break;
+        }
+      }
+    }
+    attrs.push_back(Attribute{name, type});
+  }
+  Relation extended(world.name() + "'", Schema(std::move(attrs)));
+  // The original candidate keys remain keys of the extension.
+  for (const KeyDef& key : world.keys()) {
+    std::vector<std::string> names;
+    for (size_t i : key.attribute_indices) {
+      names.push_back(world.schema().attribute(i).name);
+    }
+    EID_RETURN_IF_ERROR(extended.DeclareKey(names));
+  }
+
+  ExtensionResult out;
+  out.added_attributes = added;
+
+  // 4. Per tuple: append NULLs, then derive.
+  DerivationOptions derivation = options.derivation;
+  if (!options.derive_all && derivation.target_attributes.empty()) {
+    // Restrict reported derivations to the extended-key columns that are
+    // missing (NULL) per tuple — handled below per tuple, so target the
+    // whole extended key here.
+    derivation.target_attributes = ext_key.attributes();
+  } else if (options.derive_all) {
+    derivation.target_attributes.clear();  // everything derivable
+  }
+
+  // One evaluator amortises the per-closure counter initialisation across
+  // all tuples (it only helps exhaustive mode; harmless otherwise).
+  ClosureEvaluator evaluator(&ilfds.kb());
+  for (size_t r = 0; r < world.size(); ++r) {
+    Row row = world.row(r);
+    row.resize(row.size() + added.size(), Value::Null());
+    TupleView view(&extended.schema(), &row);
+    EID_ASSIGN_OR_RETURN(Derivation derivation_result,
+                         DeriveTuple(view, ilfds, derivation, &evaluator));
+    for (const auto& [attr, value] : derivation_result.derived) {
+      std::optional<size_t> idx = extended.schema().IndexOf(attr);
+      if (!idx.has_value()) continue;  // derivable but not modeled
+      if (row[*idx].is_null()) row[*idx] = value;
+    }
+    EID_RETURN_IF_ERROR(extended.Insert(std::move(row)));
+    out.traces.push_back(std::move(derivation_result));
+  }
+  out.extended = std::move(extended);
+  return out;
+}
+
+}  // namespace eid

@@ -1,0 +1,55 @@
+// Relation extension: R → R' (paper §4.2, step 1–2).
+//
+// "Extend relation R, to R', with attributes K_Ext−R and set the missing
+// attribute values of each tuple to be NULL. … Apply the available ILFDs
+// to derive the values for K_Ext−R for each R' tuple."
+//
+// The relation is first renamed into world attribute naming (so ILFDs,
+// which are constraints on real-world entities, apply directly), then the
+// missing extended-key columns are appended as NULL, then each tuple's
+// missing values are derived. Derivations may also *overwrite nothing*:
+// existing non-NULL values always win (the sources are assumed accurate,
+// §3.1).
+
+#ifndef EID_EID_EXTENSION_H_
+#define EID_EID_EXTENSION_H_
+
+#include <vector>
+
+#include "eid/correspondence.h"
+#include "eid/extended_key.h"
+#include "ilfd/derivation.h"
+
+namespace eid {
+
+/// Result of extending one relation.
+struct ExtensionResult {
+  /// R' — world naming, original attributes plus the added K_Ext−R
+  /// columns, missing values derived where ILFDs allow.
+  Relation extended;
+  /// Per-row derivation traces (parallel to extended.rows()).
+  std::vector<Derivation> traces;
+  /// Names of columns that were added (K_Ext−R).
+  std::vector<std::string> added_attributes;
+};
+
+/// Options for ExtendRelation.
+struct ExtensionOptions {
+  DerivationOptions derivation;
+  /// Derive values for *every* missing world attribute any ILFD can
+  /// produce, not only extended-key columns; the integrated table then
+  /// carries the richer tuples. Default mirrors the paper: only K_Ext
+  /// columns are added.
+  bool derive_all = false;
+};
+
+/// Builds R' from `relation` (one side of the match).
+Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
+                                       const AttributeCorrespondence& corr,
+                                       const ExtendedKey& ext_key,
+                                       const IlfdSet& ilfds,
+                                       const ExtensionOptions& options = {});
+
+}  // namespace eid
+
+#endif  // EID_EID_EXTENSION_H_

@@ -1,0 +1,136 @@
+#include "eid/identifier.h"
+
+namespace eid {
+
+const char* MatchDecisionName(MatchDecision decision) {
+  switch (decision) {
+    case MatchDecision::kMatch: return "match";
+    case MatchDecision::kNonMatch: return "non-match";
+    case MatchDecision::kUndetermined: return "undetermined";
+  }
+  return "?";
+}
+
+MatchDecision IdentificationResult::Decide(size_t r_index,
+                                           size_t s_index) const {
+  TuplePair pair{r_index, s_index};
+  if (matching.Contains(pair)) return MatchDecision::kMatch;
+  if (negative.table.Contains(pair)) return MatchDecision::kNonMatch;
+  return MatchDecision::kUndetermined;
+}
+
+Result<Relation> IdentificationResult::MatchingRelation(
+    const std::string& name) const {
+  return matching.ToRelation(r_extended, s_extended, name);
+}
+
+Result<Relation> IdentificationResult::NegativeRelation(
+    const std::string& name) const {
+  return negative.table.ToRelation(r_extended, s_extended, name);
+}
+
+Result<IdentificationResult> EntityIdentifier::Identify(
+    const Relation& r, const Relation& s) const {
+  IdentificationResult out;
+  EID_RETURN_IF_ERROR(config_.correspondence.ValidateAgainst(r, s));
+
+  // --- Extension + extended-key matching -------------------------------
+  out.uniqueness = Status::Ok();
+  if (config_.extended_key.has_value()) {
+    EID_ASSIGN_OR_RETURN(
+        MatcherResult matcher,
+        BuildMatchingTable(r, s, config_.correspondence,
+                           *config_.extended_key, config_.ilfds,
+                           config_.matcher_options));
+    out.r_extended = std::move(matcher.r_extension.extended);
+    out.s_extended = std::move(matcher.s_extension.extended);
+    out.r_traces = std::move(matcher.r_extension.traces);
+    out.s_traces = std::move(matcher.s_extension.traces);
+    out.matching = std::move(matcher.matching);
+    out.uniqueness = std::move(matcher.uniqueness);
+  } else {
+    // No extended key: extend with every derivable attribute so the
+    // explicit rules see the richest tuples.
+    ExtensionOptions ext = config_.matcher_options.extension;
+    ext.derive_all = true;
+    EID_ASSIGN_OR_RETURN(ExtensionResult rx,
+                         ExtendRelation(r, Side::kR, config_.correspondence,
+                                        ExtendedKey(std::vector<std::string>{}),
+                                        config_.ilfds, ext));
+    EID_ASSIGN_OR_RETURN(ExtensionResult sx,
+                         ExtendRelation(s, Side::kS, config_.correspondence,
+                                        ExtendedKey(std::vector<std::string>{}),
+                                        config_.ilfds, ext));
+    out.r_extended = std::move(rx.extended);
+    out.s_extended = std::move(sx.extended);
+    out.r_traces = std::move(rx.traces);
+    out.s_traces = std::move(sx.traces);
+  }
+
+  // --- Additional identity rules ----------------------------------------
+  for (const IdentityRule& rule : config_.identity_rules) {
+    EID_RETURN_IF_ERROR(rule.Validate());
+  }
+  if (!config_.identity_rules.empty()) {
+    for (size_t i = 0; i < out.r_extended.size(); ++i) {
+      TupleView e1 = out.r_extended.tuple(i);
+      for (size_t j = 0; j < out.s_extended.size(); ++j) {
+        TupleView e2 = out.s_extended.tuple(j);
+        for (const IdentityRule& rule : config_.identity_rules) {
+          // Rules quantify over all pairs; try both instantiation orders.
+          if (rule.Matches(e1, e2) != Truth::kTrue &&
+              rule.Matches(e2, e1) != Truth::kTrue) {
+            continue;
+          }
+          Status st = out.matching.Add(TuplePair{i, j});
+          if (!st.ok()) {
+            if (config_.matcher_options.fail_on_uniqueness_violation) {
+              return st;
+            }
+            if (out.uniqueness.ok()) out.uniqueness = st;
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Distinctness rules (explicit + Proposition 1 from ILFDs) ---------
+  std::vector<DistinctnessRule> rules = config_.distinctness_rules;
+  if (config_.distinctness_from_ilfds) {
+    for (const Ilfd& f : config_.ilfds.ilfds()) {
+      for (const Ilfd& single : [&] {
+             std::vector<Ilfd> singles;
+             for (const Atom& c : f.consequent()) {
+               singles.push_back(Ilfd::Implies(f.antecedent(), c));
+             }
+             return singles;
+           }()) {
+        EID_ASSIGN_OR_RETURN(DistinctnessRule rule,
+                             DistinctnessRuleFromIlfd(single));
+        rules.push_back(std::move(rule));
+      }
+    }
+  }
+  EID_ASSIGN_OR_RETURN(
+      out.negative,
+      BuildNegativeMatchingTable(out.r_extended, out.s_extended, rules));
+
+  // --- Constraint verification ------------------------------------------
+  out.consistency =
+      MatchTable::CheckConsistency(out.matching, out.negative.table);
+
+  // --- Partition (Fig. 3) ------------------------------------------------
+  out.partition.total = out.r_extended.size() * out.s_extended.size();
+  out.partition.matched = out.matching.size();
+  out.partition.non_matched = out.negative.table.size();
+  // A pair in both tables (consistency violation) would be double-counted;
+  // consistency status already reports that case.
+  out.partition.undetermined =
+      out.partition.total -
+      std::min(out.partition.total,
+               out.partition.matched + out.partition.non_matched);
+  return out;
+}
+
+}  // namespace eid

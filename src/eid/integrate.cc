@@ -1,0 +1,154 @@
+#include "eid/integrate.h"
+
+namespace eid {
+namespace {
+
+Result<Relation> BuildSideBySide(const IdentificationResult& result,
+                                 const std::string& name) {
+  const Relation& r = result.r_extended;
+  const Relation& s = result.s_extended;
+  std::vector<Attribute> attrs;
+  for (const Attribute& a : r.schema().attributes()) {
+    attrs.push_back(Attribute{"R." + a.name, a.type});
+  }
+  for (const Attribute& a : s.schema().attributes()) {
+    attrs.push_back(Attribute{"S." + a.name, a.type});
+  }
+  Relation out(name, Schema(std::move(attrs)));
+
+  auto emit = [&](const Row* rrow, const Row* srow) -> Status {
+    Row row;
+    row.reserve(r.schema().size() + s.schema().size());
+    for (size_t i = 0; i < r.schema().size(); ++i) {
+      row.push_back(rrow ? (*rrow)[i] : Value::Null());
+    }
+    for (size_t i = 0; i < s.schema().size(); ++i) {
+      row.push_back(srow ? (*srow)[i] : Value::Null());
+    }
+    return out.Insert(std::move(row));
+  };
+
+  for (const TuplePair& p : result.matching.pairs()) {
+    EID_RETURN_IF_ERROR(emit(&r.row(p.r_index), &s.row(p.s_index)));
+  }
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (!result.matching.HasR(i)) {
+      EID_RETURN_IF_ERROR(emit(&r.row(i), nullptr));
+    }
+  }
+  for (size_t j = 0; j < s.size(); ++j) {
+    if (!result.matching.HasS(j)) {
+      EID_RETURN_IF_ERROR(emit(nullptr, &s.row(j)));
+    }
+  }
+  return out;
+}
+
+Result<Relation> BuildMerged(const IdentificationResult& result,
+                             const std::string& name) {
+  const Relation& r = result.r_extended;
+  const Relation& s = result.s_extended;
+  // World attribute order: R' attributes, then S'-only attributes.
+  std::vector<Attribute> attrs = r.schema().attributes();
+  for (const Attribute& a : s.schema().attributes()) {
+    if (!r.schema().Contains(a.name)) attrs.push_back(a);
+  }
+  Schema schema(std::move(attrs));
+  Relation out(name, schema);
+
+  auto emit = [&](const Row* rrow, const Row* srow) -> Status {
+    Row row;
+    row.reserve(schema.size());
+    for (size_t i = 0; i < schema.size(); ++i) {
+      const std::string& world = schema.attribute(i).name;
+      Value v = Value::Null();
+      if (rrow != nullptr) {
+        std::optional<size_t> ri = r.schema().IndexOf(world);
+        if (ri.has_value()) v = (*rrow)[*ri];
+      }
+      if (v.is_null() && srow != nullptr) {
+        std::optional<size_t> si = s.schema().IndexOf(world);
+        if (si.has_value()) v = (*srow)[*si];
+      }
+      row.push_back(std::move(v));
+    }
+    return out.Insert(std::move(row));
+  };
+
+  for (const TuplePair& p : result.matching.pairs()) {
+    // Conflicting non-NULL values on a shared attribute would indicate an
+    // attribute-value conflict (outside this paper's scope, §2); they are
+    // surfaced rather than silently coalesced.
+    const Row& rrow = r.row(p.r_index);
+    const Row& srow = s.row(p.s_index);
+    for (size_t i = 0; i < r.schema().size(); ++i) {
+      const std::string& world = r.schema().attribute(i).name;
+      std::optional<size_t> si = s.schema().IndexOf(world);
+      if (!si.has_value()) continue;
+      if (!rrow[i].is_null() && !srow[*si].is_null() &&
+          !(rrow[i] == srow[*si])) {
+        return Status::FailedPrecondition(
+            "attribute-value conflict on '" + world + "' for matched pair (" +
+            rrow[i].ToString() + " vs " + srow[*si].ToString() +
+            "); resolve value conflicts after entity identification "
+            "(paper §2, instance-level problems)");
+      }
+    }
+    EID_RETURN_IF_ERROR(emit(&rrow, &srow));
+  }
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (!result.matching.HasR(i)) EID_RETURN_IF_ERROR(emit(&r.row(i), nullptr));
+  }
+  for (size_t j = 0; j < s.size(); ++j) {
+    if (!result.matching.HasS(j)) EID_RETURN_IF_ERROR(emit(nullptr, &s.row(j)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> BuildIntegratedTable(const IdentificationResult& result,
+                                      IntegrationLayout layout,
+                                      const std::string& name) {
+  switch (layout) {
+    case IntegrationLayout::kSideBySide:
+      return BuildSideBySide(result, name);
+    case IntegrationLayout::kMerged:
+      return BuildMerged(result, name);
+  }
+  return Status::Internal("unknown integration layout");
+}
+
+Result<std::vector<TuplePair>> PotentialIntraMatches(
+    const IdentificationResult& result, const ExtendedKey& ext_key) {
+  const Relation& r = result.r_extended;
+  const Relation& s = result.s_extended;
+  std::vector<size_t> r_idx, s_idx;
+  for (const std::string& a : ext_key.attributes()) {
+    EID_ASSIGN_OR_RETURN(size_t ri, r.schema().RequireIndex(a));
+    EID_ASSIGN_OR_RETURN(size_t si, s.schema().RequireIndex(a));
+    r_idx.push_back(ri);
+    s_idx.push_back(si);
+  }
+  std::vector<TuplePair> out;
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (result.matching.HasR(i)) continue;
+    for (size_t j = 0; j < s.size(); ++j) {
+      if (result.matching.HasS(j)) continue;
+      if (result.negative.table.Contains(TuplePair{i, j})) continue;
+      bool conflict = false;
+      for (size_t k = 0; k < r_idx.size(); ++k) {
+        const Value& a = r.row(i)[r_idx[k]];
+        const Value& b = s.row(j)[s_idx[k]];
+        if (!a.is_null() && !b.is_null() && !(a == b)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (!conflict) out.push_back(TuplePair{i, j});
+    }
+  }
+  return out;
+}
+
+}  // namespace eid

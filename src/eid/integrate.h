@@ -1,0 +1,45 @@
+// The integrated table T_RS (paper §4.1: T_RS = MT_RS ⋈ R ⟗ S; §6.2–6.3).
+//
+// Matched pairs merge into one row carrying both tuples' attributes;
+// unmatched tuples of either relation appear with NULLs on the other side
+// — exactly the prototype's printed integrated table. Within T_RS a
+// real-world entity can still be modeled by more than one tuple (at most
+// two: an unmatched R tuple and an unmatched S tuple that in truth
+// coincide but could not be proven to); a T_RS tuple can potentially match
+// another provided they have no conflicting non-NULL extended-key values —
+// PotentialIntraMatches reports those residual candidates.
+
+#ifndef EID_EID_INTEGRATE_H_
+#define EID_EID_INTEGRATE_H_
+
+#include "eid/identifier.h"
+
+namespace eid {
+
+/// How the integrated table lays out attributes.
+enum class IntegrationLayout {
+  /// R'-columns prefixed "R." then S'-columns prefixed "S." (the
+  /// prototype's r_* / s_* layout).
+  kSideBySide,
+  /// One column per world attribute; matched pairs coalesce (values agree
+  /// on shared attributes by construction of the match), unmatched rows
+  /// fill what they have. Attributes private to one side keep one column.
+  kMerged,
+};
+
+/// Builds T_RS from an identification result.
+Result<Relation> BuildIntegratedTable(
+    const IdentificationResult& result,
+    IntegrationLayout layout = IntegrationLayout::kSideBySide,
+    const std::string& name = "T_RS");
+
+/// Pairs of T_RS-style residual candidates: an unmatched R row and an
+/// unmatched S row with no conflicting non-NULL value on any extended-key
+/// attribute (they *could* model the same entity; more knowledge would be
+/// needed to decide). Indices refer to the source relations.
+Result<std::vector<TuplePair>> PotentialIntraMatches(
+    const IdentificationResult& result, const ExtendedKey& ext_key);
+
+}  // namespace eid
+
+#endif  // EID_EID_INTEGRATE_H_

@@ -1,0 +1,96 @@
+#include "eid/match_tables.h"
+
+#include <algorithm>
+#include <set>
+
+namespace eid {
+
+Status MatchTable::Add(TuplePair pair) {
+  if (Contains(pair)) return Status::Ok();
+  if (!negative_) {
+    if (HasR(pair.r_index)) {
+      return Status::ConstraintViolation(
+          "uniqueness constraint: R tuple " + std::to_string(pair.r_index) +
+          " already matched to S tuple " +
+          std::to_string(pairs_[by_r_.at(pair.r_index)].s_index) +
+          ", cannot also match S tuple " + std::to_string(pair.s_index));
+    }
+    if (HasS(pair.s_index)) {
+      return Status::ConstraintViolation(
+          "uniqueness constraint: S tuple " + std::to_string(pair.s_index) +
+          " already matched to R tuple " +
+          std::to_string(pairs_[by_s_.at(pair.s_index)].r_index) +
+          ", cannot also match R tuple " + std::to_string(pair.r_index));
+    }
+  }
+  size_t idx = pairs_.size();
+  pairs_.push_back(pair);
+  by_r_.emplace(pair.r_index, idx);
+  by_s_.emplace(pair.s_index, idx);
+  return Status::Ok();
+}
+
+bool MatchTable::Contains(const TuplePair& pair) const {
+  auto it = by_r_.find(pair.r_index);
+  if (it == by_r_.end()) return false;
+  if (!negative_) return pairs_[it->second] == pair;
+  return std::find(pairs_.begin(), pairs_.end(), pair) != pairs_.end();
+}
+
+std::optional<size_t> MatchTable::MatchOfR(size_t r_index) const {
+  auto it = by_r_.find(r_index);
+  if (it == by_r_.end()) return std::nullopt;
+  return pairs_[it->second].s_index;
+}
+
+std::optional<size_t> MatchTable::MatchOfS(size_t s_index) const {
+  auto it = by_s_.find(s_index);
+  if (it == by_s_.end()) return std::nullopt;
+  return pairs_[it->second].r_index;
+}
+
+Result<Relation> MatchTable::ToRelation(const Relation& r, const Relation& s,
+                                        const std::string& name) const {
+  std::vector<size_t> r_key = r.PrimaryKeyIndices();
+  std::vector<size_t> s_key = s.PrimaryKeyIndices();
+  std::vector<Attribute> attrs;
+  for (size_t i : r_key) {
+    Attribute a = r.schema().attribute(i);
+    a.name = "R." + a.name;
+    attrs.push_back(std::move(a));
+  }
+  for (size_t i : s_key) {
+    Attribute a = s.schema().attribute(i);
+    a.name = "S." + a.name;
+    attrs.push_back(std::move(a));
+  }
+  Relation out(name, Schema(std::move(attrs)));
+  for (const TuplePair& p : pairs_) {
+    if (p.r_index >= r.size() || p.s_index >= s.size()) {
+      return Status::InvalidArgument(
+          "match table indices out of range for the supplied relations");
+    }
+    Row row;
+    for (size_t i : r_key) row.push_back(r.row(p.r_index)[i]);
+    for (size_t i : s_key) row.push_back(s.row(p.s_index)[i]);
+    EID_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  return out;
+}
+
+Status MatchTable::CheckConsistency(const MatchTable& mt,
+                                    const MatchTable& nmt) {
+  EID_CHECK(!mt.negative() && nmt.negative());
+  std::set<TuplePair> in_mt(mt.pairs().begin(), mt.pairs().end());
+  for (const TuplePair& p : nmt.pairs()) {
+    if (in_mt.count(p) > 0) {
+      return Status::ConstraintViolation(
+          "consistency constraint: pair (R" + std::to_string(p.r_index) +
+          ", S" + std::to_string(p.s_index) +
+          ") appears in both the matching and negative matching tables");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace eid

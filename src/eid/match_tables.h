@@ -1,0 +1,91 @@
+// Matching table MT_RS and negative matching table NMT_RS (paper §3.2).
+//
+// Each entry pairs one R tuple with one S tuple. Because a tuple is
+// uniquely identified within its relation by its candidate-key values, the
+// printable table form consists of the two key-value lists (paper Table 7).
+// Two constraints govern MT (paper §3.2):
+//
+//   Uniqueness   — no tuple in either relation is matched to more than one
+//                  tuple in the other relation;
+//   Consistency  — no pair appears in both MT and NMT.
+//
+// NMT entries carry no uniqueness constraint (a tuple is distinct from many
+// tuples). MatchTable stores row-index pairs; it is a value type with no
+// pointers into the relations, which are supplied again when a printable
+// relation is requested.
+
+#ifndef EID_EID_MATCH_TABLES_H_
+#define EID_EID_MATCH_TABLES_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace eid {
+
+/// One matched (or non-matched) pair, by row index into the two relations.
+struct TuplePair {
+  size_t r_index = 0;
+  size_t s_index = 0;
+
+  bool operator==(const TuplePair& other) const {
+    return r_index == other.r_index && s_index == other.s_index;
+  }
+  bool operator<(const TuplePair& other) const {
+    if (r_index != other.r_index) return r_index < other.r_index;
+    return s_index < other.s_index;
+  }
+};
+
+/// A matching (or negative-matching) table over row-index pairs.
+class MatchTable {
+ public:
+  /// `negative` selects NMT semantics (no uniqueness constraint).
+  explicit MatchTable(bool negative = false) : negative_(negative) {}
+
+  bool negative() const { return negative_; }
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+  const std::vector<TuplePair>& pairs() const { return pairs_; }
+
+  /// Adds a pair. For a (positive) matching table, violating the
+  /// uniqueness constraint returns ConstraintViolation and leaves the
+  /// table unchanged; re-adding an existing pair is idempotent OK.
+  Status Add(TuplePair pair);
+
+  bool Contains(const TuplePair& pair) const;
+
+  /// True if the given R (S) row already participates in some pair.
+  bool HasR(size_t r_index) const { return by_r_.count(r_index) > 0; }
+  bool HasS(size_t s_index) const { return by_s_.count(s_index) > 0; }
+
+  /// The S row matched with R row `r_index`, if any. For negative tables
+  /// (where several pairs may share an index) the first added is returned.
+  std::optional<size_t> MatchOfR(size_t r_index) const;
+  std::optional<size_t> MatchOfS(size_t s_index) const;
+
+  /// The printable relation form over the relations the indices refer to:
+  /// key attributes of R prefixed "R.", then key attributes of S prefixed
+  /// "S." — the paper's Table 7 layout.
+  Result<Relation> ToRelation(const Relation& r, const Relation& s,
+                              const std::string& name = "MT") const;
+
+  /// Consistency constraint (paper §3.2): no pair in both tables. `mt`
+  /// must be positive and `nmt` negative.
+  static Status CheckConsistency(const MatchTable& mt, const MatchTable& nmt);
+
+ private:
+  bool negative_ = false;
+  std::vector<TuplePair> pairs_;
+  // First pair index per side, for uniqueness checks and lookups.
+  std::unordered_map<size_t, size_t> by_r_;
+  std::unordered_map<size_t, size_t> by_s_;
+};
+
+}  // namespace eid
+
+#endif  // EID_EID_MATCH_TABLES_H_

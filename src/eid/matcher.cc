@@ -1,0 +1,99 @@
+#include "eid/matcher.h"
+
+#include <unordered_map>
+
+namespace eid {
+
+Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
+                                                 const Relation& s_extended,
+                                                 const ExtendedKey& ext_key) {
+  std::vector<size_t> r_idx, s_idx;
+  for (const std::string& a : ext_key.attributes()) {
+    EID_ASSIGN_OR_RETURN(size_t ri, r_extended.schema().RequireIndex(a));
+    EID_ASSIGN_OR_RETURN(size_t si, s_extended.schema().RequireIndex(a));
+    r_idx.push_back(ri);
+    s_idx.push_back(si);
+  }
+  auto fingerprint = [](const Row& row, const std::vector<size_t>& idx,
+                        bool* has_null) {
+    std::string fp;
+    *has_null = false;
+    for (size_t i : idx) {
+      if (row[i].is_null()) {
+        *has_null = true;
+        return fp;
+      }
+      std::string v = row[i].ToString();
+      fp += std::to_string(v.size()) + ":" + v + "|" +
+            static_cast<char>('0' + static_cast<int>(row[i].type()));
+    }
+    return fp;
+  };
+
+  std::unordered_map<std::string, std::vector<size_t>> build;
+  build.reserve(s_extended.size() * 2);
+  for (size_t s = 0; s < s_extended.size(); ++s) {
+    bool has_null = false;
+    std::string fp = fingerprint(s_extended.row(s), s_idx, &has_null);
+    if (has_null) continue;  // non_null_eq: NULL keys never match
+    build[fp].push_back(s);
+  }
+
+  std::vector<TuplePair> pairs;
+  for (size_t r = 0; r < r_extended.size(); ++r) {
+    bool has_null = false;
+    std::string fp = fingerprint(r_extended.row(r), r_idx, &has_null);
+    if (has_null) continue;
+    auto it = build.find(fp);
+    if (it == build.end()) continue;
+    for (size_t s : it->second) {
+      pairs.push_back(TuplePair{r, s});
+    }
+  }
+  return pairs;
+}
+
+Result<MatcherResult> BuildMatchingTable(const Relation& r, const Relation& s,
+                                         const AttributeCorrespondence& corr,
+                                         const ExtendedKey& ext_key,
+                                         const IlfdSet& ilfds,
+                                         const MatcherOptions& options) {
+  if (ext_key.empty()) {
+    return Status::InvalidArgument("extended key must be non-empty");
+  }
+  EID_RETURN_IF_ERROR(corr.ValidateAgainst(r, s));
+  // Every extended-key attribute must be modeled on at least one side —
+  // otherwise no tuple can ever have a full non-NULL key on both sides and
+  // the key is unusable.
+  for (const std::string& a : ext_key.attributes()) {
+    if (corr.Find(a) == nullptr) {
+      return Status::NotFound("extended-key attribute '" + a +
+                              "' unknown to the attribute correspondence");
+    }
+  }
+
+  MatcherResult result;
+  EID_ASSIGN_OR_RETURN(
+      result.r_extension,
+      ExtendRelation(r, Side::kR, corr, ext_key, ilfds, options.extension));
+  EID_ASSIGN_OR_RETURN(
+      result.s_extension,
+      ExtendRelation(s, Side::kS, corr, ext_key, ilfds, options.extension));
+
+  EID_ASSIGN_OR_RETURN(
+      std::vector<TuplePair> pairs,
+      JoinOnExtendedKey(result.r_extension.extended,
+                        result.s_extension.extended, ext_key));
+
+  result.uniqueness = Status::Ok();
+  for (const TuplePair& p : pairs) {
+    Status st = result.matching.Add(p);
+    if (!st.ok()) {
+      if (options.fail_on_uniqueness_violation) return st;
+      if (result.uniqueness.ok()) result.uniqueness = st;  // first violation
+    }
+  }
+  return result;
+}
+
+}  // namespace eid

@@ -1,0 +1,73 @@
+// Matching-table construction (paper §4.2) — the direct implementation.
+//
+// Pipeline:
+//   1. R → R', S → S' (eid/extension.h): world naming, K_Ext columns
+//      appended, missing values derived via ILFDs.
+//   2. Hash-join R' and S' on the extended key with `non_null_eq`
+//      semantics: a pair matches when the tuples agree, and are non-NULL,
+//      on *every* K_Ext attribute.
+//   3. Each joined pair is appended to MT_RS; the uniqueness constraint is
+//      verified (a violation means the chosen extended key is not sound
+//      for these relations — the prototype's "extended key causes unsound
+//      matching result" diagnostic).
+//
+// The relational-expression formulation of the same computation (§4.2's
+// chain of projections, IM-table joins, unions and outer joins) lives in
+// eid/algebra_pipeline.h; tests cross-check the two.
+
+#ifndef EID_EID_MATCHER_H_
+#define EID_EID_MATCHER_H_
+
+#include "eid/extension.h"
+#include "eid/match_tables.h"
+
+namespace eid {
+
+/// Outcome of matching-table construction.
+struct MatcherResult {
+  /// The extended relations R' and S' (world naming). Row order matches
+  /// the source relations, so pair indices apply to both.
+  ExtensionResult r_extension;
+  ExtensionResult s_extension;
+  /// Matched pairs.
+  MatchTable matching;
+  /// OK when the uniqueness constraint held; ConstraintViolation(+detail)
+  /// when some tuple matched more than one counterpart (unsound key).
+  Status uniqueness;
+
+  /// Printable MT_RS (paper Table 7 layout: R-key columns then S-key
+  /// columns of the extended relations).
+  Result<Relation> MatchingRelation(const std::string& name = "MT") const {
+    return matching.ToRelation(r_extension.extended, s_extension.extended,
+                               name);
+  }
+};
+
+/// Options for BuildMatchingTable.
+struct MatcherOptions {
+  ExtensionOptions extension;
+  /// When true, the first uniqueness violation fails the whole build. The
+  /// default records the violation in MatcherResult::uniqueness, skips the
+  /// violating pair, and still returns the table — mirroring the prototype,
+  /// which warns ("unsound matching result") but keeps the definition.
+  bool fail_on_uniqueness_violation = false;
+};
+
+/// Builds MT_RS for `r` and `s` under the given extended key and ILFDs.
+Result<MatcherResult> BuildMatchingTable(const Relation& r, const Relation& s,
+                                         const AttributeCorrespondence& corr,
+                                         const ExtendedKey& ext_key,
+                                         const IlfdSet& ilfds,
+                                         const MatcherOptions& options = {});
+
+/// Joins two already-extended relations on `ext_key` (step 3 alone):
+/// returns the pairs agreeing non-NULL on every extended-key attribute.
+/// Exposed for cross-checking against the algebra pipeline and for reuse
+/// by the incremental engine.
+Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
+                                                 const Relation& s_extended,
+                                                 const ExtendedKey& ext_key);
+
+}  // namespace eid
+
+#endif  // EID_EID_MATCHER_H_

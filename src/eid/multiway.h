@@ -1,0 +1,96 @@
+// N-way entity identification (paper §1: "taking two (or more)
+// independently developed databases and resolving the differences").
+//
+// Given k relations — all in world attribute naming, each modeling a
+// subset of one entity type — every pair is identified with the same
+// extended-key + ILFD machinery, and the pairwise matches are closed into
+// entity *clusters* (connected components of the match graph). Two audits
+// extend the paper's §3.2 constraints to the k-way setting:
+//
+//  * transitivity — a cluster containing two tuples of the same relation
+//    is an error: the paper assumes no relation models one entity twice,
+//    so pairwise matches that chain into such a cluster contradict each
+//    other (a symptom of an unsound extended key);
+//  * consistency — no certified-distinct (NMT) pair may end up inside one
+//    cluster, directly or by transitive merging.
+//
+// The k-way integrated table has one row per cluster, coalescing the
+// members' attribute values (conflicting non-NULL values surface as an
+// attribute-value conflict error, as in the merged two-way layout).
+
+#ifndef EID_EID_MULTIWAY_H_
+#define EID_EID_MULTIWAY_H_
+
+#include <vector>
+
+#include "eid/identifier.h"
+
+namespace eid {
+
+/// One tuple in the k-way setting.
+struct MemberRef {
+  size_t relation_index = 0;
+  size_t row_index = 0;
+
+  bool operator==(const MemberRef& other) const {
+    return relation_index == other.relation_index &&
+           row_index == other.row_index;
+  }
+  bool operator<(const MemberRef& other) const {
+    if (relation_index != other.relation_index) {
+      return relation_index < other.relation_index;
+    }
+    return row_index < other.row_index;
+  }
+};
+
+/// A maximal set of tuples identified as one entity (singletons included).
+struct EntityCluster {
+  std::vector<MemberRef> members;  // sorted
+};
+
+/// Configuration shared by every pairwise identification.
+struct MultiwayConfig {
+  ExtendedKey extended_key;
+  IlfdSet ilfds;
+  std::vector<IdentityRule> identity_rules;
+  std::vector<DistinctnessRule> distinctness_rules;
+  bool distinctness_from_ilfds = true;
+  ExtensionOptions extension;
+};
+
+/// Outcome of a k-way identification.
+struct MultiwayResult {
+  /// Extended relations, parallel to the input sources.
+  std::vector<Relation> extended;
+  /// Entity clusters covering every tuple (sorted by first member).
+  std::vector<EntityCluster> clusters;
+  /// Certified-distinct pairs across all relation pairs.
+  std::vector<std::pair<MemberRef, MemberRef>> distinct_pairs;
+  /// OK unless some cluster holds two tuples of one relation.
+  Status transitivity;
+  /// OK unless a distinct pair fell inside one cluster.
+  Status consistency;
+
+  bool Sound() const { return transitivity.ok() && consistency.ok(); }
+
+  /// Clusters with at least two members (the actual matches).
+  std::vector<const EntityCluster*> MergedClusters() const;
+};
+
+/// Runs k-way identification. `sources` must all be in world naming (use
+/// AttributeCorrespondence::ToWorldNaming first when local names differ)
+/// and share the entity type. Requires k ≥ 2.
+Result<MultiwayResult> IdentifyAll(const std::vector<Relation>& sources,
+                                   const MultiwayConfig& config);
+
+/// The k-way integrated table: one row per cluster, one column per world
+/// attribute (union over sources), members' values coalesced. Error on
+/// attribute-value conflicts inside a cluster.
+Result<Relation> BuildMultiwayIntegratedTable(
+    const std::vector<Relation>& sources, const MultiwayResult& result,
+    const std::string& name = "T_multi");
+
+}  // namespace eid
+
+#endif  // EID_EID_MULTIWAY_H_

@@ -1,0 +1,33 @@
+#include "eid/negative.h"
+
+namespace eid {
+
+Result<NegativeResult> BuildNegativeMatchingTable(
+    const Relation& r_extended, const Relation& s_extended,
+    const std::vector<DistinctnessRule>& rules) {
+  for (const DistinctnessRule& rule : rules) {
+    EID_RETURN_IF_ERROR(rule.Validate());
+  }
+  NegativeResult out;
+  for (size_t i = 0; i < r_extended.size(); ++i) {
+    TupleView e1 = r_extended.tuple(i);
+    for (size_t j = 0; j < s_extended.size(); ++j) {
+      TupleView e2 = s_extended.tuple(j);
+      for (size_t k = 0; k < rules.size(); ++k) {
+        bool direct = rules[k].Applies(e1, e2) == Truth::kTrue;
+        bool flipped = !direct && rules[k].Applies(e2, e1) == Truth::kTrue;
+        if (direct || flipped) {
+          TuplePair pair{i, j};
+          if (!out.table.Contains(pair)) {
+            EID_RETURN_IF_ERROR(out.table.Add(pair));
+            out.evidence.push_back(NegativePairEvidence{pair, k, flipped});
+          }
+          break;  // one certificate per pair suffices
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace eid

@@ -1,0 +1,46 @@
+// Negative matching table construction via distinctness rules (paper §4.1,
+// Proposition 1 and Table 4).
+//
+// Every pair of (extended) tuples for which some distinctness rule's
+// antecedent evaluates to true is a known-distinct pair. The paper notes
+// the number of non-matching pairs is usually far larger than matching
+// pairs, so NMT_RS is conceptual; this module materialises exactly the
+// pairs the supplied rules certify, which is what consistency checking and
+// the three-valued decision function need.
+
+#ifndef EID_EID_NEGATIVE_H_
+#define EID_EID_NEGATIVE_H_
+
+#include <vector>
+
+#include "eid/match_tables.h"
+#include "rules/distinctness_rule.h"
+
+namespace eid {
+
+/// Provenance of one negative pair: which rule certified it, and in which
+/// orientation. Rules quantify over all entity pairs (∀e1,e2), so both
+/// instantiations (e1:=r-tuple, e2:=s-tuple) and (e1:=s-tuple, e2:=r-tuple)
+/// are checked; `flipped` records that the second one fired.
+struct NegativePairEvidence {
+  TuplePair pair;
+  size_t rule_index = 0;
+  bool flipped = false;
+};
+
+/// Result of negative-table construction.
+struct NegativeResult {
+  MatchTable table{/*negative=*/true};
+  std::vector<NegativePairEvidence> evidence;
+};
+
+/// Evaluates every rule over every pair of rows of the two (extended,
+/// world-named) relations. Rules must be well-formed (Validate() is
+/// called; the first invalid rule fails the build).
+Result<NegativeResult> BuildNegativeMatchingTable(
+    const Relation& r_extended, const Relation& s_extended,
+    const std::vector<DistinctnessRule>& rules);
+
+}  // namespace eid
+
+#endif  // EID_EID_NEGATIVE_H_

@@ -1,0 +1,164 @@
+#include "eid/session.h"
+
+#include "relational/algebra.h"
+#include "relational/printer.h"
+
+namespace eid {
+namespace {
+
+constexpr const char kVerifiedMessage[] =
+    "Message: The extended key is verified.";
+constexpr const char kUnsoundMessage[] =
+    "Message: The extended key causes unsound matching result.";
+
+/// Renames world-named columns to the prototype's r_/s_ prefix style.
+Result<Relation> PrototypeNaming(const Relation& rel,
+                                 const std::string& prefix) {
+  std::vector<std::string> names;
+  for (const Attribute& a : rel.schema().attributes()) {
+    names.push_back(prefix + a.name);
+  }
+  return RenameAll(rel, names);
+}
+
+}  // namespace
+
+PrototypeSession::PrototypeSession(Relation r, Relation s,
+                                   AttributeCorrespondence corr,
+                                   IlfdSet ilfds)
+    : r_(std::move(r)),
+      s_(std::move(s)),
+      corr_(std::move(corr)),
+      ilfds_(std::move(ilfds)) {
+  candidates_ = corr_.CommonWorldAttributes();
+  // Attributes an ILFD can *derive* on a side that lacks them are also
+  // candidates: that is the whole point of extended keys (§4.1). A world
+  // attribute qualifies when each side either models it or some ILFD has
+  // it as a consequent.
+  for (const AttributeMapping& m : corr_.mappings()) {
+    if (m.in_r.has_value() && m.in_s.has_value()) continue;  // already listed
+    bool derivable = false;
+    for (const Ilfd& f : ilfds_.ilfds()) {
+      for (const std::string& c : f.ConsequentAttributes()) {
+        if (c == m.world) {
+          derivable = true;
+          break;
+        }
+      }
+      if (derivable) break;
+    }
+    if (derivable) candidates_.push_back(m.world);
+  }
+}
+
+std::string PrototypeSession::ListCandidates() const {
+  std::string out;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const std::string& world = candidates_[i];
+    std::optional<std::string> in_r = corr_.LocalName(world, Side::kR);
+    std::optional<std::string> in_s = corr_.LocalName(world, Side::kS);
+    out += "[" + std::to_string(i) + "] " + world + ": (r_" +
+           (in_r.has_value() ? *in_r : "derived") + ",s_" +
+           (in_s.has_value() ? *in_s : "derived") + ")\n";
+  }
+  return out;
+}
+
+Result<std::string> PrototypeSession::SetupExtendedKey(
+    const std::vector<size_t>& picks) {
+  if (picks.empty()) {
+    return Status::InvalidArgument("setup_extkey: no attributes selected");
+  }
+  std::vector<std::string> attrs;
+  for (size_t p : picks) {
+    if (p >= candidates_.size()) {
+      return Status::InvalidArgument("setup_extkey: index " +
+                                     std::to_string(p) + " out of range");
+    }
+    attrs.push_back(candidates_[p]);
+  }
+  ExtendedKey key(std::move(attrs));
+
+  IdentifierConfig config;
+  config.correspondence = corr_;
+  config.extended_key = key;
+  config.ilfds = ilfds_;
+  // Prototype fidelity: first-match (cut) derivation order.
+  config.matcher_options.extension.derivation.mode =
+      DerivationMode::kFirstMatch;
+  EntityIdentifier identifier(std::move(config));
+  EID_ASSIGN_OR_RETURN(IdentificationResult result, identifier.Identify(r_, s_));
+
+  ext_key_ = std::move(key);
+  result_ = std::move(result);
+  return std::string(result_->uniqueness.ok() ? kVerifiedMessage
+                                              : kUnsoundMessage);
+}
+
+Result<bool> PrototypeSession::Verified() const {
+  if (!result_.has_value()) {
+    return Status::FailedPrecondition("setup_extkey has not been run");
+  }
+  return result_->uniqueness.ok();
+}
+
+Result<const IdentificationResult*> PrototypeSession::result() const {
+  if (!result_.has_value()) {
+    return Status::FailedPrecondition("setup_extkey has not been run");
+  }
+  return &*result_;
+}
+
+Result<std::string> PrototypeSession::PrintMatchingTable() const {
+  EID_ASSIGN_OR_RETURN(const IdentificationResult* res, result());
+  EID_ASSIGN_OR_RETURN(Relation mt, res->MatchingRelation("matchtable"));
+  // Prototype column style: R.name -> r_name.
+  std::vector<std::string> names;
+  for (const Attribute& a : mt.schema().attributes()) {
+    std::string n = a.name;
+    if (n.rfind("R.", 0) == 0) n = "r_" + n.substr(2);
+    else if (n.rfind("S.", 0) == 0) n = "s_" + n.substr(2);
+    names.push_back(n);
+  }
+  EID_ASSIGN_OR_RETURN(Relation renamed, RenameAll(mt, names));
+  PrintOptions opts;
+  opts.title = "matching table";
+  return FormatTable(renamed, opts);
+}
+
+Result<std::string> PrototypeSession::PrintIntegratedTable() const {
+  EID_ASSIGN_OR_RETURN(const IdentificationResult* res, result());
+  EID_ASSIGN_OR_RETURN(
+      Relation integ,
+      BuildIntegratedTable(*res, IntegrationLayout::kSideBySide,
+                           "integrated table"));
+  std::vector<std::string> names;
+  for (const Attribute& a : integ.schema().attributes()) {
+    std::string n = a.name;
+    if (n.rfind("R.", 0) == 0) n = "r_" + n.substr(2);
+    else if (n.rfind("S.", 0) == 0) n = "s_" + n.substr(2);
+    names.push_back(n);
+  }
+  EID_ASSIGN_OR_RETURN(Relation renamed, RenameAll(integ, names));
+  PrintOptions opts;
+  opts.title = "integrated table";
+  return FormatTable(renamed, opts);
+}
+
+Result<std::string> PrototypeSession::PrintExtendedR() const {
+  EID_ASSIGN_OR_RETURN(const IdentificationResult* res, result());
+  EID_ASSIGN_OR_RETURN(Relation renamed, PrototypeNaming(res->r_extended, "r_"));
+  PrintOptions opts;
+  opts.title = "extended R table";
+  return FormatTable(renamed, opts);
+}
+
+Result<std::string> PrototypeSession::PrintExtendedS() const {
+  EID_ASSIGN_OR_RETURN(const IdentificationResult* res, result());
+  EID_ASSIGN_OR_RETURN(Relation renamed, PrototypeNaming(res->s_extended, "s_"));
+  PrintOptions opts;
+  opts.title = "extended S table";
+  return FormatTable(renamed, opts);
+}
+
+}  // namespace eid

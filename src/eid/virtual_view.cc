@@ -1,0 +1,63 @@
+#include "eid/virtual_view.h"
+
+namespace eid {
+
+Status VirtualIntegrator::InsertR(Row row) {
+  EID_RETURN_IF_ERROR(r_.Insert(std::move(row)));
+  cache_.reset();
+  merged_cache_.reset();
+  ++stats_.invalidations;
+  return Status::Ok();
+}
+
+Status VirtualIntegrator::InsertS(Row row) {
+  EID_RETURN_IF_ERROR(s_.Insert(std::move(row)));
+  cache_.reset();
+  merged_cache_.reset();
+  ++stats_.invalidations;
+  return Status::Ok();
+}
+
+Status VirtualIntegrator::Refresh() {
+  if (cache_.has_value()) return Status::Ok();
+  EntityIdentifier identifier(config_);
+  Result<IdentificationResult> result = identifier.Identify(r_, s_);
+  if (!result.ok()) return result.status();
+  cache_ = std::move(result).value();
+  Result<Relation> merged =
+      BuildIntegratedTable(*cache_, IntegrationLayout::kMerged, "T_RS");
+  if (!merged.ok()) return merged.status();
+  merged_cache_ = std::move(merged).value();
+  ++stats_.identifications;
+  return Status::Ok();
+}
+
+Result<const IdentificationResult*> VirtualIntegrator::CurrentIdentification() {
+  EID_RETURN_IF_ERROR(Refresh());
+  return &*cache_;
+}
+
+Result<Relation> VirtualIntegrator::IntegratedView() {
+  EID_RETURN_IF_ERROR(Refresh());
+  ++stats_.queries;
+  return *merged_cache_;
+}
+
+Result<Relation> VirtualIntegrator::Query(
+    const RowPredicate& predicate,
+    const std::vector<std::string>& attributes) {
+  EID_RETURN_IF_ERROR(Refresh());
+  ++stats_.queries;
+  Relation selected = Select(*merged_cache_, predicate);
+  if (attributes.empty()) return selected;
+  return Project(selected, attributes);
+}
+
+Result<Relation> VirtualIntegrator::Lookup(const std::string& attribute,
+                                           const Value& value) {
+  return Query([&](const TupleView& t) {
+    return NonNullEq(t.GetOrNull(attribute), value);
+  });
+}
+
+}  // namespace eid

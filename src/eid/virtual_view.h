@@ -1,0 +1,74 @@
+// Virtual database integration (paper §1–§2).
+//
+// "A virtually integrated database is created on top of the component
+// databases … the components retain their identities and usage. … the
+// strategies and information required for resolving instance level
+// problems have to be specified during design time, i.e., schema
+// integration phase, but the actual processing only takes place during
+// the query time."
+//
+// VirtualIntegrator is that arrangement: the IdentifierConfig (extended
+// key, ILFDs, rules — the design-time knowledge) is fixed up front; the
+// component relations keep changing autonomously; entity identification
+// runs lazily at query time and its result is cached until the next
+// component update invalidates it.
+
+#ifndef EID_EID_VIRTUAL_VIEW_H_
+#define EID_EID_VIRTUAL_VIEW_H_
+
+#include <optional>
+
+#include "eid/identifier.h"
+#include "eid/integrate.h"
+#include "relational/algebra.h"
+
+namespace eid {
+
+/// A lazily-identified integrated view over two mutable components.
+class VirtualIntegrator {
+ public:
+  /// Design-time specification + initial component states.
+  VirtualIntegrator(IdentifierConfig config, Relation r, Relation s)
+      : config_(std::move(config)), r_(std::move(r)), s_(std::move(s)) {}
+
+  /// Component updates (the autonomous databases keep operating). Each
+  /// successful update invalidates the cached identification.
+  Status InsertR(Row row);
+  Status InsertS(Row row);
+
+  /// Query-time operations over the merged integrated table T_RS.
+  /// Identification runs on first use after any update.
+  Result<Relation> IntegratedView();
+  /// σ + Π over T_RS: rows satisfying `predicate`, projected onto
+  /// `attributes` (empty = all columns).
+  Result<Relation> Query(const RowPredicate& predicate,
+                         const std::vector<std::string>& attributes = {});
+  /// Point lookup: T_RS rows whose `attribute` equals `value`.
+  Result<Relation> Lookup(const std::string& attribute, const Value& value);
+
+  /// The identification backing the current view (runs it if stale).
+  Result<const IdentificationResult*> CurrentIdentification();
+
+  /// Telemetry: how often identification actually ran vs queries served —
+  /// the design-time/query-time split made visible.
+  struct Stats {
+    size_t identifications = 0;
+    size_t queries = 0;
+    size_t invalidations = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Status Refresh();
+
+  IdentifierConfig config_;
+  Relation r_;
+  Relation s_;
+  std::optional<IdentificationResult> cache_;
+  std::optional<Relation> merged_cache_;
+  Stats stats_;
+};
+
+}  // namespace eid
+
+#endif  // EID_EID_VIRTUAL_VIEW_H_

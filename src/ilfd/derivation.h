@@ -1,0 +1,103 @@
+// Deriving missing attribute values of a tuple from ILFDs (paper §4.2 step
+// 2: "Apply the available ILFDs to derive the values for K_Ext−R and
+// K_Ext−S for each R' and S' tuple").
+//
+// Two strategies are provided:
+//
+//  * kFirstMatch — the Prolog prototype's semantics. Each ILFD rule ends
+//    with a cut: for a queried attribute, rules are tried in declaration
+//    order and the first whose antecedent succeeds commits the value.
+//    Antecedent conditions may themselves query derived attributes
+//    (backward chaining), as in the paper's I8 using the county derived by
+//    I7. A NULL default applies when every rule fails (§6.2).
+//
+//  * kExhaustive — forward chaining to fixpoint, deriving every value any
+//    ILFD can produce. Two ILFDs deriving *different* values for the same
+//    attribute are reported as a conflict: under the paper's assumptions
+//    (all tuples consistent with the ILFDs) this cannot happen, so a
+//    conflict is evidence of dirty data or wrong ILFDs, and silently
+//    picking one (as the prototype's cut does) risks unsound matches.
+//
+// Both record provenance: which ILFD produced each derived value.
+
+#ifndef EID_ILFD_DERIVATION_H_
+#define EID_ILFD_DERIVATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ilfd/ilfd_set.h"
+#include "relational/tuple.h"
+
+namespace eid {
+
+/// Derivation strategy.
+enum class DerivationMode {
+  kFirstMatch,  // prototype (Prolog cut) semantics
+  kExhaustive,  // fixpoint with conflict detection
+};
+
+/// What to do when exhaustive derivation finds two values for an attribute.
+enum class ConflictPolicy {
+  kError,      // fail the derivation (default: surface dirty data)
+  kKeepFirst,  // keep the first-derived value, record the conflict
+  kNullOut,    // derive NULL for the conflicted attribute, record it
+};
+
+/// One derived value with its provenance.
+struct DerivationStep {
+  std::string attribute;
+  Value value;
+  size_t ilfd_index = 0;  // index into the IlfdSet
+};
+
+/// A conflicting second derivation for an already-derived attribute.
+struct DerivationConflict {
+  std::string attribute;
+  Value first_value;
+  Value second_value;
+  size_t first_ilfd = 0;
+  size_t second_ilfd = 0;
+};
+
+/// Result of deriving one tuple's missing values.
+struct Derivation {
+  /// attribute -> derived value, for attributes not already non-NULL.
+  std::map<std::string, Value> derived;
+  /// Provenance, in derivation order.
+  std::vector<DerivationStep> steps;
+  /// Conflicts found (kExhaustive only; empty under kError since the
+  /// derivation fails instead).
+  std::vector<DerivationConflict> conflicts;
+};
+
+/// Options for DeriveTuple.
+struct DerivationOptions {
+  DerivationMode mode = DerivationMode::kExhaustive;
+  ConflictPolicy conflict_policy = ConflictPolicy::kError;
+  /// Attributes to derive; empty = every consequent attribute any ILFD can
+  /// produce.
+  std::vector<std::string> target_attributes;
+};
+
+/// Derives missing attribute values for `tuple` using `ilfds`.
+/// Base (non-NULL) tuple values are never overwritten; an ILFD whose
+/// consequent contradicts a base value is reported as a conflict against
+/// the base data in kExhaustive mode and simply not applied in kFirstMatch
+/// mode (the prototype asserts base facts ahead of rules, so rules for an
+/// attribute are only reached when the base value is absent).
+Result<Derivation> DeriveTuple(const TupleView& tuple, const IlfdSet& ilfds,
+                               const DerivationOptions& options = {});
+
+/// Batch form: reuses `evaluator` — which must have been constructed over
+/// `ilfds.kb()` — across calls, so deriving a whole relation costs time
+/// proportional to the clauses each tuple actually reaches instead of
+/// O(|tuples| × |ILFDs|). Only kExhaustive mode uses the evaluator.
+Result<Derivation> DeriveTuple(const TupleView& tuple, const IlfdSet& ilfds,
+                               const DerivationOptions& options,
+                               ClosureEvaluator* evaluator);
+
+}  // namespace eid
+
+#endif  // EID_ILFD_DERIVATION_H_

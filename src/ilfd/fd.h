@@ -1,0 +1,59 @@
+// Classical functional dependencies and the ILFD↔FD bridge.
+//
+// §5.1 of the paper relates the two constraint kinds: Proposition 2 states
+// that if, for *every* combination of values a_1…a_m in the domains of
+// A_1…A_m, there is an ILFD ((A_1=a_1) ∧…∧ (A_m=a_m)) → ((B_1=b_1) ∧…),
+// then the FD {A_1…A_m} → {B_1…B_n} holds. The converse fails: an FD does
+// not name values. This module implements FDs (satisfaction, attribute
+// closure, implication) and the Proposition 2 check over a relation's
+// active domain.
+
+#ifndef EID_ILFD_FD_H_
+#define EID_ILFD_FD_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ilfd/ilfd_set.h"
+#include "relational/relation.h"
+
+namespace eid {
+
+/// A classical functional dependency LHS → RHS over attribute names.
+struct Fd {
+  std::set<std::string> lhs;
+  std::set<std::string> rhs;
+
+  bool operator==(const Fd& other) const {
+    return lhs == other.lhs && rhs == other.rhs;
+  }
+
+  /// "{name,street} -> {city}" display form.
+  std::string ToString() const;
+};
+
+/// True iff `relation` satisfies `fd`: tuples agreeing on lhs agree on rhs.
+/// NULLs compare with storage equality (NULL == NULL), the usual convention
+/// for FD checking over incomplete relations.
+Result<bool> FdHolds(const Relation& relation, const Fd& fd);
+
+/// Attribute closure X⁺ under a set of FDs (the classical algorithm the
+/// paper says ILFD symbol closure mirrors).
+std::set<std::string> AttributeClosure(const std::set<std::string>& attrs,
+                                       const std::vector<Fd>& fds);
+
+/// FD implication: F ⊨ fd, via attribute closure.
+bool FdImplies(const std::vector<Fd>& fds, const Fd& fd);
+
+/// Proposition 2 premise check: does `ilfds` contain (or imply), for every
+/// combination of lhs-attribute values *appearing in `relation`* (its
+/// active domain), an ILFD mapping that combination to a value of every rhs
+/// attribute? When it does, Proposition 2 guarantees the FD holds in every
+/// relation satisfying the ILFDs; the returned flag reports the premise.
+Result<bool> IlfdFamilyCoversFd(const IlfdSet& ilfds, const Relation& relation,
+                                const Fd& fd);
+
+}  // namespace eid
+
+#endif  // EID_ILFD_FD_H_

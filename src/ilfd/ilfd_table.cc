@@ -1,0 +1,138 @@
+#include "ilfd/ilfd_table.h"
+
+#include <algorithm>
+#include <map>
+
+namespace eid {
+namespace {
+
+std::string TableName(const std::vector<std::string>& antecedent,
+                      const std::string& consequent) {
+  std::string name = "IM(";
+  for (size_t i = 0; i < antecedent.size(); ++i) {
+    if (i > 0) name += ",";
+    name += antecedent[i];
+  }
+  name += ";" + consequent + ")";
+  return name;
+}
+
+}  // namespace
+
+IlfdTable::IlfdTable(std::vector<std::string> antecedent_attributes,
+                     std::string consequent_attribute)
+    : antecedent_attributes_(std::move(antecedent_attributes)),
+      consequent_attribute_(std::move(consequent_attribute)) {
+  EID_CHECK(!antecedent_attributes_.empty());
+  std::sort(antecedent_attributes_.begin(), antecedent_attributes_.end());
+  std::vector<std::string> names = antecedent_attributes_;
+  names.push_back(consequent_attribute_);
+  relation_ = Relation(TableName(antecedent_attributes_, consequent_attribute_),
+                       Schema::OfStrings(names));
+  Status st = relation_.DeclareKey(antecedent_attributes_);
+  EID_CHECK(st.ok());
+}
+
+Status IlfdTable::AddEntry(std::vector<Value> antecedent_values,
+                           Value consequent_value) {
+  if (antecedent_values.size() != antecedent_attributes_.size()) {
+    return Status::InvalidArgument("IM entry arity mismatch");
+  }
+  Row row = std::move(antecedent_values);
+  row.push_back(std::move(consequent_value));
+  return relation_.Insert(std::move(row));
+}
+
+Status IlfdTable::AddIlfd(const Ilfd& ilfd) {
+  if (ilfd.consequent().size() != 1 ||
+      ilfd.consequent()[0].attribute != consequent_attribute_) {
+    return Status::InvalidArgument("ILFD consequent does not match IM table '" +
+                                   relation_.name() + "'");
+  }
+  if (ilfd.AntecedentAttributes() != antecedent_attributes_) {
+    return Status::InvalidArgument(
+        "ILFD antecedent attributes do not match IM table '" +
+        relation_.name() + "'");
+  }
+  std::vector<Value> values;
+  for (const Atom& a : ilfd.antecedent()) values.push_back(a.value);
+  return AddEntry(std::move(values), ilfd.consequent()[0].value);
+}
+
+Value IlfdTable::Lookup(const TupleView& tuple) const {
+  Row key;
+  key.reserve(antecedent_attributes_.size());
+  for (const std::string& attr : antecedent_attributes_) {
+    Value v = tuple.GetOrNull(attr);
+    if (v.is_null()) return Value::Null();
+    key.push_back(std::move(v));
+  }
+  // IM is keyed on the antecedent, so at most one row matches.
+  for (const Row& row : relation_.rows()) {
+    bool match = true;
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (!(row[i] == key[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return row.back();
+  }
+  return Value::Null();
+}
+
+std::vector<Ilfd> IlfdTable::ToIlfds() const {
+  std::vector<Ilfd> out;
+  out.reserve(relation_.size());
+  for (const Row& row : relation_.rows()) {
+    std::vector<Atom> antecedent;
+    for (size_t i = 0; i < antecedent_attributes_.size(); ++i) {
+      antecedent.push_back(Atom{antecedent_attributes_[i], row[i]});
+    }
+    out.push_back(
+        Ilfd::Implies(std::move(antecedent),
+                      Atom{consequent_attribute_, row.back()}));
+  }
+  return out;
+}
+
+Result<std::vector<IlfdTable>> IlfdTable::Partition(
+    const std::vector<Ilfd>& ilfds) {
+  // Group key: sorted antecedent attributes + consequent attribute.
+  std::map<std::pair<std::vector<std::string>, std::string>,
+           std::vector<const Ilfd*>>
+      groups;
+  for (const Ilfd& f : ilfds) {
+    if (f.consequent().size() != 1) {
+      return Status::InvalidArgument(
+          "Partition requires single-consequent ILFDs; decompose '" +
+          f.ToString() + "' first");
+    }
+    groups[{f.AntecedentAttributes(), f.consequent()[0].attribute}].push_back(
+        &f);
+  }
+  std::vector<IlfdTable> tables;
+  for (const auto& [format, members] : groups) {
+    IlfdTable table(format.first, format.second);
+    for (const Ilfd* f : members) {
+      EID_RETURN_IF_ERROR(table.AddIlfd(*f));
+    }
+    tables.push_back(std::move(table));
+  }
+  return tables;
+}
+
+Result<IlfdTable> IlfdTable::FromIlfds(const std::vector<Ilfd>& ilfds) {
+  if (ilfds.empty()) {
+    return Status::InvalidArgument("FromIlfds: empty ILFD list");
+  }
+  EID_ASSIGN_OR_RETURN(std::vector<IlfdTable> tables, Partition(ilfds));
+  if (tables.size() != 1) {
+    return Status::InvalidArgument(
+        "FromIlfds: ILFDs have " + std::to_string(tables.size()) +
+        " distinct formats; use Partition");
+  }
+  return std::move(tables.front());
+}
+
+}  // namespace eid

@@ -1,0 +1,77 @@
+// ILFD tables: uniform ILFD families stored as relations (paper Table 8).
+//
+// When many useful ILFDs share one format — same antecedent attributes x̄,
+// same consequent attribute y — the paper stores them as a relation
+// IM(x̄, y): one tuple per ILFD. Example (Table 8):
+//
+//     IM(speciality, cuisine) = { (Hunan, Chinese), (Sichuan, Chinese),
+//                                 (Gyros, Greek), (Mughalai, Indian) }
+//
+// The §4.2 matching-table pipeline joins source relations with IM tables to
+// compute missing extended-key attribute values.
+
+#ifndef EID_ILFD_ILFD_TABLE_H_
+#define EID_ILFD_ILFD_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "ilfd/ilfd.h"
+#include "relational/relation.h"
+
+namespace eid {
+
+/// A relation-backed family of same-format ILFDs.
+class IlfdTable {
+ public:
+  /// Creates an empty table IM(antecedent_attributes..., consequent).
+  /// Attribute value types default to string.
+  IlfdTable(std::vector<std::string> antecedent_attributes,
+            std::string consequent_attribute);
+
+  const std::vector<std::string>& antecedent_attributes() const {
+    return antecedent_attributes_;
+  }
+  const std::string& consequent_attribute() const {
+    return consequent_attribute_;
+  }
+
+  /// The backing relation IM(x̄, y). Its candidate key is x̄ — two ILFDs
+  /// with equal antecedents and different consequents would be
+  /// contradictory (an entity cannot have two values for one property).
+  const Relation& relation() const { return relation_; }
+
+  size_t size() const { return relation_.size(); }
+
+  /// Adds one ILFD row: antecedent values (ordered as
+  /// antecedent_attributes) plus the consequent value.
+  Status AddEntry(std::vector<Value> antecedent_values,
+                  Value consequent_value);
+
+  /// Adds `ilfd` if it matches this table's format; error otherwise.
+  Status AddIlfd(const Ilfd& ilfd);
+
+  /// Consequent value derived for a tuple, or NULL when no entry matches.
+  Value Lookup(const TupleView& tuple) const;
+
+  /// The table's rows as explicit ILFDs.
+  std::vector<Ilfd> ToIlfds() const;
+
+  /// Groups `ilfds` into the smallest number of uniform tables. ILFDs whose
+  /// format is unique still get a (singleton) table. Error if any ILFD has
+  /// a multi-atom consequent (decompose first).
+  static Result<std::vector<IlfdTable>> Partition(
+      const std::vector<Ilfd>& ilfds);
+
+  /// Builds a single table from ILFDs that must all share one format.
+  static Result<IlfdTable> FromIlfds(const std::vector<Ilfd>& ilfds);
+
+ private:
+  std::vector<std::string> antecedent_attributes_;
+  std::string consequent_attribute_;
+  Relation relation_;
+};
+
+}  // namespace eid
+
+#endif  // EID_ILFD_ILFD_TABLE_H_

@@ -1,0 +1,71 @@
+#include "ilfd/violation.h"
+
+namespace eid {
+
+bool RelationSatisfies(const Relation& relation, const Ilfd& ilfd,
+                       bool null_violates) {
+  for (size_t i = 0; i < relation.size(); ++i) {
+    if (!ilfd.SatisfiedBy(relation.tuple(i), null_violates)) return false;
+  }
+  return true;
+}
+
+std::vector<IlfdViolation> CheckViolations(const Relation& relation,
+                                           const IlfdSet& ilfds,
+                                           const ViolationOptions& options) {
+  std::vector<IlfdViolation> out;
+  for (size_t r = 0; r < relation.size(); ++r) {
+    TupleView tuple = relation.tuple(r);
+    // Direct checks, attributable to a specific ILFD.
+    for (size_t fi = 0; fi < ilfds.size(); ++fi) {
+      if (!ilfds.ilfd(fi).SatisfiedBy(tuple, options.null_violates)) {
+        out.push_back(IlfdViolation{
+            r, fi,
+            "tuple " + tuple.ToString() + " violates " +
+                ilfds.ilfd(fi).ToString()});
+      }
+    }
+    if (!options.check_derived) continue;
+    // Closure check: conditions derivable from the tuple's non-NULL values
+    // must not contradict any non-NULL value.
+    std::vector<Atom> conditions;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (!tuple.at(i).is_null()) {
+        conditions.push_back(
+            Atom{tuple.schema().attribute(i).name, tuple.at(i)});
+      }
+    }
+    std::vector<Atom> closure = ilfds.ConditionClosure(conditions);
+    for (const Atom& derived : closure) {
+      Value actual = tuple.GetOrNull(derived.attribute);
+      if (actual.is_null() || actual == derived.value) continue;
+      // Attribute the contradiction to the first ILFD with this consequent
+      // attribute (best-effort provenance for the report).
+      size_t culprit = 0;
+      for (size_t fi = 0; fi < ilfds.size(); ++fi) {
+        for (const Atom& c : ilfds.ilfd(fi).consequent()) {
+          if (c.attribute == derived.attribute && c.value == derived.value) {
+            culprit = fi;
+            break;
+          }
+        }
+      }
+      // Skip duplicates already reported by the direct check.
+      bool already = false;
+      for (const IlfdViolation& v : out) {
+        if (v.row_index == r && v.ilfd_index == culprit) {
+          already = true;
+          break;
+        }
+      }
+      if (already) continue;
+      out.push_back(IlfdViolation{
+          r, culprit,
+          "tuple " + tuple.ToString() + " contradicts derived condition " +
+              derived.ToString()});
+    }
+  }
+  return out;
+}
+
+}  // namespace eid

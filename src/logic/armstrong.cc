@@ -1,0 +1,215 @@
+#include "logic/armstrong.h"
+
+namespace eid {
+
+const char* InferenceRuleName(InferenceRule rule) {
+  switch (rule) {
+    case InferenceRule::kGiven: return "given";
+    case InferenceRule::kReflexivity: return "reflexivity";
+    case InferenceRule::kAugmentation: return "augmentation";
+    case InferenceRule::kTransitivity: return "transitivity";
+    case InferenceRule::kUnion: return "union";
+    case InferenceRule::kPseudoTransitivity: return "pseudotransitivity";
+    case InferenceRule::kDecomposition: return "decomposition";
+  }
+  return "?";
+}
+
+std::string Proof::ToString(const AtomTable& table) const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const ProofStep& s = steps[i];
+    out += "[" + std::to_string(i) + "] " + s.conclusion.ToString(table) +
+           "   (" + InferenceRuleName(s.rule);
+    if (s.rule == InferenceRule::kGiven) {
+      out += " F" + std::to_string(s.given_index);
+    }
+    for (size_t p : s.premises) out += " #" + std::to_string(p);
+    out += ")\n";
+  }
+  return out;
+}
+
+Result<Proof> BuildProof(const KnowledgeBase& kb, const Implication& target) {
+  ClosureResult closure = kb.ForwardClosure(target.body);
+  if (!closure.atoms.ContainsAll(target.head)) {
+    return Status::NotFound(
+        "knowledge base does not entail the target implication");
+  }
+
+  Proof proof;
+  const AtomSet& x = target.body;
+
+  // [0] X -> X by reflexivity.
+  proof.steps.push_back(ProofStep{
+      InferenceRule::kReflexivity, {}, 0, Implication{x, x}});
+  size_t current = 0;       // step proving X -> K
+  AtomSet known = x;        // K
+
+  for (size_t clause_index : closure.firing_order) {
+    const Implication& clause = kb.clause(clause_index);
+    if (known.ContainsAll(clause.head)) {
+      // Firing added nothing new over this prefix; skip for brevity.
+      continue;
+    }
+    // [g] B -> H (given).
+    proof.steps.push_back(
+        ProofStep{InferenceRule::kGiven, {}, clause_index, clause});
+    size_t given = proof.steps.size() - 1;
+    // [a] K -> K ∪ H by augmenting (B -> H) with Z = K  (B ⊆ K).
+    AtomSet enlarged = known.UnionWith(clause.head);
+    proof.steps.push_back(ProofStep{InferenceRule::kAugmentation,
+                                    {given},
+                                    0,
+                                    Implication{known, enlarged}});
+    size_t augmented = proof.steps.size() - 1;
+    // [t] X -> K ∪ H by transitivity of (X -> K) and (K -> K ∪ H).
+    proof.steps.push_back(ProofStep{InferenceRule::kTransitivity,
+                                    {current, augmented},
+                                    0,
+                                    Implication{x, enlarged}});
+    current = proof.steps.size() - 1;
+    known = std::move(enlarged);
+  }
+
+  if (!(proof.steps[current].conclusion.head == target.head)) {
+    // [d] X -> Y by decomposition from X -> X⁺.
+    proof.steps.push_back(ProofStep{InferenceRule::kDecomposition,
+                                    {current},
+                                    0,
+                                    Implication{x, target.head}});
+  }
+  return proof;
+}
+
+namespace {
+
+Status CheckStep(const KnowledgeBase& kb, const Proof& proof, size_t index) {
+  const ProofStep& s = proof.steps[index];
+  for (size_t p : s.premises) {
+    if (p >= index) {
+      return Status::InvalidArgument("step premise references a later step");
+    }
+  }
+  auto premise = [&](size_t i) -> const Implication& {
+    return proof.steps[s.premises[i]].conclusion;
+  };
+  const Implication& c = s.conclusion;
+  switch (s.rule) {
+    case InferenceRule::kGiven: {
+      if (s.given_index >= kb.size() || !(kb.clause(s.given_index) == c)) {
+        return Status::InvalidArgument("'given' step does not match clause");
+      }
+      return Status::Ok();
+    }
+    case InferenceRule::kReflexivity: {
+      if (!c.body.ContainsAll(c.head)) {
+        return Status::InvalidArgument("reflexivity requires head ⊆ body");
+      }
+      return Status::Ok();
+    }
+    case InferenceRule::kAugmentation: {
+      if (s.premises.size() != 1) {
+        return Status::InvalidArgument("augmentation takes one premise");
+      }
+      const Implication& p = premise(0);
+      // ∃Z: c.body = p.body ∪ Z and c.head = p.head ∪ Z. Necessary and
+      // sufficient conditions (see header):
+      bool ok = c.body.ContainsAll(p.body) && c.head.ContainsAll(p.head) &&
+                c.body.ContainsAll(c.head.Minus(p.head)) &&
+                c.head.ContainsAll(c.body.Minus(p.body));
+      if (!ok) return Status::InvalidArgument("illegal augmentation");
+      return Status::Ok();
+    }
+    case InferenceRule::kTransitivity: {
+      if (s.premises.size() != 2) {
+        return Status::InvalidArgument("transitivity takes two premises");
+      }
+      const Implication& p1 = premise(0);
+      const Implication& p2 = premise(1);
+      bool ok = c.body == p1.body && p1.head == p2.body && c.head == p2.head;
+      if (!ok) return Status::InvalidArgument("illegal transitivity");
+      return Status::Ok();
+    }
+    case InferenceRule::kUnion: {
+      if (s.premises.size() != 2) {
+        return Status::InvalidArgument("union takes two premises");
+      }
+      const Implication& p1 = premise(0);
+      const Implication& p2 = premise(1);
+      bool ok = p1.body == p2.body && c.body == p1.body &&
+                c.head == p1.head.UnionWith(p2.head);
+      if (!ok) return Status::InvalidArgument("illegal union");
+      return Status::Ok();
+    }
+    case InferenceRule::kPseudoTransitivity: {
+      if (s.premises.size() != 2) {
+        return Status::InvalidArgument("pseudotransitivity takes two premises");
+      }
+      const Implication& xy = premise(0);
+      const Implication& wy = premise(1);
+      if (!wy.body.ContainsAll(xy.head)) {
+        return Status::InvalidArgument(
+            "pseudotransitivity: first head not in second body");
+      }
+      AtomSet w = wy.body.Minus(xy.head);
+      bool ok = c.body == w.UnionWith(xy.body) && c.head == wy.head;
+      if (!ok) return Status::InvalidArgument("illegal pseudotransitivity");
+      return Status::Ok();
+    }
+    case InferenceRule::kDecomposition: {
+      if (s.premises.size() != 1) {
+        return Status::InvalidArgument("decomposition takes one premise");
+      }
+      const Implication& p = premise(0);
+      bool ok = c.body == p.body && p.head.ContainsAll(c.head);
+      if (!ok) return Status::InvalidArgument("illegal decomposition");
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown inference rule");
+}
+
+}  // namespace
+
+Status VerifyProof(const KnowledgeBase& kb, const Proof& proof,
+                   const Implication& target) {
+  if (proof.steps.empty()) {
+    return Status::InvalidArgument("empty proof");
+  }
+  for (size_t i = 0; i < proof.steps.size(); ++i) {
+    EID_RETURN_IF_ERROR(CheckStep(kb, proof, i));
+  }
+  if (!(proof.Conclusion() == target)) {
+    return Status::InvalidArgument("proof concludes a different implication");
+  }
+  return Status::Ok();
+}
+
+Result<Implication> ApplyUnion(const Implication& a, const Implication& b) {
+  if (!(a.body == b.body)) {
+    return Status::InvalidArgument("union rule requires identical bodies");
+  }
+  return Implication{a.body, a.head.UnionWith(b.head)};
+}
+
+Result<Implication> ApplyPseudoTransitivity(const Implication& xy,
+                                            const Implication& wy) {
+  if (!wy.body.ContainsAll(xy.head)) {
+    return Status::InvalidArgument(
+        "pseudotransitivity requires the first implication's head inside the "
+        "second's body");
+  }
+  AtomSet w = wy.body.Minus(xy.head);
+  return Implication{w.UnionWith(xy.body), wy.head};
+}
+
+Result<Implication> ApplyDecomposition(const Implication& xy,
+                                       const AtomSet& z) {
+  if (!xy.head.ContainsAll(z)) {
+    return Status::InvalidArgument("decomposition target not within head");
+  }
+  return Implication{xy.body, z};
+}
+
+}  // namespace eid

@@ -1,0 +1,92 @@
+// Armstrong's axioms for ILFDs (paper §5.2) as an explicit proof system.
+//
+// The paper proves (Theorem 1) that reflexivity, augmentation and
+// transitivity are sound and complete for ILFD implication, and derives the
+// union, pseudotransitivity and decomposition rules (Lemma 2). This module
+// makes those derivations first-class objects:
+//
+//  * BuildProof(F, target)  — constructs a machine-checkable proof of
+//    F ⊢ target using only the axioms (the constructive content of the
+//    completeness theorem).
+//  * VerifyProof            — independently checks every step, accepting
+//    only legal axiom applications. Soundness tests pair this with random
+//    model checking.
+//
+// Proof shape produced by BuildProof for X → Y:
+//   X → X            (reflexivity)
+//   then, for every knowledge-base clause B → H fired during closure:
+//   X → K ∪ B        (established so far, B ⊆ K)   [reflexivity from K]
+//   B → H            (given)
+//   X → K ∪ H        via augmentation + transitivity
+//   finally X → Y    (decomposition/reflexivity from X → X⁺)
+
+#ifndef EID_LOGIC_ARMSTRONG_H_
+#define EID_LOGIC_ARMSTRONG_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/kb.h"
+
+namespace eid {
+
+/// The inference rule used by one proof step.
+enum class InferenceRule {
+  kGiven,              // clause of the knowledge base
+  kReflexivity,        // ⊢ X → Y where Y ⊆ X
+  kAugmentation,       // X → Y ⊢ X∧Z → Y∧Z
+  kTransitivity,       // X → Y, Y → Z ⊢ X → Z
+  kUnion,              // X → Y, X → Z ⊢ X → Y∧Z          (derived)
+  kPseudoTransitivity, // X → Y, W∧Y → Z ⊢ W∧X → Z        (derived)
+  kDecomposition,      // X → Y∧Z ⊢ X → Z                 (derived)
+};
+
+const char* InferenceRuleName(InferenceRule rule);
+
+/// One line of a proof: a conclusion plus how it was obtained.
+struct ProofStep {
+  InferenceRule rule = InferenceRule::kGiven;
+  /// Indices (into the proof) of the premise steps; empty for kGiven /
+  /// kReflexivity. For kAugmentation the augmenting set Z is implied by the
+  /// conclusion; for kGiven, `given_index` names the knowledge-base clause.
+  std::vector<size_t> premises;
+  size_t given_index = 0;
+  Implication conclusion;
+};
+
+/// A checkable derivation; the last step's conclusion is the theorem.
+struct Proof {
+  std::vector<ProofStep> steps;
+
+  const Implication& Conclusion() const {
+    EID_CHECK(!steps.empty());
+    return steps.back().conclusion;
+  }
+  std::string ToString(const AtomTable& table) const;
+};
+
+/// Constructs a proof of `target` from `kb` using Armstrong's axioms.
+/// Fails (NotFound) when kb does not entail target — by Theorem 1 this is
+/// exactly when no proof exists.
+Result<Proof> BuildProof(const KnowledgeBase& kb, const Implication& target);
+
+/// Checks that every step of `proof` is a legal rule application over
+/// `kb`'s clauses and that the final conclusion equals `target`.
+Status VerifyProof(const KnowledgeBase& kb, const Proof& proof,
+                   const Implication& target);
+
+/// Applies the *union* rule to two implications. Error unless bodies match.
+Result<Implication> ApplyUnion(const Implication& a, const Implication& b);
+
+/// Applies *pseudotransitivity*: from X→Y and W∧Y→Z derive W∧X→Z.
+/// `wy` must contain `xy.head` within its body; W = wy.body − xy.head.
+Result<Implication> ApplyPseudoTransitivity(const Implication& xy,
+                                            const Implication& wy);
+
+/// Applies *decomposition*: from X→Y derive X→Z for Z ⊆ Y.
+Result<Implication> ApplyDecomposition(const Implication& xy,
+                                       const AtomSet& z);
+
+}  // namespace eid
+
+#endif  // EID_LOGIC_ARMSTRONG_H_

@@ -1,0 +1,31 @@
+#include "logic/implication.h"
+
+#include <algorithm>
+#include <map>
+
+namespace eid {
+
+std::vector<Implication> Decompose(const Implication& implication) {
+  std::vector<Implication> out;
+  out.reserve(implication.head.size());
+  for (AtomId id : implication.head.ids()) {
+    out.push_back(Implication{implication.body, AtomSet::Of({id})});
+  }
+  return out;
+}
+
+std::vector<Implication> CombineByBody(std::vector<Implication> implications) {
+  std::map<AtomSet, AtomSet> by_body;
+  for (const Implication& imp : implications) {
+    auto [it, inserted] = by_body.emplace(imp.body, imp.head);
+    if (!inserted) it->second = it->second.UnionWith(imp.head);
+  }
+  std::vector<Implication> out;
+  out.reserve(by_body.size());
+  for (const auto& [body, head] : by_body) {
+    out.push_back(Implication{body, head});
+  }
+  return out;
+}
+
+}  // namespace eid

@@ -1,0 +1,51 @@
+// Propositional implications X → Y over interned atoms.
+//
+// This is the paper's §5 representation of ILFDs: antecedent and consequent
+// are conjunctions of propositional symbols. Implications with identical
+// antecedents may be combined (paper: (P→Q1) ∧ (P→Q2) ≡ P→(Q1∧Q2)), so the
+// head is a set too.
+
+#ifndef EID_LOGIC_IMPLICATION_H_
+#define EID_LOGIC_IMPLICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "logic/proposition.h"
+
+namespace eid {
+
+/// A definite propositional implication: body → head (both conjunctions).
+struct Implication {
+  AtomSet body;
+  AtomSet head;
+
+  bool operator==(const Implication& other) const {
+    return body == other.body && head == other.head;
+  }
+  bool operator<(const Implication& other) const {
+    if (!(body == other.body)) return body < other.body;
+    return head < other.head;
+  }
+
+  /// Trivial (reflexivity instance): head ⊆ body. Such implications hold in
+  /// every entity set (paper §5.2, axiom 1).
+  bool IsTrivial() const { return body.ContainsAll(head); }
+
+  /// "{a=1} -> {b=2}" display form.
+  std::string ToString(const AtomTable& table) const {
+    return body.ToString(table) + " -> " + head.ToString(table);
+  }
+};
+
+/// Splits an implication with an n-atom head into n single-head
+/// implications (decomposition rule).
+std::vector<Implication> Decompose(const Implication& implication);
+
+/// Combines implications sharing a body into one (union rule). Output is
+/// sorted and deterministic.
+std::vector<Implication> CombineByBody(std::vector<Implication> implications);
+
+}  // namespace eid
+
+#endif  // EID_LOGIC_IMPLICATION_H_

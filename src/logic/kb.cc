@@ -1,0 +1,114 @@
+#include "logic/kb.h"
+
+#include <deque>
+
+namespace eid {
+
+size_t KnowledgeBase::Add(Implication implication) {
+  size_t index = clauses_.size();
+  if (implication.body.empty()) {
+    facts_.push_back(index);
+  }
+  for (AtomId id : implication.body.ids()) {
+    body_index_[id].push_back(index);
+  }
+  clauses_.push_back(std::move(implication));
+  return index;
+}
+
+ClosureResult KnowledgeBase::ForwardClosure(const AtomSet& seed) const {
+  ClosureResult result;
+  result.atoms = seed;
+
+  // Remaining unsatisfied body atoms per clause.
+  std::vector<size_t> missing(clauses_.size());
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    missing[i] = clauses_[i].body.size();
+  }
+
+  std::vector<bool> fired(clauses_.size(), false);
+  // Work queue of newly derived atoms, FIFO so earlier clauses fire first.
+  std::deque<AtomId> queue(seed.ids().begin(), seed.ids().end());
+
+  auto fire = [&](size_t clause_index) {
+    if (fired[clause_index]) return;
+    fired[clause_index] = true;
+    result.firing_order.push_back(clause_index);
+    for (AtomId h : clauses_[clause_index].head.ids()) {
+      if (!result.atoms.Contains(h)) {
+        result.atoms.Insert(h);
+        result.provenance.emplace(h, clause_index);
+        queue.push_back(h);
+      }
+    }
+  };
+
+  for (size_t f : facts_) fire(f);
+
+  // Count down satisfied body atoms. Each atom enters the queue at most
+  // once and clause bodies are sets, so each decrement is counted once.
+  while (!queue.empty()) {
+    AtomId a = queue.front();
+    queue.pop_front();
+    auto it = body_index_.find(a);
+    if (it == body_index_.end()) continue;
+    for (size_t clause_index : it->second) {
+      if (missing[clause_index] == 0) continue;
+      if (--missing[clause_index] == 0) fire(clause_index);
+    }
+  }
+  return result;
+}
+
+bool KnowledgeBase::Entails(const AtomSet& seed, const AtomSet& goal) const {
+  return ForwardClosure(seed).atoms.ContainsAll(goal);
+}
+
+ClosureResult ClosureEvaluator::Run(const AtomSet& seed) {
+  const KnowledgeBase& kb = *kb_;
+  ++epoch_;
+  if (missing_.size() < kb.clauses_.size()) {
+    missing_.resize(kb.clauses_.size(), 0);
+    missing_epoch_.resize(kb.clauses_.size(), 0);
+    fired_epoch_.resize(kb.clauses_.size(), 0);
+  }
+
+  ClosureResult result;
+  result.atoms = seed;
+  std::deque<AtomId> queue(seed.ids().begin(), seed.ids().end());
+
+  auto fire = [&](size_t clause_index) {
+    if (fired_epoch_[clause_index] == epoch_) return;
+    fired_epoch_[clause_index] = epoch_;
+    result.firing_order.push_back(clause_index);
+    for (AtomId h : kb.clauses_[clause_index].head.ids()) {
+      if (!result.atoms.Contains(h)) {
+        result.atoms.Insert(h);
+        result.provenance.emplace(h, clause_index);
+        queue.push_back(h);
+      }
+    }
+  };
+
+  for (size_t f : kb.facts_) fire(f);
+
+  while (!queue.empty()) {
+    AtomId a = queue.front();
+    queue.pop_front();
+    auto it = kb.body_index_.find(a);
+    if (it == kb.body_index_.end()) continue;
+    for (size_t clause_index : it->second) {
+      size_t remaining = (missing_epoch_[clause_index] == epoch_)
+                             ? missing_[clause_index]
+                             : kb.clauses_[clause_index].body.size();
+      if (remaining == 0) continue;
+      --remaining;
+      missing_[clause_index] = remaining;
+      missing_epoch_[clause_index] = epoch_;
+      if (remaining == 0) fire(clause_index);
+    }
+  }
+  return result;
+}
+
+}  // namespace eid

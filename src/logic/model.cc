@@ -1,0 +1,23 @@
+#include "logic/model.h"
+
+namespace eid {
+
+bool EntailsByExhaustiveModels(const std::vector<Implication>& premises,
+                               const Implication& target,
+                               size_t universe_size) {
+  EID_CHECK(universe_size <= 24 && "exhaustive model check too large");
+  const uint64_t limit = uint64_t{1} << universe_size;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    std::vector<AtomId> atoms;
+    for (size_t i = 0; i < universe_size; ++i) {
+      if (mask & (uint64_t{1} << i)) atoms.push_back(static_cast<AtomId>(i));
+    }
+    Model model(std::move(atoms));
+    if (SatisfiesAll(model, premises) && !Satisfies(model, target)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace eid

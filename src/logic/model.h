@@ -1,0 +1,44 @@
+// Propositional model checking for implications.
+//
+// A "model" is a truth assignment: the set of atoms that hold (in the
+// paper's reading, the conditions true of one tuple). These helpers back
+// the soundness tests: an inference system is sound iff every derivable
+// implication holds in every model of the premises (Lemma 1).
+
+#ifndef EID_LOGIC_MODEL_H_
+#define EID_LOGIC_MODEL_H_
+
+#include <vector>
+
+#include "logic/implication.h"
+
+namespace eid {
+
+/// A truth assignment: atoms in the set are true, all others false.
+using Model = AtomSet;
+
+/// True iff `model` satisfies `implication` (body true ⇒ head true).
+inline bool Satisfies(const Model& model, const Implication& implication) {
+  if (!model.ContainsAll(implication.body)) return true;
+  return model.ContainsAll(implication.head);
+}
+
+/// True iff `model` satisfies every implication.
+inline bool SatisfiesAll(const Model& model,
+                         const std::vector<Implication>& implications) {
+  for (const Implication& imp : implications) {
+    if (!Satisfies(model, imp)) return false;
+  }
+  return true;
+}
+
+/// Semantic entailment over an explicit atom universe: F ⊨ target iff every
+/// model over atoms {0..universe_size-1} satisfying F satisfies target.
+/// Exponential in universe_size; intended for small cross-checks in tests.
+bool EntailsByExhaustiveModels(const std::vector<Implication>& premises,
+                               const Implication& target,
+                               size_t universe_size);
+
+}  // namespace eid
+
+#endif  // EID_LOGIC_MODEL_H_

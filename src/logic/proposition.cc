@@ -1,0 +1,109 @@
+#include "logic/proposition.h"
+
+#include <algorithm>
+
+namespace eid {
+
+std::string AtomTable::KeyOf(const std::string& attribute,
+                             const Value& value) {
+  std::string v = value.ToString();
+  return std::to_string(attribute.size()) + ":" + attribute + "|" +
+         std::string(1, static_cast<char>('0' + static_cast<int>(value.type()))) +
+         v;
+}
+
+AtomId AtomTable::Intern(const std::string& attribute, const Value& value) {
+  std::string key = KeyOf(attribute, value);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  AtomId id = static_cast<AtomId>(atoms_.size());
+  atoms_.push_back(Atom{attribute, value});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<AtomId> AtomTable::Find(const std::string& attribute,
+                                      const Value& value) const {
+  auto it = index_.find(KeyOf(attribute, value));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<AtomId> AtomTable::AtomsForAttribute(
+    const std::string& attribute) const {
+  std::vector<AtomId> out;
+  for (AtomId id = 0; id < atoms_.size(); ++id) {
+    if (atoms_[id].attribute == attribute) out.push_back(id);
+  }
+  return out;
+}
+
+AtomSet::AtomSet(std::vector<AtomId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+bool AtomSet::Contains(AtomId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool AtomSet::ContainsAll(const AtomSet& other) const {
+  return std::includes(ids_.begin(), ids_.end(), other.ids_.begin(),
+                       other.ids_.end());
+}
+
+bool AtomSet::DisjointFrom(const AtomSet& other) const {
+  size_t i = 0, j = 0;
+  while (i < ids_.size() && j < other.ids_.size()) {
+    if (ids_[i] == other.ids_[j]) return false;
+    if (ids_[i] < other.ids_[j]) ++i;
+    else ++j;
+  }
+  return true;
+}
+
+void AtomSet::Insert(AtomId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return;
+  ids_.insert(it, id);
+}
+
+AtomSet AtomSet::UnionWith(const AtomSet& other) const {
+  std::vector<AtomId> out;
+  out.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(out));
+  AtomSet result;
+  result.ids_ = std::move(out);
+  return result;
+}
+
+AtomSet AtomSet::IntersectWith(const AtomSet& other) const {
+  std::vector<AtomId> out;
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                        other.ids_.end(), std::back_inserter(out));
+  AtomSet result;
+  result.ids_ = std::move(out);
+  return result;
+}
+
+AtomSet AtomSet::Minus(const AtomSet& other) const {
+  std::vector<AtomId> out;
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                      other.ids_.end(), std::back_inserter(out));
+  AtomSet result;
+  result.ids_ = std::move(out);
+  return result;
+}
+
+std::string AtomSet::ToString(const AtomTable& table) const {
+  std::string out = "{";
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) out += " ^ ";
+    out += table.ToString(ids_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace eid

@@ -1,0 +1,105 @@
+// Interned propositional atoms.
+//
+// §5 of the paper reduces ILFD reasoning to propositional logic: each
+// boolean condition `(A = a)` over an entity attribute becomes a
+// propositional symbol. AtomTable interns (attribute, value) pairs to dense
+// 32-bit ids so that closure computation and clause indexing are array-based.
+
+#ifndef EID_LOGIC_PROPOSITION_H_
+#define EID_LOGIC_PROPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/status.h"
+#include "relational/value.h"
+
+namespace eid {
+
+/// Dense id of an interned propositional atom.
+using AtomId = uint32_t;
+
+/// One propositional symbol: the condition `attribute = value`.
+struct Atom {
+  std::string attribute;
+  Value value;
+
+  bool operator==(const Atom& other) const {
+    return attribute == other.attribute && value == other.value;
+  }
+
+  /// "cuisine=Chinese" display form.
+  std::string ToString() const { return attribute + "=" + value.ToString(); }
+};
+
+/// Bidirectional mapping Atom <-> AtomId. Append-only; ids are stable for
+/// the table's lifetime.
+class AtomTable {
+ public:
+  AtomTable() = default;
+
+  /// Id of the atom, interning it on first use.
+  AtomId Intern(const std::string& attribute, const Value& value);
+  AtomId Intern(const Atom& atom) { return Intern(atom.attribute, atom.value); }
+
+  /// Id of the atom if already interned.
+  std::optional<AtomId> Find(const std::string& attribute,
+                             const Value& value) const;
+
+  size_t size() const { return atoms_.size(); }
+  const Atom& atom(AtomId id) const {
+    EID_CHECK(id < atoms_.size());
+    return atoms_[id];
+  }
+  std::string ToString(AtomId id) const { return atom(id).ToString(); }
+
+  /// All interned atoms whose attribute equals `attribute`.
+  std::vector<AtomId> AtomsForAttribute(const std::string& attribute) const;
+
+ private:
+  static std::string KeyOf(const std::string& attribute, const Value& value);
+
+  std::vector<Atom> atoms_;
+  std::unordered_map<std::string, AtomId> index_;
+};
+
+/// A sorted, duplicate-free set of atom ids (conjunction of symbols).
+/// Kept as a value type: cheap to copy at the sizes ILFD reasoning uses.
+class AtomSet {
+ public:
+  AtomSet() = default;
+  explicit AtomSet(std::vector<AtomId> ids);
+
+  static AtomSet Of(std::initializer_list<AtomId> ids) {
+    return AtomSet(std::vector<AtomId>(ids));
+  }
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  const std::vector<AtomId>& ids() const { return ids_; }
+
+  bool Contains(AtomId id) const;
+  bool ContainsAll(const AtomSet& other) const;
+  /// True if the sets share no atom.
+  bool DisjointFrom(const AtomSet& other) const;
+
+  void Insert(AtomId id);
+  AtomSet UnionWith(const AtomSet& other) const;
+  AtomSet IntersectWith(const AtomSet& other) const;
+  AtomSet Minus(const AtomSet& other) const;
+
+  bool operator==(const AtomSet& other) const { return ids_ == other.ids_; }
+  bool operator<(const AtomSet& other) const { return ids_ < other.ids_; }
+
+  /// "{a=1 ^ b=2}" display form.
+  std::string ToString(const AtomTable& table) const;
+
+ private:
+  std::vector<AtomId> ids_;  // sorted, unique
+};
+
+}  // namespace eid
+
+#endif  // EID_LOGIC_PROPOSITION_H_

@@ -1,0 +1,96 @@
+// Relational algebra over eid::Relation.
+//
+// Implements the operators the paper's §4.2 matching-table construction is
+// written in: projection Π, selection σ, natural join ⋈, equi-join, union ∪,
+// and the outer joins (the paper's ⟗ full outer join builds both the
+// extended relations and the integrated table T_RS).
+//
+// Join NULL semantics: join attributes compare with *storage* equality by
+// default (NULL == NULL) but every joining routine takes a NullPolicy;
+// matching-table construction uses kNullNeverMatches, the prototype's
+// `non_null_eq`.
+
+#ifndef EID_RELATIONAL_ALGEBRA_H_
+#define EID_RELATIONAL_ALGEBRA_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace eid {
+
+/// How NULLs behave in join/equality comparisons.
+enum class NullPolicy {
+  kNullEqualsNull,     // storage equality: NULL == NULL
+  kNullNeverMatches,   // `non_null_eq`: NULL matches nothing
+};
+
+/// Row predicate used by Select.
+using RowPredicate = std::function<bool(const TupleView&)>;
+
+/// σ: rows of `input` satisfying `predicate`.
+Relation Select(const Relation& input, const RowPredicate& predicate);
+
+/// Π: the named attributes, duplicate rows removed (set semantics).
+Result<Relation> Project(const Relation& input,
+                         const std::vector<std::string>& attributes);
+
+/// Π without duplicate elimination (bag semantics).
+Result<Relation> ProjectBag(const Relation& input,
+                            const std::vector<std::string>& attributes);
+
+/// ρ: renames attribute `from` to `to`.
+Result<Relation> Rename(const Relation& input, const std::string& from,
+                        const std::string& to);
+
+/// Renames every attribute by position. `names.size()` must equal arity.
+Result<Relation> RenameAll(const Relation& input,
+                           const std::vector<std::string>& names);
+
+/// One equality condition of an equi-join: left.attr == right.attr.
+struct JoinCondition {
+  std::string left_attribute;
+  std::string right_attribute;
+};
+
+/// Equi-join: rows pairing left and right rows that agree on every
+/// condition under `nulls`. Output schema = left ++ right attributes;
+/// right-side attributes that collide with a left name are prefixed with
+/// `right.name() + "."`.
+Result<Relation> EquiJoin(const Relation& left, const Relation& right,
+                          const std::vector<JoinCondition>& conditions,
+                          NullPolicy nulls = NullPolicy::kNullEqualsNull);
+
+/// ⋈: natural join on all common attribute names. Output keeps one copy of
+/// each common attribute.
+Result<Relation> NaturalJoin(const Relation& left, const Relation& right,
+                             NullPolicy nulls = NullPolicy::kNullEqualsNull);
+
+/// Left outer join on common attributes (natural); unmatched left rows are
+/// padded with NULLs.
+Result<Relation> LeftOuterJoin(const Relation& left, const Relation& right,
+                               NullPolicy nulls = NullPolicy::kNullEqualsNull);
+
+/// ⟗: full outer natural join; unmatched rows of either side padded with
+/// NULLs (paper §4.1: T_RS = MT_RS ⋈ R ⟗ S).
+Result<Relation> FullOuterJoin(const Relation& left, const Relation& right,
+                               NullPolicy nulls = NullPolicy::kNullEqualsNull);
+
+/// ∪: set union. Schemas must be identical.
+Result<Relation> Union(const Relation& a, const Relation& b);
+
+/// −: set difference (rows of a not in b). Schemas must be identical.
+Result<Relation> Difference(const Relation& a, const Relation& b);
+
+/// ×: Cartesian product.
+Result<Relation> CartesianProduct(const Relation& left,
+                                  const Relation& right);
+
+/// Removes duplicate rows (storage equality).
+Relation Distinct(const Relation& input);
+
+}  // namespace eid
+
+#endif  // EID_RELATIONAL_ALGEBRA_H_

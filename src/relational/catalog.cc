@@ -1,0 +1,62 @@
+#include "relational/catalog.h"
+
+namespace eid {
+
+Status Catalog::Add(Relation relation) {
+  const std::string key = relation.name();
+  if (key.empty()) {
+    return Status::InvalidArgument("relation must be named");
+  }
+  if (relations_.count(key) > 0) {
+    return Status::AlreadyExists("relation '" + key + "' already in catalog '" +
+                                 name_ + "'");
+  }
+  relations_.emplace(key, std::move(relation));
+  return Status::Ok();
+}
+
+Result<const Relation*> Catalog::Get(const std::string& relation_name) const {
+  auto it = relations_.find(relation_name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + relation_name +
+                            "' not in catalog '" + name_ + "'");
+  }
+  return &it->second;
+}
+
+Result<Relation*> Catalog::GetMutable(const std::string& relation_name) {
+  auto it = relations_.find(relation_name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + relation_name +
+                            "' not in catalog '" + name_ + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+Result<Relation> Catalog::WithDomainAttribute(
+    const std::string& relation_name) const {
+  EID_ASSIGN_OR_RETURN(const Relation* rel, Get(relation_name));
+  std::vector<Attribute> attrs = rel->schema().attributes();
+  for (const Attribute& a : attrs) {
+    if (a.name == kDomainAttribute) {
+      return Status::AlreadyExists("relation already has a domain attribute");
+    }
+  }
+  attrs.push_back(Attribute{kDomainAttribute, ValueType::kString});
+  Relation out(rel->name(), Schema(std::move(attrs)));
+  for (const Row& row : rel->rows()) {
+    Row extended = row;
+    extended.push_back(Value::String(name_));
+    EID_RETURN_IF_ERROR(out.Insert(std::move(extended)));
+  }
+  return out;
+}
+
+}  // namespace eid

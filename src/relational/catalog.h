@@ -1,0 +1,57 @@
+// A catalog groups the relations of one autonomous database.
+//
+// The paper's setting is two (or more) independently developed databases
+// DB1, DB2 each holding relations over overlapping real-world domains. A
+// Catalog also carries the optional *domain attribute* (paper, Fig. 2
+// discussion): a synthetic column naming the source database, which lets
+// distinctness rules refer to where a tuple came from.
+
+#ifndef EID_RELATIONAL_CATALOG_H_
+#define EID_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "relational/relation.h"
+
+namespace eid {
+
+/// Name of the synthetic source-database attribute added by
+/// Catalog::WithDomainAttribute.
+inline constexpr const char kDomainAttribute[] = "domain";
+
+/// A named collection of relations (one autonomous database).
+class Catalog {
+ public:
+  Catalog() = default;
+  explicit Catalog(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return relations_.size(); }
+
+  /// Adds a relation; error if one with the same name exists.
+  Status Add(Relation relation);
+
+  bool Contains(const std::string& relation_name) const {
+    return relations_.count(relation_name) > 0;
+  }
+
+  Result<const Relation*> Get(const std::string& relation_name) const;
+  Result<Relation*> GetMutable(const std::string& relation_name);
+
+  /// Relation names in deterministic (sorted) order.
+  std::vector<std::string> RelationNames() const;
+
+  /// Copy of `relation_name` extended with the `domain` attribute holding
+  /// this catalog's name in every row (paper §3.2: disambiguating entities
+  /// from databases that model different subsets of the real world).
+  Result<Relation> WithDomainAttribute(const std::string& relation_name) const;
+
+ private:
+  std::string name_;
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace eid
+
+#endif  // EID_RELATIONAL_CATALOG_H_

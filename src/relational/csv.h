@@ -1,0 +1,42 @@
+// CSV import/export for relations.
+//
+// The paper's data-wrangling step (loading autonomous source relations) is
+// reproduced with a small RFC-4180-style reader/writer: quoted fields,
+// embedded commas/quotes/newlines, header row carrying attribute names.
+
+#ifndef EID_RELATIONAL_CSV_H_
+#define EID_RELATIONAL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace eid {
+
+/// Parses CSV text into rows of string fields. Handles quoted fields with
+/// embedded separators, escaped quotes ("") and both \n and \r\n endings.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text, char separator = ',');
+
+/// Reads a relation from CSV text. The first record is the header; every
+/// attribute takes the corresponding type from `schema` when given,
+/// otherwise all attributes are strings. The literal field `null` (and an
+/// empty field) parse as NULL.
+Result<Relation> ReadCsv(const std::string& text, const std::string& name,
+                         char separator = ',');
+Result<Relation> ReadCsvTyped(const std::string& text, const std::string& name,
+                              const Schema& schema, char separator = ',');
+
+/// Serialises a relation to CSV (header + rows). NULL writes as `null`.
+std::string WriteCsv(const Relation& relation, char separator = ',');
+
+/// File convenience wrappers.
+Result<Relation> ReadCsvFile(const std::string& path, const std::string& name,
+                             char separator = ',');
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    char separator = ',');
+
+}  // namespace eid
+
+#endif  // EID_RELATIONAL_CSV_H_

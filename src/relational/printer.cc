@@ -1,0 +1,65 @@
+#include "relational/printer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace eid {
+namespace {
+
+std::string PadRight(const std::string& s, size_t width) {
+  if (s.size() >= width) return s + " ";
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace
+
+std::string FormatTable(const Relation& relation, const PrintOptions& options) {
+  const Schema& schema = relation.schema();
+  size_t n = schema.size();
+  std::vector<size_t> widths(n, options.min_column_width);
+  for (size_t i = 0; i < n; ++i) {
+    widths[i] = std::max(widths[i], schema.attribute(i).name.size() + 1);
+  }
+  Relation sorted = relation;
+  if (options.sort_rows) sorted.SortRows();
+  for (const Row& row : sorted.rows()) {
+    for (size_t i = 0; i < n; ++i) {
+      widths[i] = std::max(widths[i], row[i].ToString().size() + 1);
+    }
+  }
+
+  size_t total = 0;
+  for (size_t w : widths) total += w;
+
+  std::string out;
+  if (!options.title.empty()) {
+    size_t pad = total > options.title.size()
+                     ? (total - options.title.size()) / 2
+                     : 0;
+    out += std::string(pad, ' ') + options.title + "\n";
+    out += std::string(total, '-') + "\n";
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out += PadRight(schema.attribute(i).name, widths[i] - 1);
+  }
+  out += "\n";
+  for (size_t i = 0; i < n; ++i) {
+    out += PadRight(std::string(std::min<size_t>(7, widths[i] - 1), '-'),
+                    widths[i] - 1);
+  }
+  out += "\n";
+  for (const Row& row : sorted.rows()) {
+    for (size_t i = 0; i < n; ++i) {
+      out += PadRight(row[i].ToString(), widths[i] - 1);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void PrintTable(std::ostream& os, const Relation& relation,
+                const PrintOptions& options) {
+  os << FormatTable(relation, options);
+}
+
+}  // namespace eid

@@ -1,0 +1,36 @@
+// ASCII table printing in the style of the paper's Prolog prototype
+// (Appendix: 15-character left-aligned columns, dashed underlines, a
+// centered title). Used by the bench harness to regenerate the paper's
+// printed tables.
+
+#ifndef EID_RELATIONAL_PRINTER_H_
+#define EID_RELATIONAL_PRINTER_H_
+
+#include <ostream>
+#include <string>
+
+#include "relational/relation.h"
+
+namespace eid {
+
+/// Formatting options for PrintTable.
+struct PrintOptions {
+  /// Minimum column width; columns widen to fit their longest cell.
+  size_t min_column_width = 15;
+  /// Title printed above the table ("matching table", ...). Empty: none.
+  std::string title;
+  /// Sort rows before printing for deterministic output.
+  bool sort_rows = true;
+};
+
+/// Renders `relation` as the prototype-style ASCII table.
+std::string FormatTable(const Relation& relation,
+                        const PrintOptions& options = {});
+
+/// FormatTable + stream write.
+void PrintTable(std::ostream& os, const Relation& relation,
+                const PrintOptions& options = {});
+
+}  // namespace eid
+
+#endif  // EID_RELATIONAL_PRINTER_H_

@@ -1,0 +1,99 @@
+#include "relational/schema.h"
+
+#include <unordered_set>
+
+namespace eid {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  std::unordered_set<std::string> seen;
+  for (const Attribute& a : attributes_) {
+    EID_CHECK(seen.insert(a.name).second && "duplicate attribute name");
+  }
+}
+
+Schema Schema::OfStrings(const std::vector<std::string>& names) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const std::string& n : names) {
+    attrs.push_back(Attribute{n, ValueType::kString});
+  }
+  return Schema(std::move(attrs));
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::RequireIndex(const std::string& name) const {
+  std::optional<size_t> i = IndexOf(name);
+  if (!i.has_value()) {
+    return Status::NotFound("attribute '" + name + "' not in schema [" +
+                            ToString() + "]");
+  }
+  return *i;
+}
+
+Status Schema::Append(Attribute attribute) {
+  if (Contains(attribute.name)) {
+    return Status::AlreadyExists("attribute '" + attribute.name +
+                                 "' already in schema");
+  }
+  attributes_.push_back(std::move(attribute));
+  return Status::Ok();
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const std::string& n : names) {
+    EID_ASSIGN_OR_RETURN(size_t i, RequireIndex(n));
+    attrs.push_back(attributes_[i]);
+  }
+  return Schema(std::move(attrs));
+}
+
+Schema Schema::WithPrefix(const std::string& prefix) const {
+  std::vector<Attribute> attrs = attributes_;
+  for (Attribute& a : attrs) a.name = prefix + a.name;
+  return Schema(std::move(attrs));
+}
+
+Result<Schema> Schema::Concat(const Schema& other) const {
+  std::vector<Attribute> attrs = attributes_;
+  for (const Attribute& a : other.attributes_) {
+    for (const Attribute& mine : attributes_) {
+      if (mine.name == a.name) {
+        return Status::AlreadyExists("attribute '" + a.name +
+                                     "' present in both schemas");
+      }
+    }
+    attrs.push_back(a);
+  }
+  return Schema(std::move(attrs));
+}
+
+std::vector<std::string> Schema::CommonAttributeNames(
+    const Schema& other) const {
+  std::vector<std::string> out;
+  for (const Attribute& a : attributes_) {
+    if (other.Contains(a.name)) out.push_back(a.name);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ':';
+    out += ValueTypeName(attributes_[i].type);
+  }
+  return out;
+}
+
+}  // namespace eid

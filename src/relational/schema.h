@@ -1,0 +1,86 @@
+// Relation schemas: ordered, named, typed attribute lists.
+//
+// Attribute names are case-sensitive. Because the paper assumes schema-level
+// heterogeneity has been resolved a priori (§1), semantically equivalent
+// attributes in different relations may still carry *different names*
+// (r_name vs s_name in the prototype); the mapping between them is recorded
+// separately by eid::AttributeCorrespondence in the core library.
+
+#ifndef EID_RELATIONAL_SCHEMA_H_
+#define EID_RELATIONAL_SCHEMA_H_
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/status.h"
+#include "relational/value.h"
+
+namespace eid {
+
+/// A single named, typed attribute.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of attributes with unique names.
+class Schema {
+ public:
+  Schema() = default;
+  /// Precondition: attribute names are distinct.
+  explicit Schema(std::vector<Attribute> attributes);
+  Schema(std::initializer_list<Attribute> attributes)
+      : Schema(std::vector<Attribute>(attributes)) {}
+
+  /// All-string schema from attribute names (the common case in the paper,
+  /// whose example attributes are all symbolic).
+  static Schema OfStrings(const std::vector<std::string>& names);
+
+  size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Position of `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const {
+    return IndexOf(name).has_value();
+  }
+  /// Position of `name`; error status when absent.
+  Result<size_t> RequireIndex(const std::string& name) const;
+
+  /// Appends an attribute. Error if the name already exists.
+  Status Append(Attribute attribute);
+
+  /// New schema containing the named attributes, in the given order.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  /// New schema with every attribute name prefixed ("r_" + name).
+  Schema WithPrefix(const std::string& prefix) const;
+
+  /// New schema = this ++ other. Error on duplicate names.
+  Result<Schema> Concat(const Schema& other) const;
+
+  /// Attribute names present in both schemas (in this schema's order).
+  std::vector<std::string> CommonAttributeNames(const Schema& other) const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+  /// "name:string, cuisine:string" form, for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace eid
+
+#endif  // EID_RELATIONAL_SCHEMA_H_

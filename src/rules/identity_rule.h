@@ -1,0 +1,79 @@
+// Identity rules (paper §3.2).
+//
+// An identity rule for entity set E has the form
+//
+//   ∀e1,e2 ∈ E:  P(e1.A1,…,e1.Am, e2.B1,…,e2.Bn) → (e1 ≡ e2)
+//
+// where P is a conjunction of predicates and — the well-formedness
+// condition — for each attribute A appearing in P on either entity, P must
+// imply e1.A = e2.A. (The paper's r1 with cuisine="Chinese" on both
+// entities is an identity rule; r2, constraining only e1, is not.)
+//
+// Validation implements the implication check by congruence closure
+// (union–find) over the rule's equality predicates: e1.A ~ e2.B for
+// attribute–attribute equalities, e_i.A ~ const for attribute–constant
+// equalities. A rule whose antecedent is unsatisfiable (two distinct
+// constants forced equal) is vacuously well-formed and is reported as such.
+
+#ifndef EID_RULES_IDENTITY_RULE_H_
+#define EID_RULES_IDENTITY_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "rules/predicate.h"
+
+namespace eid {
+
+/// A validated-on-demand identity rule.
+class IdentityRule {
+ public:
+  IdentityRule() = default;
+  IdentityRule(std::string name, std::vector<Predicate> predicates)
+      : name_(std::move(name)), predicates_(std::move(predicates)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  /// The extended-key equivalence rule for attributes {A1..Ak} (paper
+  /// §4.1): ∀e1,e2: (e1.A1=e2.A1) ∧ … ∧ (e1.Ak=e2.Ak) → e1 ≡ e2.
+  static IdentityRule KeyEquivalence(const std::string& name,
+                                     const std::vector<std::string>& attrs);
+
+  /// Checks the identity-rule well-formedness condition. OK when every
+  /// attribute referenced by the predicates is forced equal across the two
+  /// entities (or the antecedent is unsatisfiable).
+  Status Validate() const;
+
+  /// True when the antecedent cannot be satisfied by any entity pair.
+  bool IsVacuous() const;
+
+  /// Three-valued antecedent evaluation over a tuple pair. kTrue means the
+  /// rule asserts e1 ≡ e2.
+  Truth Matches(const TupleView& e1, const TupleView& e2) const;
+
+  /// Attributes referenced by the predicates (deduplicated, sorted).
+  std::vector<std::string> ReferencedAttributes() const;
+
+  /// "(e1.name = e2.name) & ... -> e1 == e2" display form.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Predicate> predicates_;
+};
+
+/// Parses an identity rule from the conjunction syntax, e.g.
+///   `e1.cuisine = "Chinese" & e2.cuisine = "Chinese"`
+/// Operators: = < > <= >= !=. Operands: eN.attribute, "quoted" or bare
+/// constants (numeric tokens parse as numbers).
+Result<IdentityRule> ParseIdentityRule(const std::string& name,
+                                       const std::string& text);
+
+/// Parses a conjunction of predicates (shared with distinctness rules).
+Result<std::vector<Predicate>> ParsePredicateConjunction(
+    const std::string& text);
+
+}  // namespace eid
+
+#endif  // EID_RULES_IDENTITY_RULE_H_

@@ -1,0 +1,98 @@
+#include "rules/predicate.h"
+
+namespace eid {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+Truth And(Truth a, Truth b) {
+  if (a == Truth::kFalse || b == Truth::kFalse) return Truth::kFalse;
+  if (a == Truth::kUnknown || b == Truth::kUnknown) return Truth::kUnknown;
+  return Truth::kTrue;
+}
+
+Truth Not(Truth t) {
+  switch (t) {
+    case Truth::kTrue: return Truth::kFalse;
+    case Truth::kFalse: return Truth::kTrue;
+    case Truth::kUnknown: return Truth::kUnknown;
+  }
+  return Truth::kUnknown;
+}
+
+std::string Operand::ToString() const {
+  if (kind == Kind::kEntityAttribute) {
+    return "e" + std::to_string(entity) + "." + attribute;
+  }
+  if (constant.type() == ValueType::kString) {
+    return "\"" + constant.ToString() + "\"";
+  }
+  return constant.ToString();
+}
+
+namespace {
+
+bool BothNumeric(const Value& a, const Value& b) {
+  auto numeric = [](const Value& v) {
+    return v.type() == ValueType::kInt || v.type() == ValueType::kDouble;
+  };
+  return numeric(a) && numeric(b);
+}
+
+Truth FromBool(bool b) { return b ? Truth::kTrue : Truth::kFalse; }
+
+}  // namespace
+
+Truth CompareValues(const Value& a, CompareOp op, const Value& b) {
+  if (a.is_null() || b.is_null()) return Truth::kUnknown;
+  const bool comparable = a.type() == b.type() || BothNumeric(a, b);
+  if (!comparable) {
+    // Cross-kind values are never equal; their ordering is undefined.
+    if (op == CompareOp::kEq) return Truth::kFalse;
+    if (op == CompareOp::kNe) return Truth::kTrue;
+    return Truth::kUnknown;
+  }
+  switch (op) {
+    case CompareOp::kEq: return FromBool(a == b);
+    case CompareOp::kNe: return FromBool(a != b);
+    case CompareOp::kLt: return FromBool(a < b);
+    case CompareOp::kGt: return FromBool(a > b);
+    case CompareOp::kLe: return FromBool(a <= b);
+    case CompareOp::kGe: return FromBool(a >= b);
+  }
+  return Truth::kUnknown;
+}
+
+Truth Predicate::Evaluate(const TupleView& e1, const TupleView& e2) const {
+  auto resolve = [&](const Operand& o) -> Value {
+    if (o.kind == Operand::Kind::kConstant) return o.constant;
+    const TupleView& t = (o.entity == 1) ? e1 : e2;
+    return t.GetOrNull(o.attribute);
+  };
+  return CompareValues(resolve(lhs), op, resolve(rhs));
+}
+
+std::string Predicate::ToString() const {
+  return lhs.ToString() + " " + CompareOpName(op) + " " + rhs.ToString();
+}
+
+Truth EvaluateConjunction(const std::vector<Predicate>& predicates,
+                          const TupleView& e1, const TupleView& e2) {
+  Truth result = Truth::kTrue;
+  for (const Predicate& p : predicates) {
+    result = And(result, p.Evaluate(e1, e2));
+    if (result == Truth::kFalse) return result;
+  }
+  return result;
+}
+
+}  // namespace eid

@@ -1,0 +1,97 @@
+// The predicate language of identity and distinctness rules (paper §3.2).
+//
+// Rules quantify over two entities e1, e2 ∈ E and take a conjunction of
+// predicates, each of the form
+//
+//     e_i.attribute  op  e_j.attribute      (attribute–attribute)
+//     e_i.attribute  op  constant           (attribute–constant)
+//
+// with op ∈ {=, <, >, <=, >=, !=}. Predicates evaluate over a *pair* of
+// tuples; NULL operands make a predicate undetermined, so the conjunction
+// evaluates in three-valued logic {true, false, unknown}.
+
+#ifndef EID_RULES_PREDICATE_H_
+#define EID_RULES_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/tuple.h"
+
+namespace eid {
+
+/// Comparison operator of a rule predicate.
+enum class CompareOp { kEq, kLt, kGt, kLe, kGe, kNe };
+
+const char* CompareOpName(CompareOp op);  // "=", "<", ...
+
+/// Three-valued logic value.
+enum class Truth { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+/// Kleene conjunction.
+Truth And(Truth a, Truth b);
+/// Kleene negation.
+Truth Not(Truth t);
+
+/// One side of a predicate: either entity i's attribute, or a constant.
+struct Operand {
+  enum class Kind { kEntityAttribute, kConstant } kind = Kind::kConstant;
+  /// 1 or 2 — which entity of the rule (kEntityAttribute only).
+  int entity = 1;
+  std::string attribute;  // kEntityAttribute only
+  Value constant;         // kConstant only
+
+  static Operand Attr(int entity, std::string attribute) {
+    Operand o;
+    o.kind = Kind::kEntityAttribute;
+    o.entity = entity;
+    o.attribute = std::move(attribute);
+    return o;
+  }
+  static Operand Const(Value v) {
+    Operand o;
+    o.kind = Kind::kConstant;
+    o.constant = std::move(v);
+    return o;
+  }
+
+  bool operator==(const Operand& other) const {
+    return kind == other.kind && entity == other.entity &&
+           attribute == other.attribute && constant == other.constant;
+  }
+
+  /// "e1.cuisine" or "Chinese" display form.
+  std::string ToString() const;
+};
+
+/// One predicate: lhs op rhs.
+struct Predicate {
+  Operand lhs;
+  CompareOp op = CompareOp::kEq;
+  Operand rhs;
+
+  bool operator==(const Predicate& other) const {
+    return lhs == other.lhs && op == other.op && rhs == other.rhs;
+  }
+
+  /// Evaluates over the pair (e1, e2). NULL or missing attribute values
+  /// yield kUnknown (no predicate holds of a value we don't know).
+  Truth Evaluate(const TupleView& e1, const TupleView& e2) const;
+
+  /// "e1.cuisine = e2.cuisine" display form.
+  std::string ToString() const;
+};
+
+/// Evaluates a conjunction of predicates in Kleene logic.
+Truth EvaluateConjunction(const std::vector<Predicate>& predicates,
+                          const TupleView& e1, const TupleView& e2);
+
+/// Compares two non-NULL values under `op`. Numeric operands compare
+/// numerically (int/double mixed); strings lexicographically; mixed
+/// incomparable kinds are equal only never (kEq false, kNe true) and
+/// undetermined for the ordering operators.
+Truth CompareValues(const Value& a, CompareOp op, const Value& b);
+
+}  // namespace eid
+
+#endif  // EID_RULES_PREDICATE_H_

@@ -1,0 +1,160 @@
+#include "workload/generator.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace eid {
+namespace {
+
+std::string NameToken(size_t i) { return "Name" + std::to_string(i); }
+std::string StreetToken(size_t i) { return "Street" + std::to_string(i); }
+std::string CityToken(size_t i) { return "City" + std::to_string(i); }
+std::string SpecialityToken(size_t i) { return "Spec" + std::to_string(i); }
+std::string CuisineToken(size_t i) { return "Cuisine" + std::to_string(i); }
+
+struct Entity {
+  std::string name, street, city, speciality, cuisine;
+};
+
+}  // namespace
+
+Result<GeneratedWorld> GenerateWorld(const GeneratorConfig& config) {
+  const size_t total = config.overlap_entities + config.r_only_entities +
+                       config.s_only_entities;
+  if (total == 0) {
+    return Status::InvalidArgument("world must contain at least one entity");
+  }
+  if (config.name_pool == 0 || config.street_pool == 0 ||
+      config.cities == 0 || config.speciality_pool == 0 ||
+      config.cuisines == 0) {
+    return Status::InvalidArgument("pools must be non-empty");
+  }
+  if (total > config.name_pool * config.speciality_pool) {
+    return Status::InvalidArgument(
+        "too dense: (name, speciality) cannot be unique for " +
+        std::to_string(total) + " entities");
+  }
+  if (total > config.name_pool * config.street_pool) {
+    return Status::InvalidArgument(
+        "too dense: (name, street) cannot be unique");
+  }
+
+  Rng rng(config.seed);
+
+  // Fixed taxonomies: street → city, speciality → cuisine.
+  std::vector<size_t> city_of(config.street_pool);
+  for (size_t t = 0; t < config.street_pool; ++t) {
+    city_of[t] = rng.Below(config.cities);
+  }
+  std::vector<size_t> cuisine_of(config.speciality_pool);
+  for (size_t sp = 0; sp < config.speciality_pool; ++sp) {
+    cuisine_of[sp] = rng.Below(config.cuisines);
+  }
+  if (config.resample_seed != 0) rng = Rng(config.resample_seed);
+
+  // Sample entities with unique (name, speciality), (name, street) and
+  // (name, city) combinations — the three key constraints.
+  std::vector<Entity> entities;
+  entities.reserve(total);
+  std::unordered_set<std::string> seen_ns, seen_nt, seen_nc;
+  size_t attempts = 0;
+  const size_t max_attempts = total * 1000 + 1000;
+  while (entities.size() < total) {
+    if (++attempts > max_attempts) {
+      return Status::InvalidArgument(
+          "could not sample a world satisfying the key constraints; "
+          "enlarge the pools");
+    }
+    size_t n = rng.Below(config.name_pool);
+    size_t t = rng.Below(config.street_pool);
+    size_t sp = rng.Below(config.speciality_pool);
+    size_t c = city_of[t];
+    std::string ns = std::to_string(n) + "/" + std::to_string(sp);
+    std::string nt = std::to_string(n) + "/" + std::to_string(t);
+    std::string nc = std::to_string(n) + "/" + std::to_string(c);
+    if (seen_ns.count(ns) || seen_nt.count(nt) || seen_nc.count(nc)) {
+      continue;
+    }
+    seen_ns.insert(ns);
+    seen_nt.insert(nt);
+    seen_nc.insert(nc);
+    entities.push_back(Entity{NameToken(n), StreetToken(t), CityToken(c),
+                              SpecialityToken(sp),
+                              CuisineToken(cuisine_of[sp])});
+  }
+
+  GeneratedWorld world;
+
+  // Universe relation.
+  world.universe = Relation(
+      "E", Schema::OfStrings({"name", "street", "city", "speciality",
+                              "cuisine"}));
+  EID_RETURN_IF_ERROR(world.universe.DeclareKey({"name", "speciality"}));
+  for (const Entity& e : entities) {
+    EID_RETURN_IF_ERROR(world.universe.Insert(
+        Row{Value::String(e.name), Value::String(e.street),
+            Value::String(e.city), Value::String(e.speciality),
+            Value::String(e.cuisine)}));
+  }
+
+  // R and S projections. Layout: [0, overlap) in both; then R-only; S-only.
+  world.r = Relation("R", Schema::OfStrings({"name", "street", "cuisine"}));
+  EID_RETURN_IF_ERROR(world.r.DeclareKey({"name", "street"}));
+  world.s = Relation("S", Schema::OfStrings({"name", "city", "speciality"}));
+  EID_RETURN_IF_ERROR(world.s.DeclareKey({"name", "city"}));
+
+  size_t r_row = 0, s_row = 0;
+  for (size_t i = 0; i < entities.size(); ++i) {
+    const Entity& e = entities[i];
+    bool in_r = i < config.overlap_entities ||
+                (i >= config.overlap_entities &&
+                 i < config.overlap_entities + config.r_only_entities);
+    bool in_s = i < config.overlap_entities ||
+                i >= config.overlap_entities + config.r_only_entities;
+    size_t this_r = 0, this_s = 0;
+    if (in_r) {
+      this_r = r_row++;
+      EID_RETURN_IF_ERROR(world.r.Insert(Row{Value::String(e.name),
+                                             Value::String(e.street),
+                                             Value::String(e.cuisine)}));
+    }
+    if (in_s) {
+      this_s = s_row++;
+      EID_RETURN_IF_ERROR(world.s.Insert(Row{Value::String(e.name),
+                                             Value::String(e.city),
+                                             Value::String(e.speciality)}));
+    }
+    if (in_r && in_s) world.truth.push_back(TuplePair{this_r, this_s});
+  }
+
+  // ILFDs: taxonomy families + per-entity coverage.
+  for (size_t sp = 0; sp < config.speciality_pool; ++sp) {
+    world.ilfds.Add(Ilfd::Implies(
+        {Atom{"speciality", Value::String(SpecialityToken(sp))}},
+        Atom{"cuisine", Value::String(CuisineToken(cuisine_of[sp]))}));
+  }
+  for (size_t t = 0; t < config.street_pool; ++t) {
+    world.ilfds.Add(
+        Ilfd::Implies({Atom{"street", Value::String(StreetToken(t))}},
+                      Atom{"city", Value::String(CityToken(city_of[t]))}));
+  }
+  world.covered.assign(entities.size(), false);
+  for (size_t i = 0; i < entities.size(); ++i) {
+    if (!rng.Chance(config.ilfd_coverage)) continue;
+    world.covered[i] = true;
+    const Entity& e = entities[i];
+    world.ilfds.Add(
+        Ilfd::Implies({Atom{"name", Value::String(e.name)},
+                       Atom{"street", Value::String(e.street)}},
+                      Atom{"speciality", Value::String(e.speciality)}));
+  }
+
+  world.correspondence =
+      AttributeCorrespondence::Identity(world.r, world.s);
+  // `speciality` and `city` live only in S, `street`/`cuisine` only in R;
+  // Identity() already records each with the proper sides.
+  world.extended_key = ExtendedKey({"name", "speciality"});
+  return world;
+}
+
+}  // namespace eid

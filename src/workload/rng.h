@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation for workloads.
+//
+// splitmix64: tiny, fast, well-distributed, and — unlike std::mt19937 with
+// std::uniform_int_distribution — bit-for-bit reproducible across standard
+// libraries, which benchmark workloads require.
+
+#ifndef EID_WORKLOAD_RNG_H_
+#define EID_WORKLOAD_RNG_H_
+
+#include <cstdint>
+
+#include "relational/status.h"
+
+namespace eid {
+
+/// splitmix64 generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t Below(uint64_t bound) {
+    EID_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0ull - bound) % bound;
+    for (;;) {
+      uint64_t v = Next();
+      if (v >= threshold) return v % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli(p).
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace eid
+
+#endif  // EID_WORKLOAD_RNG_H_

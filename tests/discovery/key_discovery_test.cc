@@ -1,0 +1,142 @@
+#include "discovery/key_discovery.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+#include "workload/fixtures.h"
+#include "workload/generator.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+bool HasKey(const std::vector<ExtendedKey>& keys,
+            const std::vector<std::string>& attrs) {
+  ExtendedKey target(attrs);
+  return std::find(keys.begin(), keys.end(), target) != keys.end();
+}
+
+TEST(KeyDiscoveryTest, FindsSingletonKey) {
+  Relation universe = MakeRelation("E", {"id", "name"}, {},
+                                   {{"1", "A"}, {"2", "A"}, {"3", "B"}});
+  EID_ASSERT_OK_AND_ASSIGN(std::vector<ExtendedKey> keys,
+                           DiscoverMinimalKeys(universe));
+  EXPECT_TRUE(HasKey(keys, {"id"}));
+  // {id, name} is identifying but not minimal: excluded.
+  EXPECT_FALSE(HasKey(keys, {"id", "name"}));
+  EXPECT_FALSE(HasKey(keys, {"name"}));
+}
+
+TEST(KeyDiscoveryTest, FindsCompositeKeys) {
+  // Fig. 2's world: only (name, street) and supersets identify; the
+  // minimal keys involving street alone also qualify.
+  Relation universe = fixtures::Figure2Universe();
+  EID_ASSERT_OK_AND_ASSIGN(std::vector<ExtendedKey> keys,
+                           DiscoverMinimalKeys(universe));
+  EXPECT_TRUE(HasKey(keys, {"street"}));  // streets unique in this sample
+  EXPECT_FALSE(HasKey(keys, {"name"}));
+  EXPECT_FALSE(HasKey(keys, {"cuisine"}));
+  EXPECT_FALSE(HasKey(keys, {"name", "cuisine"}));
+  // Every returned key verifies as a minimal extended key.
+  for (const ExtendedKey& key : keys) {
+    EID_EXPECT_OK(key.VerifyAgainstUniverse(universe));
+  }
+}
+
+TEST(KeyDiscoveryTest, ExcludeList) {
+  Relation universe = MakeRelation("E", {"id", "domain"}, {},
+                                   {{"1", "DB1"}, {"2", "DB1"}});
+  KeyDiscoveryOptions opts;
+  opts.exclude = {"id"};
+  EID_ASSERT_OK_AND_ASSIGN(std::vector<ExtendedKey> keys,
+                           DiscoverMinimalKeys(universe, opts));
+  EXPECT_FALSE(HasKey(keys, {"id"}));
+  EXPECT_TRUE(keys.empty());  // domain alone does not identify
+}
+
+TEST(KeyDiscoveryTest, MaxSizeBounds) {
+  // Only the pair identifies; with max_size=1 nothing is found.
+  Relation universe = MakeRelation("E", {"a", "b"}, {},
+                                   {{"1", "1"}, {"1", "2"}, {"2", "1"}});
+  KeyDiscoveryOptions opts;
+  opts.max_size = 1;
+  EID_ASSERT_OK_AND_ASSIGN(std::vector<ExtendedKey> one,
+                           DiscoverMinimalKeys(universe, opts));
+  EXPECT_TRUE(one.empty());
+  opts.max_size = 2;
+  EID_ASSERT_OK_AND_ASSIGN(std::vector<ExtendedKey> two,
+                           DiscoverMinimalKeys(universe, opts));
+  EXPECT_TRUE(HasKey(two, {"a", "b"}));
+}
+
+TEST(KeyDiscoveryTest, EnumerationCap) {
+  Relation universe = MakeRelation(
+      "E", {"a", "b", "c", "d", "e", "f"}, {},
+      {{"1", "1", "1", "1", "1", "1"}, {"2", "2", "2", "2", "2", "2"}});
+  KeyDiscoveryOptions opts;
+  opts.enumeration_cap = 3;
+  opts.max_size = 6;
+  Result<std::vector<ExtendedKey>> keys = DiscoverMinimalKeys(universe, opts);
+  // Either finishes early thanks to pruning or reports the cap; with cap 3
+  // and 6 singletons to examine it must report.
+  EXPECT_FALSE(keys.ok());
+}
+
+TEST(KeyDiscoveryTest, GeneratedWorldRecoversDesignKeys) {
+  GeneratorConfig gen;
+  gen.seed = 21;
+  gen.overlap_entities = 40;
+  gen.r_only_entities = 20;
+  gen.s_only_entities = 20;
+  gen.name_pool = 30;  // force name collisions
+  gen.street_pool = 200;
+  gen.cities = 6;
+  gen.speciality_pool = 20;
+  gen.cuisines = 5;
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld world, GenerateWorld(gen));
+  KeyDiscoveryOptions opts;
+  opts.max_size = 2;
+  EID_ASSERT_OK_AND_ASSIGN(std::vector<ExtendedKey> keys,
+                           DiscoverMinimalKeys(world.universe, opts));
+  // The design keys (name, speciality), (name, street), (name, city) are
+  // unique by construction — they appear unless a 1-attribute subset
+  // already identifies (possible for street with a big pool).
+  EXPECT_FALSE(keys.empty());
+  bool design_key_found = false;
+  for (const ExtendedKey& key : keys) {
+    if (key == world.extended_key) design_key_found = true;
+  }
+  bool street_alone = HasKey(keys, {"street"});
+  bool name_spec_subsumed = street_alone;  // not possible: different attrs
+  (void)name_spec_subsumed;
+  EXPECT_TRUE(design_key_found || HasKey(keys, {"speciality"}))
+      << "expected {name, speciality} (or a subsumed singleton) among keys";
+}
+
+TEST(KeyDiscoveryTest, RankKeysForPairPrefersCheapDerivation) {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  AttributeCorrespondence corr = AttributeCorrespondence::Identity(r, s);
+  IlfdSet ilfds = fixtures::Example3Ilfds();
+  std::vector<ExtendedKey> candidates = {
+      ExtendedKey({"name", "cuisine", "speciality"}),  // derivable both ways
+      ExtendedKey({"name", "street"}),                 // street not in S, not
+                                                       // derivable
+      ExtendedKey({"name", "county"}),                 // county derivable (I7)
+  };
+  std::vector<RankedKey> ranked = RankKeysForPair(candidates, corr, ilfds);
+  // {name, street} is unusable (street underivable on S).
+  ASSERT_EQ(ranked.size(), 2u);
+  // {name, county}: one derived column (R side) beats
+  // {name, cuisine, speciality}: two derived columns.
+  EXPECT_EQ(ranked[0].key, ExtendedKey({"name", "county"}));
+  EXPECT_EQ(ranked[0].derived_on_r, 1u);
+  EXPECT_EQ(ranked[1].key, ExtendedKey({"name", "cuisine", "speciality"}));
+  EXPECT_EQ(ranked[1].derived_on_r + ranked[1].derived_on_s, 2u);
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,86 @@
+#include "eid/correspondence.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+TEST(CorrespondenceTest, IdentityCoversBothSchemas) {
+  Relation r = MakeRelation("R", {"name", "street"}, {}, {});
+  Relation s = MakeRelation("S", {"name", "city"}, {}, {});
+  AttributeCorrespondence corr = AttributeCorrespondence::Identity(r, s);
+  EXPECT_EQ(corr.CommonWorldAttributes(), (std::vector<std::string>{"name"}));
+  EXPECT_EQ(corr.WorldAttributesOf(Side::kR),
+            (std::vector<std::string>{"name", "street"}));
+  EXPECT_EQ(corr.WorldAttributesOf(Side::kS),
+            (std::vector<std::string>{"name", "city"}));
+  EID_EXPECT_OK(corr.ValidateAgainst(r, s));
+}
+
+TEST(CorrespondenceTest, ExplicitMappingWithDifferentLocalNames) {
+  // The prototype's r_name / s_name case.
+  Relation r = MakeRelation("R", {"r_name", "r_cui"}, {}, {});
+  Relation s = MakeRelation("S", {"s_name", "s_spec"}, {}, {});
+  AttributeCorrespondence corr;
+  EID_EXPECT_OK(corr.Add(AttributeMapping{"name", "r_name", "s_name"}));
+  EID_EXPECT_OK(corr.Add(AttributeMapping{"cuisine", "r_cui", std::nullopt}));
+  EID_EXPECT_OK(corr.Add(AttributeMapping{"speciality", std::nullopt,
+                                          "s_spec"}));
+  EID_EXPECT_OK(corr.ValidateAgainst(r, s));
+  EXPECT_EQ(corr.CommonWorldAttributes(), (std::vector<std::string>{"name"}));
+  EXPECT_EQ(corr.LocalName("cuisine", Side::kR), "r_cui");
+  EXPECT_FALSE(corr.LocalName("cuisine", Side::kS).has_value());
+  EXPECT_FALSE(corr.LocalName("unknown", Side::kR).has_value());
+}
+
+TEST(CorrespondenceTest, AddRejectsDuplicatesAndEmpties) {
+  AttributeCorrespondence corr;
+  EID_EXPECT_OK(corr.Add(AttributeMapping{"name", "n", std::nullopt}));
+  EXPECT_EQ(corr.Add(AttributeMapping{"name", "m", std::nullopt}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(corr.Add(AttributeMapping{"", "x", std::nullopt}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      corr.Add(AttributeMapping{"w", std::nullopt, std::nullopt}).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(CorrespondenceTest, ValidateAgainstDetectsMissingLocal) {
+  Relation r = MakeRelation("R", {"a"}, {}, {});
+  Relation s = MakeRelation("S", {"b"}, {}, {});
+  AttributeCorrespondence corr;
+  EID_EXPECT_OK(corr.Add(AttributeMapping{"w", "nope", std::nullopt}));
+  EXPECT_EQ(corr.ValidateAgainst(r, s).code(), StatusCode::kNotFound);
+}
+
+TEST(CorrespondenceTest, ToWorldNamingRenamesMappedAttributes) {
+  Relation r = MakeRelation("R", {"r_name", "r_cui", "street"}, {"r_name"},
+                            {{"Wok", "Chinese", "Wash"}});
+  Relation s = MakeRelation("S", {"s_name"}, {}, {});
+  AttributeCorrespondence corr;
+  EID_EXPECT_OK(corr.Add(AttributeMapping{"name", "r_name", "s_name"}));
+  EID_EXPECT_OK(corr.Add(AttributeMapping{"cuisine", "r_cui", std::nullopt}));
+  EID_ASSERT_OK_AND_ASSIGN(Relation world, corr.ToWorldNaming(r, Side::kR));
+  EXPECT_TRUE(world.schema().Contains("name"));
+  EXPECT_TRUE(world.schema().Contains("cuisine"));
+  EXPECT_TRUE(world.schema().Contains("street"));  // unmapped: local name
+  EXPECT_EQ(world.PrimaryKeyNames(), (std::vector<std::string>{"name"}));
+  EXPECT_EQ(world.tuple(0).GetOrNull("name").AsString(), "Wok");
+}
+
+TEST(CorrespondenceTest, ToWorldNamingDetectsCollision) {
+  // Unmapped local attribute 'name' collides with the world name that
+  // r_name maps to.
+  Relation r = MakeRelation("R", {"r_name", "name"}, {}, {});
+  Relation s = MakeRelation("S", {"s_name"}, {}, {});
+  AttributeCorrespondence corr;
+  EID_EXPECT_OK(corr.Add(AttributeMapping{"name", "r_name", "s_name"}));
+  EXPECT_FALSE(corr.ToWorldNaming(r, Side::kR).ok());
+}
+
+}  // namespace
+}  // namespace eid

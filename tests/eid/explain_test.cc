@@ -1,0 +1,112 @@
+#include "eid/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "workload/fixtures.h"
+
+namespace eid {
+namespace {
+
+struct Example3Setup {
+  IdentifierConfig config;
+  IdentificationResult result;
+};
+
+Example3Setup RunExample3() {
+  Example3Setup setup;
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  setup.config.correspondence = AttributeCorrespondence::Identity(r, s);
+  setup.config.extended_key = fixtures::Example3ExtendedKey();
+  setup.config.ilfds = fixtures::Example3Ilfds();
+  EntityIdentifier identifier(setup.config);
+  Result<IdentificationResult> result = identifier.Identify(r, s);
+  EXPECT_TRUE(result.ok());
+  setup.result = std::move(result).value();
+  return setup;
+}
+
+TEST(ExplainTest, MatchCitesDerivationChain) {
+  Example3Setup setup = RunExample3();
+  // R2 (It'sGreek) ↔ S2: speciality derived through I7 then I8.
+  EID_ASSERT_OK_AND_ASSIGN(
+      std::string text,
+      ExplainDecision(setup.result, setup.config, 2, 2));
+  EXPECT_NE(text.find("decision: match"), std::string::npos);
+  EXPECT_NE(text.find("extended key"), std::string::npos);
+  EXPECT_NE(text.find("I7"), std::string::npos);
+  EXPECT_NE(text.find("I8"), std::string::npos);
+  EXPECT_NE(text.find("Gyros"), std::string::npos);
+  EXPECT_NE(text.find("intermediate"), std::string::npos);  // county
+}
+
+TEST(ExplainTest, MatchWithDirectKeyHasNoSteps) {
+  // Example 2-style: both sides carry the key after one derivation on S.
+  Relation r = fixtures::Example2R();
+  Relation s = fixtures::Example2S();
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.extended_key = fixtures::Example2ExtendedKey();
+  config.ilfds = fixtures::Example2Ilfds();
+  EID_ASSERT_OK_AND_ASSIGN(IdentificationResult result,
+                           EntityIdentifier(config).Identify(r, s));
+  EID_ASSERT_OK_AND_ASSIGN(std::string text,
+                           ExplainDecision(result, config, 1, 0));
+  EXPECT_NE(text.find("decision: match"), std::string::npos);
+  EXPECT_NE(text.find("I1"), std::string::npos);  // Mughalai -> Indian
+}
+
+TEST(ExplainTest, NonMatchCitesProposition1Rule) {
+  Example3Setup setup = RunExample3();
+  // R0 (TwinCities Chinese / Hunan) vs S1 (Sichuan) is certified distinct.
+  ASSERT_EQ(setup.result.Decide(0, 1), MatchDecision::kNonMatch);
+  EID_ASSERT_OK_AND_ASSIGN(
+      std::string text,
+      ExplainDecision(setup.result, setup.config, 0, 1));
+  EXPECT_NE(text.find("decision: non-match"), std::string::npos);
+  EXPECT_NE(text.find("Proposition-1 rule"), std::string::npos);
+  EXPECT_NE(text.find("orientation"), std::string::npos);
+}
+
+TEST(ExplainTest, NonMatchCitesExplicitRuleByName) {
+  Relation r = fixtures::Example2R();
+  Relation s = fixtures::Example2S();
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.distinctness_from_ilfds = false;
+  EID_ASSERT_OK_AND_ASSIGN(
+      DistinctnessRule r3,
+      ParseDistinctnessRule(
+          "r3", "e2.speciality = \"Mughalai\" & e1.cuisine != \"Indian\""));
+  config.distinctness_rules.push_back(r3);
+  EID_ASSERT_OK_AND_ASSIGN(IdentificationResult result,
+                           EntityIdentifier(config).Identify(r, s));
+  ASSERT_EQ(result.Decide(0, 0), MatchDecision::kNonMatch);
+  EID_ASSERT_OK_AND_ASSIGN(std::string text,
+                           ExplainDecision(result, config, 0, 0));
+  EXPECT_NE(text.find("rule 'r3'"), std::string::npos);
+}
+
+TEST(ExplainTest, UndeterminedNamesTheMissingKnowledge) {
+  Example3Setup setup = RunExample3();
+  // R4 (VillageWok) vs S1 (Sichuan): R4's speciality is underivable.
+  ASSERT_EQ(setup.result.Decide(4, 1), MatchDecision::kUndetermined);
+  EID_ASSERT_OK_AND_ASSIGN(
+      std::string text,
+      ExplainDecision(setup.result, setup.config, 4, 1));
+  EXPECT_NE(text.find("decision: undetermined"), std::string::npos);
+  EXPECT_NE(text.find("speciality"), std::string::npos);
+  EXPECT_NE(text.find("NULL"), std::string::npos);
+  EXPECT_NE(text.find("more identity/distinctness knowledge"),
+            std::string::npos);
+}
+
+TEST(ExplainTest, OutOfRangeRejected) {
+  Example3Setup setup = RunExample3();
+  EXPECT_FALSE(ExplainDecision(setup.result, setup.config, 99, 0).ok());
+  EXPECT_FALSE(ExplainDecision(setup.result, setup.config, 0, 99).ok());
+}
+
+}  // namespace
+}  // namespace eid

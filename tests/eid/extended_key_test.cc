@@ -1,0 +1,96 @@
+#include "eid/extended_key.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "workload/fixtures.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+TEST(ExtendedKeyTest, CanonicalisesAttributes) {
+  ExtendedKey key({"b", "a", "b"});
+  EXPECT_EQ(key.attributes(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(key.Contains("a"));
+  EXPECT_FALSE(key.Contains("c"));
+  EXPECT_EQ(key.ToString(), "{a, b}");
+}
+
+TEST(ExtendedKeyTest, EquivalenceRuleIsValidIdentityRule) {
+  ExtendedKey key({"name", "cuisine"});
+  IdentityRule rule = key.EquivalenceRule();
+  EID_EXPECT_OK(rule.Validate());
+  EXPECT_EQ(rule.predicates().size(), 2u);
+}
+
+TEST(ExtendedKeyTest, MissingOnComputesKExtMinusR) {
+  Relation r = MakeRelation("R", {"name", "cuisine"}, {}, {});
+  Relation s = MakeRelation("S", {"name", "speciality"}, {}, {});
+  AttributeCorrespondence corr = AttributeCorrespondence::Identity(r, s);
+  ExtendedKey key({"name", "cuisine", "speciality"});
+  EXPECT_EQ(key.MissingOn(corr, Side::kR),
+            (std::vector<std::string>{"speciality"}));
+  EXPECT_EQ(key.MissingOn(corr, Side::kS),
+            (std::vector<std::string>{"cuisine"}));
+}
+
+TEST(ExtendedKeyTest, IsIdentifyingOverUniverse) {
+  Relation universe = MakeRelation(
+      "E", {"name", "street", "cuisine"}, {},
+      {{"Wok", "A", "Chinese"}, {"Wok", "B", "Chinese"}, {"Ching", "A", "X"}});
+  EID_ASSERT_OK_AND_ASSIGN(bool name_only, IsIdentifying(universe, {"name"}));
+  EXPECT_FALSE(name_only);
+  EID_ASSERT_OK_AND_ASSIGN(bool name_street,
+                           IsIdentifying(universe, {"name", "street"}));
+  EXPECT_TRUE(name_street);
+}
+
+TEST(ExtendedKeyTest, VerifyAgainstUniverseAcceptsMinimalKey) {
+  Relation universe = MakeRelation(
+      "E", {"name", "street", "cuisine"}, {},
+      {{"Wok", "A", "Chinese"}, {"Wok", "B", "Chinese"}, {"Ching", "A", "X"}});
+  EID_EXPECT_OK(
+      ExtendedKey({"name", "street"}).VerifyAgainstUniverse(universe));
+}
+
+TEST(ExtendedKeyTest, VerifyRejectsNonIdentifyingKey) {
+  Relation universe = MakeRelation("E", {"name", "cuisine"}, {},
+                                   {{"Wok", "Chinese"}, {"Wok", "Chinese"}});
+  EXPECT_EQ(ExtendedKey({"name", "cuisine"})
+                .VerifyAgainstUniverse(universe)
+                .code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(ExtendedKeyTest, VerifyRejectsNonMinimalKey) {
+  Relation universe = MakeRelation(
+      "E", {"name", "street", "cuisine"}, {},
+      {{"Wok", "A", "Chinese"}, {"Ching", "B", "Greek"}});
+  Status st =
+      ExtendedKey({"name", "street", "cuisine"}).VerifyAgainstUniverse(universe);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExtendedKeyTest, EmptyKeyRejected) {
+  Relation universe = MakeRelation("E", {"a"}, {}, {});
+  EXPECT_FALSE(ExtendedKey(std::vector<std::string>{})
+                   .VerifyAgainstUniverse(universe)
+                   .ok());
+}
+
+TEST(ExtendedKeyTest, Figure2UniverseNeedsMoreThanNameCuisine) {
+  // The Fig. 2 scenario: (name, cuisine) is not identifying — two distinct
+  // VillageWok Chinese restaurants exist; (name, street, cuisine) is.
+  Relation universe = fixtures::Figure2Universe();
+  EID_ASSERT_OK_AND_ASSIGN(bool nc,
+                           IsIdentifying(universe, {"name", "cuisine"}));
+  EXPECT_FALSE(nc);
+  EID_ASSERT_OK_AND_ASSIGN(
+      bool nsc, IsIdentifying(universe, {"name", "street", "cuisine"}));
+  EXPECT_TRUE(nsc);
+}
+
+}  // namespace
+}  // namespace eid

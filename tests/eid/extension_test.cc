@@ -1,0 +1,129 @@
+#include "eid/extension.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "workload/fixtures.h"
+
+namespace eid {
+namespace {
+
+TEST(ExtensionTest, AddsMissingExtendedKeyColumnsAsNullByDefault) {
+  Relation r = fixtures::Example2R();  // name, cuisine, street
+  Relation s = fixtures::Example2S();  // name, speciality, city
+  AttributeCorrespondence corr = AttributeCorrespondence::Identity(r, s);
+  ExtendedKey key({"name", "cuisine"});
+  IlfdSet no_knowledge;
+  EID_ASSERT_OK_AND_ASSIGN(
+      ExtensionResult sx,
+      ExtendRelation(s, Side::kS, corr, key, no_knowledge));
+  EXPECT_EQ(sx.added_attributes, (std::vector<std::string>{"cuisine"}));
+  ASSERT_TRUE(sx.extended.schema().Contains("cuisine"));
+  EXPECT_TRUE(sx.extended.tuple(0).GetOrNull("cuisine").is_null());
+}
+
+TEST(ExtensionTest, DerivesMissingValuesViaIlfds) {
+  Relation r = fixtures::Example2R();
+  Relation s = fixtures::Example2S();
+  AttributeCorrespondence corr = AttributeCorrespondence::Identity(r, s);
+  EID_ASSERT_OK_AND_ASSIGN(
+      ExtensionResult sx,
+      ExtendRelation(s, Side::kS, corr, fixtures::Example2ExtendedKey(),
+                     fixtures::Example2Ilfds()));
+  EXPECT_EQ(sx.extended.tuple(0).GetOrNull("cuisine").AsString(), "Indian");
+  ASSERT_EQ(sx.traces.size(), 1u);
+  EXPECT_EQ(sx.traces[0].steps.size(), 1u);
+  EXPECT_EQ(sx.traces[0].steps[0].ilfd_index, 0u);
+}
+
+TEST(ExtensionTest, RowOrderAndOriginalValuesPreserved) {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  AttributeCorrespondence corr = AttributeCorrespondence::Identity(r, s);
+  EID_ASSERT_OK_AND_ASSIGN(
+      ExtensionResult rx,
+      ExtendRelation(r, Side::kR, corr, fixtures::Example3ExtendedKey(),
+                     fixtures::Example3Ilfds()));
+  ASSERT_EQ(rx.extended.size(), r.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(rx.extended.tuple(i).GetOrNull("name"),
+              r.tuple(i).GetOrNull("name"));
+    EXPECT_EQ(rx.extended.tuple(i).GetOrNull("street"),
+              r.tuple(i).GetOrNull("street"));
+  }
+}
+
+TEST(ExtensionTest, KeysCarryOverToExtendedRelation) {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  AttributeCorrespondence corr = AttributeCorrespondence::Identity(r, s);
+  EID_ASSERT_OK_AND_ASSIGN(
+      ExtensionResult rx,
+      ExtendRelation(r, Side::kR, corr, fixtures::Example3ExtendedKey(),
+                     fixtures::Example3Ilfds()));
+  EXPECT_EQ(rx.extended.PrimaryKeyNames(),
+            (std::vector<std::string>{"name", "cuisine"}));
+}
+
+TEST(ExtensionTest, IntermediateDerivedAttributesNotAddedByDefault) {
+  // Deriving R's speciality for It'sGreek goes through county (I7, I8),
+  // but county is not an extended-key attribute, so R' must not have it.
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  AttributeCorrespondence corr = AttributeCorrespondence::Identity(r, s);
+  EID_ASSERT_OK_AND_ASSIGN(
+      ExtensionResult rx,
+      ExtendRelation(r, Side::kR, corr, fixtures::Example3ExtendedKey(),
+                     fixtures::Example3Ilfds()));
+  EXPECT_FALSE(rx.extended.schema().Contains("county"));
+  EXPECT_EQ(rx.extended.tuple(2).GetOrNull("speciality").AsString(), "Gyros");
+}
+
+TEST(ExtensionTest, DeriveAllAddsEveryDerivableColumn) {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  AttributeCorrespondence corr = AttributeCorrespondence::Identity(r, s);
+  ExtensionOptions opts;
+  opts.derive_all = true;
+  EID_ASSERT_OK_AND_ASSIGN(
+      ExtensionResult rx,
+      ExtendRelation(r, Side::kR, corr, fixtures::Example3ExtendedKey(),
+                     fixtures::Example3Ilfds(), opts));
+  ASSERT_TRUE(rx.extended.schema().Contains("county"));
+  EXPECT_EQ(rx.extended.tuple(2).GetOrNull("county").AsString(), "Ramsey");
+}
+
+TEST(ExtensionTest, FirstMatchModeMirrorsPrototype) {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  AttributeCorrespondence corr = AttributeCorrespondence::Identity(r, s);
+  ExtensionOptions opts;
+  opts.derivation.mode = DerivationMode::kFirstMatch;
+  EID_ASSERT_OK_AND_ASSIGN(
+      ExtensionResult rx,
+      ExtendRelation(r, Side::kR, corr, fixtures::Example3ExtendedKey(),
+                     fixtures::Example3Ilfds(), opts));
+  std::vector<std::string> expected = {"Hunan", "null", "Gyros", "Mughalai",
+                                       "null"};
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(rx.extended.tuple(i).GetOrNull("speciality").ToString(),
+              expected[i]);
+  }
+}
+
+TEST(ExtensionTest, DirtyDataSurfacesAsConflictError) {
+  // A base tuple contradicting an ILFD fails extension under kError.
+  Relation s("S", Schema::OfStrings({"name", "speciality", "cuisine"}));
+  EID_EXPECT_OK(s.DeclareKey({"name"}));
+  EID_EXPECT_OK(s.InsertText({"X", "Mughalai", "Greek"}));
+  Relation r = fixtures::Example2R();
+  AttributeCorrespondence corr = AttributeCorrespondence::Identity(r, s);
+  Result<ExtensionResult> sx =
+      ExtendRelation(s, Side::kS, corr, fixtures::Example2ExtendedKey(),
+                     fixtures::Example2Ilfds());
+  ASSERT_FALSE(sx.ok());
+  EXPECT_EQ(sx.status().code(), StatusCode::kConstraintViolation);
+}
+
+}  // namespace
+}  // namespace eid

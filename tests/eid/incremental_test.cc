@@ -1,0 +1,235 @@
+#include "eid/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "workload/fixtures.h"
+#include "workload/generator.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+IdentifierConfig Example3Config() {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.extended_key = fixtures::Example3ExtendedKey();
+  config.ilfds = fixtures::Example3Ilfds();
+  return config;
+}
+
+Relation EmptyLike(const Relation& model) {
+  Relation out(model.name(), model.schema());
+  for (const KeyDef& k : model.keys()) {
+    std::vector<std::string> names;
+    for (size_t i : k.attribute_indices) {
+      names.push_back(model.schema().attribute(i).name);
+    }
+    EXPECT_TRUE(out.DeclareKey(names).ok());
+  }
+  return out;
+}
+
+Result<IncrementalIdentifier> MakeExample3Incremental() {
+  return IncrementalIdentifier::Create(Example3Config(),
+                                       EmptyLike(fixtures::Example3R()),
+                                       EmptyLike(fixtures::Example3S()));
+}
+
+TEST(IncrementalTest, ReplayingExample3MatchesBatch) {
+  EID_ASSERT_OK_AND_ASSIGN(IncrementalIdentifier inc,
+                           MakeExample3Incremental());
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  for (const Row& row : r.rows()) {
+    EID_ASSERT_OK_AND_ASSIGN(size_t id, inc.InsertR(row));
+    (void)id;
+  }
+  for (const Row& row : s.rows()) {
+    EID_ASSERT_OK_AND_ASSIGN(size_t id, inc.InsertS(row));
+    (void)id;
+  }
+  EXPECT_EQ(inc.r_size(), 5u);
+  EXPECT_EQ(inc.s_size(), 4u);
+  EID_EXPECT_OK(inc.Uniqueness());
+
+  EntityIdentifier batch(Example3Config());
+  EID_ASSERT_OK_AND_ASSIGN(IdentificationResult reference,
+                           batch.Identify(r, s));
+  EID_ASSERT_OK_AND_ASSIGN(Relation inc_mt, inc.MatchingRelation());
+  EID_ASSERT_OK_AND_ASSIGN(Relation ref_mt, reference.MatchingRelation("MT"));
+  EXPECT_TRUE(inc_mt.RowsEqualUnordered(ref_mt));
+  EXPECT_EQ(inc.Partition().matched, reference.partition.matched);
+  EXPECT_EQ(inc.Partition().non_matched, reference.partition.non_matched);
+  EXPECT_EQ(inc.Partition().undetermined, reference.partition.undetermined);
+}
+
+TEST(IncrementalTest, InsertionOrderIndependent) {
+  EID_ASSERT_OK_AND_ASSIGN(IncrementalIdentifier forward,
+                           MakeExample3Incremental());
+  EID_ASSERT_OK_AND_ASSIGN(IncrementalIdentifier backward,
+                           MakeExample3Incremental());
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  for (const Row& row : s.rows()) EXPECT_TRUE(forward.InsertS(row).ok());
+  for (const Row& row : r.rows()) EXPECT_TRUE(forward.InsertR(row).ok());
+  for (size_t i = r.size(); i-- > 0;) {
+    EXPECT_TRUE(backward.InsertR(r.row(i)).ok());
+  }
+  for (size_t i = s.size(); i-- > 0;) {
+    EXPECT_TRUE(backward.InsertS(s.row(i)).ok());
+  }
+  EID_ASSERT_OK_AND_ASSIGN(Relation a, forward.MatchingRelation());
+  EID_ASSERT_OK_AND_ASSIGN(Relation b, backward.MatchingRelation());
+  EXPECT_TRUE(a.RowsEqualUnordered(b));
+}
+
+TEST(IncrementalTest, DeleteRetractsMatches) {
+  EID_ASSERT_OK_AND_ASSIGN(IncrementalIdentifier inc,
+                           MakeExample3Incremental());
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  std::vector<size_t> r_ids, s_ids;
+  for (const Row& row : r.rows()) {
+    EID_ASSERT_OK_AND_ASSIGN(size_t id, inc.InsertR(row));
+    r_ids.push_back(id);
+  }
+  for (const Row& row : s.rows()) {
+    EID_ASSERT_OK_AND_ASSIGN(size_t id, inc.InsertS(row));
+    s_ids.push_back(id);
+  }
+  EXPECT_EQ(inc.Partition().matched, 3u);
+  // Delete the Anjuman R tuple: its match disappears.
+  EID_EXPECT_OK(inc.DeleteR(r_ids[3]));
+  EXPECT_EQ(inc.Partition().matched, 2u);
+  EXPECT_FALSE(inc.MatchOfS(s_ids[3]).has_value());
+  // Deleting twice is NotFound.
+  EXPECT_EQ(inc.DeleteR(r_ids[3]).code(), StatusCode::kNotFound);
+  // Re-inserting restores the match (under a fresh id).
+  EID_ASSERT_OK_AND_ASSIGN(size_t new_id, inc.InsertR(r.row(3)));
+  EXPECT_EQ(inc.Partition().matched, 3u);
+  EXPECT_EQ(inc.MatchOfR(new_id), s_ids[3]);
+}
+
+TEST(IncrementalTest, UniquenessViolationAndRecoveryOnDelete) {
+  // Extended key {name} and two same-name S tuples: the second candidate
+  // is shadowed; deleting the first S tuple lets it surface.
+  Relation r_proto = MakeRelation("R", {"name", "street"}, {"name", "street"},
+                                  {});
+  Relation s_proto = MakeRelation("S", {"name", "city"}, {"name", "city"},
+                                  {});
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r_proto, s_proto);
+  config.extended_key = ExtendedKey({"name"});
+  EID_ASSERT_OK_AND_ASSIGN(
+      IncrementalIdentifier inc,
+      IncrementalIdentifier::Create(config, r_proto, s_proto));
+  EID_ASSERT_OK_AND_ASSIGN(size_t r0,
+                           inc.InsertR(Row{Value::Str("Wok"), Value::Str("A")}));
+  EID_ASSERT_OK_AND_ASSIGN(size_t s0,
+                           inc.InsertS(Row{Value::Str("Wok"), Value::Str("X")}));
+  EID_ASSERT_OK_AND_ASSIGN(size_t s1,
+                           inc.InsertS(Row{Value::Str("Wok"), Value::Str("Y")}));
+  EXPECT_EQ(inc.Uniqueness().code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(inc.MatchOfR(r0), s0);  // greedy: first candidate kept
+  EID_EXPECT_OK(inc.DeleteS(s0));
+  EID_EXPECT_OK(inc.Uniqueness());
+  EXPECT_EQ(inc.MatchOfR(r0), s1);  // shadowed candidate surfaced
+}
+
+TEST(IncrementalTest, KeyViolationsRejectedWithoutStateChange) {
+  EID_ASSERT_OK_AND_ASSIGN(IncrementalIdentifier inc,
+                           MakeExample3Incremental());
+  Relation r = fixtures::Example3R();
+  EXPECT_TRUE(inc.InsertR(r.row(0)).ok());
+  // Same (name, cuisine) key again.
+  Result<size_t> dup = inc.InsertR(
+      Row{Value::Str("TwinCities"), Value::Str("Chinese"), Value::Str("Z")});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(inc.r_size(), 1u);
+  // Key slot frees after deletion.
+  EID_EXPECT_OK(inc.DeleteR(0));
+  EXPECT_TRUE(inc.InsertR(Row{Value::Str("TwinCities"), Value::Str("Chinese"),
+                              Value::Str("Z")})
+                  .ok());
+}
+
+TEST(IncrementalTest, NegativePairsTrackDistinctnessRules) {
+  EID_ASSERT_OK_AND_ASSIGN(IncrementalIdentifier inc,
+                           MakeExample3Incremental());
+  // R: TwinCities Chinese (derives speciality=Hunan via I5).
+  EXPECT_TRUE(inc.InsertR(fixtures::Example3R().row(0)).ok());
+  // S: the Sichuan tuple — certified distinct from the Hunan one.
+  EXPECT_TRUE(inc.InsertS(fixtures::Example3S().row(1)).ok());
+  EXPECT_EQ(inc.Decide(0, 0), MatchDecision::kNonMatch);
+  EXPECT_EQ(inc.Partition().non_matched, 1u);
+}
+
+TEST(IncrementalTest, RandomReplayEquivalentToBatch) {
+  // Insert all tuples of a generated world, delete a third, re-insert
+  // some; final state must equal batch identification of the live rows.
+  GeneratorConfig gen;
+  gen.seed = 77;
+  gen.overlap_entities = 24;
+  gen.r_only_entities = 12;
+  gen.s_only_entities = 12;
+  gen.name_pool = 48;
+  gen.street_pool = 120;
+  gen.cities = 6;
+  gen.speciality_pool = 16;
+  gen.cuisines = 5;
+  gen.ilfd_coverage = 1.0;
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld world, GenerateWorld(gen));
+
+  IdentifierConfig config;
+  config.correspondence = world.correspondence;
+  config.extended_key = world.extended_key;
+  config.ilfds = world.ilfds;
+
+  EID_ASSERT_OK_AND_ASSIGN(
+      IncrementalIdentifier inc,
+      IncrementalIdentifier::Create(config, EmptyLike(world.r),
+                                    EmptyLike(world.s)));
+  std::vector<size_t> r_ids, s_ids;
+  for (const Row& row : world.r.rows()) {
+    EID_ASSERT_OK_AND_ASSIGN(size_t id, inc.InsertR(row));
+    r_ids.push_back(id);
+  }
+  for (const Row& row : world.s.rows()) {
+    EID_ASSERT_OK_AND_ASSIGN(size_t id, inc.InsertS(row));
+    s_ids.push_back(id);
+  }
+  // Delete every third R tuple and every fourth S tuple.
+  Relation live_r = EmptyLike(world.r);
+  Relation live_s = EmptyLike(world.s);
+  for (size_t i = 0; i < r_ids.size(); ++i) {
+    if (i % 3 == 0) {
+      EID_EXPECT_OK(inc.DeleteR(r_ids[i]));
+    } else {
+      EID_EXPECT_OK(live_r.Insert(world.r.row(i)));
+    }
+  }
+  for (size_t i = 0; i < s_ids.size(); ++i) {
+    if (i % 4 == 0) {
+      EID_EXPECT_OK(inc.DeleteS(s_ids[i]));
+    } else {
+      EID_EXPECT_OK(live_s.Insert(world.s.row(i)));
+    }
+  }
+  EntityIdentifier batch(config);
+  EID_ASSERT_OK_AND_ASSIGN(IdentificationResult reference,
+                           batch.Identify(live_r, live_s));
+  EID_ASSERT_OK_AND_ASSIGN(Relation inc_mt, inc.MatchingRelation());
+  EID_ASSERT_OK_AND_ASSIGN(Relation ref_mt, reference.MatchingRelation("MT"));
+  EXPECT_TRUE(inc_mt.RowsEqualUnordered(ref_mt))
+      << "incremental MT (" << inc_mt.size() << ") != batch MT ("
+      << ref_mt.size() << ")";
+  EXPECT_EQ(inc.Partition().non_matched, reference.partition.non_matched);
+}
+
+}  // namespace
+}  // namespace eid

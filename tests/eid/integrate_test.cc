@@ -1,0 +1,134 @@
+#include "eid/integrate.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "workload/fixtures.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+IdentificationResult Example3Result() {
+  IdentifierConfig config;
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.extended_key = fixtures::Example3ExtendedKey();
+  config.ilfds = fixtures::Example3Ilfds();
+  EntityIdentifier identifier(config);
+  Result<IdentificationResult> result = identifier.Identify(r, s);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(IntegrateTest, SideBySideRowCount) {
+  IdentificationResult result = Example3Result();
+  EID_ASSERT_OK_AND_ASSIGN(Relation t, BuildIntegratedTable(result));
+  // 3 matched + 2 unmatched R (TwinCities-Indian, VillageWok) + 1
+  // unmatched S (Sichuan) = 6 rows, matching the §6.3 printed table shape.
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_TRUE(t.schema().Contains("R.name"));
+  EXPECT_TRUE(t.schema().Contains("S.name"));
+}
+
+TEST(IntegrateTest, UnmatchedRowsCarryNulls) {
+  IdentificationResult result = Example3Result();
+  EID_ASSERT_OK_AND_ASSIGN(Relation t, BuildIntegratedTable(result));
+  size_t r_padded = 0, s_padded = 0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    bool r_null = t.tuple(i).GetOrNull("R.name").is_null();
+    bool s_null = t.tuple(i).GetOrNull("S.name").is_null();
+    EXPECT_FALSE(r_null && s_null);
+    if (r_null) ++s_padded;
+    if (s_null) ++r_padded;
+  }
+  EXPECT_EQ(r_padded, 2u);
+  EXPECT_EQ(s_padded, 1u);
+}
+
+TEST(IntegrateTest, MergedLayoutCoalescesWorldColumns) {
+  IdentificationResult result = Example3Result();
+  EID_ASSERT_OK_AND_ASSIGN(
+      Relation t, BuildIntegratedTable(result, IntegrationLayout::kMerged));
+  EXPECT_EQ(t.size(), 6u);
+  // One column per world attribute.
+  EXPECT_TRUE(t.schema().Contains("name"));
+  EXPECT_TRUE(t.schema().Contains("cuisine"));
+  EXPECT_TRUE(t.schema().Contains("speciality"));
+  EXPECT_TRUE(t.schema().Contains("street"));
+  EXPECT_TRUE(t.schema().Contains("county"));
+  EXPECT_FALSE(t.schema().Contains("R.name"));
+  // Matched rows pull values from both sides: the Anjuman row has street
+  // (from R) and county (from S).
+  bool found_anjuman = false;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t.tuple(i).GetOrNull("name").ToString() == "Anjuman") {
+      found_anjuman = true;
+      EXPECT_EQ(t.tuple(i).GetOrNull("street").AsString(), "LeSalleAve.");
+      EXPECT_EQ(t.tuple(i).GetOrNull("county").AsString(), "Mpls.");
+    }
+  }
+  EXPECT_TRUE(found_anjuman);
+}
+
+TEST(IntegrateTest, MergedLayoutSurfacesAttributeValueConflicts) {
+  // Force a match whose shared non-key attribute disagrees.
+  Relation r = MakeRelation("R", {"name", "city"}, {"name"},
+                            {{"Wok", "Mpls"}});
+  Relation s = MakeRelation("S", {"name", "city"}, {"name"},
+                            {{"Wok", "St.Paul"}});
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.identity_rules.push_back(IdentityRule::KeyEquivalence("n", {"name"}));
+  EntityIdentifier identifier(config);
+  EID_ASSERT_OK_AND_ASSIGN(IdentificationResult result,
+                           identifier.Identify(r, s));
+  ASSERT_EQ(result.matching.size(), 1u);
+  Result<Relation> merged =
+      BuildIntegratedTable(result, IntegrationLayout::kMerged);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kFailedPrecondition);
+  // Side-by-side integration still works (conflict left visible).
+  EID_ASSERT_OK_AND_ASSIGN(Relation side, BuildIntegratedTable(result));
+  EXPECT_EQ(side.size(), 1u);
+}
+
+TEST(IntegrateTest, PotentialIntraMatchesFindsResidualCandidates) {
+  IdentificationResult result = Example3Result();
+  EID_ASSERT_OK_AND_ASSIGN(
+      std::vector<TuplePair> residual,
+      PotentialIntraMatches(result, fixtures::Example3ExtendedKey()));
+  // Unmatched: R1 (TwinCities, Indian, speciality NULL), R4 (VillageWok,
+  // Chinese, NULL); S1 (TwinCities, Sichuan, cuisine Chinese).
+  // R1 vs S1 conflicts on cuisine (Indian vs Chinese) and is also in the
+  // NMT; R4 vs S1 conflicts on name. So no residual candidates here.
+  EXPECT_TRUE(residual.empty());
+}
+
+TEST(IntegrateTest, PotentialIntraMatchesPositiveCase) {
+  // Remove knowledge so TwinCities-Indian and the Sichuan tuple lack
+  // derived values; with compatible non-NULL key parts they become
+  // residual candidates.
+  Relation r = MakeRelation("R", {"name", "cuisine"}, {"name", "cuisine"},
+                            {{"TwinCities", "Chinese"}});
+  Relation s = MakeRelation("S", {"name", "speciality"},
+                            {"name", "speciality"},
+                            {{"TwinCities", "Sichuan"}});
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.extended_key = ExtendedKey({"name", "cuisine", "speciality"});
+  EntityIdentifier identifier(config);
+  EID_ASSERT_OK_AND_ASSIGN(IdentificationResult result,
+                           identifier.Identify(r, s));
+  EXPECT_EQ(result.matching.size(), 0u);
+  EID_ASSERT_OK_AND_ASSIGN(
+      std::vector<TuplePair> residual,
+      PotentialIntraMatches(result, *config.extended_key));
+  ASSERT_EQ(residual.size(), 1u);
+  EXPECT_EQ(residual[0], (TuplePair{0, 0}));
+}
+
+}  // namespace
+}  // namespace eid

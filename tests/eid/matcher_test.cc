@@ -1,0 +1,159 @@
+#include "eid/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+#include "relational/printer.h"
+#include "workload/fixtures.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+TEST(MatcherTest, Example2ProducesTable3) {
+  Relation r = fixtures::Example2R();
+  Relation s = fixtures::Example2S();
+  EID_ASSERT_OK_AND_ASSIGN(
+      MatcherResult result,
+      BuildMatchingTable(r, s, AttributeCorrespondence::Identity(r, s),
+                         fixtures::Example2ExtendedKey(),
+                         fixtures::Example2Ilfds()));
+  EID_EXPECT_OK(result.uniqueness);
+  ASSERT_EQ(result.matching.size(), 1u);
+  // Table 3: (TwinCities, Indian) ↔ (TwinCities).
+  TuplePair p = result.matching.pairs()[0];
+  EXPECT_EQ(p.r_index, 1u);
+  EXPECT_EQ(p.s_index, 0u);
+  EID_ASSERT_OK_AND_ASSIGN(Relation mt, result.MatchingRelation());
+  EXPECT_TRUE(mt.schema().Contains("R.name"));
+  EXPECT_TRUE(mt.schema().Contains("R.cuisine"));
+  EXPECT_TRUE(mt.schema().Contains("S.name"));
+}
+
+TEST(MatcherTest, Example3ProducesTable7) {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  EID_ASSERT_OK_AND_ASSIGN(
+      MatcherResult result,
+      BuildMatchingTable(r, s, AttributeCorrespondence::Identity(r, s),
+                         fixtures::Example3ExtendedKey(),
+                         fixtures::Example3Ilfds()));
+  EID_EXPECT_OK(result.uniqueness);
+  // Table 7: TwinCities/Chinese↔Hunan, It'sGreek, Anjuman. The Sichuan
+  // tuple and VillageWok stay unmatched.
+  ASSERT_EQ(result.matching.size(), 3u);
+  EXPECT_EQ(result.matching.MatchOfR(0), 0u);  // TwinCities Chinese ↔ Hunan
+  EXPECT_EQ(result.matching.MatchOfR(2), 2u);  // It'sGreek
+  EXPECT_EQ(result.matching.MatchOfR(3), 3u);  // Anjuman
+  EXPECT_FALSE(result.matching.HasR(1));       // TwinCities Indian
+  EXPECT_FALSE(result.matching.HasR(4));       // VillageWok
+  EXPECT_FALSE(result.matching.HasS(1));       // TwinCities Sichuan
+}
+
+TEST(MatcherTest, NullExtendedKeyValuesNeverMatch) {
+  // Two tuples with NULL-derived extended key columns must not join on
+  // NULL = NULL (non_null_eq semantics).
+  Relation r = MakeRelation("R", {"name", "cuisine"}, {"name"},
+                            {{"A", "Chinese"}});
+  Relation s = MakeRelation("S", {"name", "speciality"}, {"name"},
+                            {{"A", "Mystery"}});
+  IlfdSet no_knowledge;
+  EID_ASSERT_OK_AND_ASSIGN(
+      MatcherResult result,
+      BuildMatchingTable(r, s, AttributeCorrespondence::Identity(r, s),
+                         ExtendedKey({"name", "cuisine", "speciality"}),
+                         no_knowledge));
+  EXPECT_EQ(result.matching.size(), 0u);
+}
+
+TEST(MatcherTest, UniquenessViolationReportedNotFatalByDefault) {
+  // Extended key {name} over relations where S has two same-name tuples
+  // under a different key — one R tuple would match both.
+  Relation r = MakeRelation("R", {"name", "street"}, {"name", "street"},
+                            {{"Wok", "A"}});
+  Relation s = MakeRelation("S", {"name", "city"}, {"name", "city"},
+                            {{"Wok", "X"}, {"Wok", "Y"}});
+  IlfdSet no_knowledge;
+  EID_ASSERT_OK_AND_ASSIGN(
+      MatcherResult result,
+      BuildMatchingTable(r, s, AttributeCorrespondence::Identity(r, s),
+                         ExtendedKey({"name"}), no_knowledge));
+  EXPECT_EQ(result.uniqueness.code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(result.matching.size(), 1u);  // first pair kept, second skipped
+}
+
+TEST(MatcherTest, UniquenessViolationFatalWhenRequested) {
+  Relation r = MakeRelation("R", {"name", "street"}, {"name", "street"},
+                            {{"Wok", "A"}});
+  Relation s = MakeRelation("S", {"name", "city"}, {"name", "city"},
+                            {{"Wok", "X"}, {"Wok", "Y"}});
+  IlfdSet no_knowledge;
+  MatcherOptions opts;
+  opts.fail_on_uniqueness_violation = true;
+  Result<MatcherResult> result =
+      BuildMatchingTable(r, s, AttributeCorrespondence::Identity(r, s),
+                         ExtendedKey({"name"}), no_knowledge, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST(MatcherTest, EmptyExtendedKeyRejected) {
+  Relation r = fixtures::Example2R();
+  Relation s = fixtures::Example2S();
+  IlfdSet no_knowledge;
+  EXPECT_FALSE(
+      BuildMatchingTable(r, s, AttributeCorrespondence::Identity(r, s),
+                         ExtendedKey(std::vector<std::string>{}), no_knowledge)
+          .ok());
+}
+
+TEST(MatcherTest, UnknownExtendedKeyAttributeRejected) {
+  Relation r = fixtures::Example2R();
+  Relation s = fixtures::Example2S();
+  IlfdSet no_knowledge;
+  EXPECT_EQ(
+      BuildMatchingTable(r, s, AttributeCorrespondence::Identity(r, s),
+                         ExtendedKey({"name", "nonexistent"}), no_knowledge)
+          .status()
+          .code(),
+      StatusCode::kNotFound);
+}
+
+TEST(MatcherTest, JoinOnExtendedKeyMatchesPairwiseReference) {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  AttributeCorrespondence corr = AttributeCorrespondence::Identity(r, s);
+  ExtendedKey key = fixtures::Example3ExtendedKey();
+  IlfdSet ilfds = fixtures::Example3Ilfds();
+  EID_ASSERT_OK_AND_ASSIGN(ExtensionResult rx,
+                           ExtendRelation(r, Side::kR, corr, key, ilfds));
+  EID_ASSERT_OK_AND_ASSIGN(ExtensionResult sx,
+                           ExtendRelation(s, Side::kS, corr, key, ilfds));
+  EID_ASSERT_OK_AND_ASSIGN(
+      std::vector<TuplePair> pairs,
+      JoinOnExtendedKey(rx.extended, sx.extended, key));
+  // Pairwise reference with non_null_eq on every key attribute.
+  std::vector<TuplePair> reference;
+  for (size_t i = 0; i < rx.extended.size(); ++i) {
+    for (size_t j = 0; j < sx.extended.size(); ++j) {
+      bool all = true;
+      for (const std::string& a : key.attributes()) {
+        if (!NonNullEq(rx.extended.tuple(i).GetOrNull(a),
+                       sx.extended.tuple(j).GetOrNull(a))) {
+          all = false;
+          break;
+        }
+      }
+      if (all) reference.push_back(TuplePair{i, j});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(pairs, reference);
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,128 @@
+#include "eid/monotonic.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "workload/fixtures.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+IdentifierConfig BareExample3Config() {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.extended_key = fixtures::Example3ExtendedKey();
+  return config;  // no ILFDs yet
+}
+
+TEST(MonotonicTest, AddingIlfdsGrowsDecidedRegions) {
+  MonotonicEngine engine(fixtures::Example3R(), fixtures::Example3S(),
+                         BareExample3Config());
+  EXPECT_EQ(engine.result().partition.matched, 0u);
+  EXPECT_EQ(engine.result().partition.undetermined, 20u);
+
+  IlfdSet knowledge = fixtures::Example3Ilfds();
+  size_t last_matched = 0;
+  size_t last_undetermined = 20;
+  for (const Ilfd& f : knowledge.ilfds()) {
+    EID_EXPECT_OK(engine.AddIlfd(f));
+    const PairPartition& p = engine.result().partition;
+    EXPECT_GE(p.matched, last_matched);
+    EXPECT_LE(p.undetermined, last_undetermined);
+    last_matched = p.matched;
+    last_undetermined = p.undetermined;
+  }
+  EXPECT_EQ(engine.result().partition.matched, 3u);
+  EXPECT_TRUE(engine.violations().empty());
+  // History: initial + 8 additions.
+  EXPECT_EQ(engine.history().size(), 9u);
+}
+
+TEST(MonotonicTest, HistoryRecordsDescriptionsAndSoundness) {
+  MonotonicEngine engine(fixtures::Example3R(), fixtures::Example3S(),
+                         BareExample3Config());
+  EID_EXPECT_OK(engine.AddIlfdText("speciality=Hunan -> cuisine=Chinese"));
+  ASSERT_EQ(engine.history().size(), 2u);
+  EXPECT_EQ(engine.history()[0].description, "initial");
+  EXPECT_NE(engine.history()[1].description.find("Hunan"), std::string::npos);
+  EXPECT_TRUE(engine.history()[1].sound);
+}
+
+TEST(MonotonicTest, AddDistinctnessRuleShrinksUndetermined) {
+  MonotonicEngine engine(fixtures::Example3R(), fixtures::Example3S(),
+                         BareExample3Config());
+  size_t before = engine.result().partition.undetermined;
+  EID_ASSERT_OK_AND_ASSIGN(
+      DistinctnessRule rule,
+      ParseDistinctnessRule(
+          "r3", "e1.speciality = \"Mughalai\" & e2.cuisine != \"Indian\""));
+  EID_EXPECT_OK(engine.AddDistinctnessRule(rule));
+  EXPECT_LT(engine.result().partition.undetermined, before);
+  EXPECT_TRUE(engine.violations().empty());
+}
+
+TEST(MonotonicTest, InvalidRuleRejectedWithoutStateChange) {
+  MonotonicEngine engine(fixtures::Example3R(), fixtures::Example3S(),
+                         BareExample3Config());
+  size_t steps = engine.history().size();
+  EID_ASSERT_OK_AND_ASSIGN(IdentityRule bad,
+                           ParseIdentityRule("r2", "e1.cuisine = \"X\""));
+  EXPECT_FALSE(engine.AddIdentityRule(bad).ok());
+  EXPECT_EQ(engine.history().size(), steps);
+}
+
+TEST(MonotonicTest, ContradictoryRuleIsCaughtAsViolation) {
+  // Match on name, then add a distinctness rule contradicting the match:
+  // the engine reports both the consistency failure and the monotonicity
+  // violation (the pair flips from match to non-match in Decide()'s
+  // precedence or stays; either way the audit fires on any flip).
+  Relation r = MakeRelation("R", {"name"}, {"name"}, {{"Wok"}});
+  Relation s = MakeRelation("S", {"name"}, {"name"}, {{"Wok"}});
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.identity_rules.push_back(IdentityRule::KeyEquivalence("n", {"name"}));
+  MonotonicEngine engine(r, s, config);
+  EXPECT_EQ(engine.result().partition.matched, 1u);
+  EID_ASSERT_OK_AND_ASSIGN(
+      DistinctnessRule contradiction,
+      ParseDistinctnessRule("d", "e1.name = \"Wok\" & e2.name = \"Wok\""));
+  EID_EXPECT_OK(engine.AddDistinctnessRule(contradiction));
+  EXPECT_FALSE(engine.result().Sound());
+}
+
+TEST(MonotonicTest, SetExtendedKeyRerunsIdentification) {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.ilfds = fixtures::Example3Ilfds();
+  // No extended key initially: nothing matches.
+  MonotonicEngine engine(r, s, config);
+  EXPECT_EQ(engine.result().partition.matched, 0u);
+  EID_EXPECT_OK(engine.SetExtendedKey(fixtures::Example3ExtendedKey()));
+  EXPECT_EQ(engine.result().partition.matched, 3u);
+}
+
+TEST(MonotonicTest, CompletenessDetection) {
+  // A 1x1 world where one distinctness rule decides the only pair.
+  Relation r = MakeRelation("R", {"cuisine"}, {"cuisine"}, {{"Greek"}});
+  Relation s = MakeRelation("S", {"speciality"}, {"speciality"},
+                            {{"Mughalai"}});
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  MonotonicEngine engine(r, s, config);
+  EXPECT_FALSE(engine.Complete());
+  EID_ASSERT_OK_AND_ASSIGN(
+      DistinctnessRule rule,
+      ParseDistinctnessRule(
+          "r3", "e1.speciality = \"Mughalai\" & e2.cuisine != \"Indian\""));
+  EID_EXPECT_OK(engine.AddDistinctnessRule(rule));
+  EXPECT_TRUE(engine.Complete());
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,124 @@
+#include "eid/session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+#include "workload/fixtures.h"
+
+namespace eid {
+namespace {
+
+PrototypeSession Example3Session() {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  return PrototypeSession(r, s, AttributeCorrespondence::Identity(r, s),
+                          fixtures::Example3Ilfds());
+}
+
+TEST(SessionTest, CandidatesIncludeCommonAndDerivableAttributes) {
+  PrototypeSession session = Example3Session();
+  // name is common; cuisine (R-only) and speciality (S-only) are ILFD
+  // consequents, so they are extended-key candidates; street/county are
+  // neither common nor derivable — county IS derivable (I7) though.
+  const std::vector<std::string>& c = session.candidates();
+  EXPECT_NE(std::find(c.begin(), c.end(), "name"), c.end());
+  EXPECT_NE(std::find(c.begin(), c.end(), "cuisine"), c.end());
+  EXPECT_NE(std::find(c.begin(), c.end(), "speciality"), c.end());
+  EXPECT_EQ(std::find(c.begin(), c.end(), "street"), c.end());
+  std::string listing = session.ListCandidates();
+  EXPECT_NE(listing.find("[0] "), std::string::npos);
+  EXPECT_NE(listing.find("name"), std::string::npos);
+}
+
+TEST(SessionTest, FullKeyIsVerified) {
+  PrototypeSession session = Example3Session();
+  const std::vector<std::string>& c = session.candidates();
+  std::vector<size_t> picks;
+  for (const char* attr : {"name", "cuisine", "speciality"}) {
+    picks.push_back(std::find(c.begin(), c.end(), attr) - c.begin());
+  }
+  EID_ASSERT_OK_AND_ASSIGN(std::string message,
+                           session.SetupExtendedKey(picks));
+  EXPECT_EQ(message, "Message: The extended key is verified.");
+  EID_ASSERT_OK_AND_ASSIGN(bool verified, session.Verified());
+  EXPECT_TRUE(verified);
+}
+
+TEST(SessionTest, NameOnlyKeyCausesUnsoundMatching) {
+  // The prototype's second transcript: extended key {Name} alone matches
+  // one tuple to several and is flagged unsound.
+  PrototypeSession session = Example3Session();
+  const std::vector<std::string>& c = session.candidates();
+  size_t name_idx = std::find(c.begin(), c.end(), "name") - c.begin();
+  EID_ASSERT_OK_AND_ASSIGN(std::string message,
+                           session.SetupExtendedKey({name_idx}));
+  EXPECT_EQ(message,
+            "Message: The extended key causes unsound matching result.");
+  EID_ASSERT_OK_AND_ASSIGN(bool verified, session.Verified());
+  EXPECT_FALSE(verified);
+}
+
+TEST(SessionTest, PrintersRequireSetup) {
+  PrototypeSession session = Example3Session();
+  EXPECT_FALSE(session.PrintMatchingTable().ok());
+  EXPECT_FALSE(session.PrintIntegratedTable().ok());
+  EXPECT_FALSE(session.Verified().ok());
+}
+
+TEST(SessionTest, MatchingTablePrintsPrototypeLayout) {
+  PrototypeSession session = Example3Session();
+  const std::vector<std::string>& c = session.candidates();
+  std::vector<size_t> picks;
+  for (const char* attr : {"name", "cuisine", "speciality"}) {
+    picks.push_back(std::find(c.begin(), c.end(), attr) - c.begin());
+  }
+  EXPECT_TRUE(session.SetupExtendedKey(picks).ok());
+  EID_ASSERT_OK_AND_ASSIGN(std::string table, session.PrintMatchingTable());
+  EXPECT_NE(table.find("matching table"), std::string::npos);
+  EXPECT_NE(table.find("r_name"), std::string::npos);
+  EXPECT_NE(table.find("s_speciality"), std::string::npos);
+  // The three matches of the Appendix transcript.
+  EXPECT_NE(table.find("Anjuman"), std::string::npos);
+  EXPECT_NE(table.find("It'sGreek"), std::string::npos);
+  EXPECT_NE(table.find("Hunan"), std::string::npos);
+  EXPECT_EQ(table.find("VillageWok"), std::string::npos);
+}
+
+TEST(SessionTest, IntegratedTableHasNullsForUnmatched) {
+  PrototypeSession session = Example3Session();
+  const std::vector<std::string>& c = session.candidates();
+  std::vector<size_t> picks;
+  for (const char* attr : {"name", "cuisine", "speciality"}) {
+    picks.push_back(std::find(c.begin(), c.end(), attr) - c.begin());
+  }
+  EXPECT_TRUE(session.SetupExtendedKey(picks).ok());
+  EID_ASSERT_OK_AND_ASSIGN(std::string table, session.PrintIntegratedTable());
+  EXPECT_NE(table.find("integrated table"), std::string::npos);
+  EXPECT_NE(table.find("VillageWok"), std::string::npos);
+  EXPECT_NE(table.find("null"), std::string::npos);
+}
+
+TEST(SessionTest, ExtendedTablePrintersShowDerivedValues) {
+  PrototypeSession session = Example3Session();
+  const std::vector<std::string>& c = session.candidates();
+  std::vector<size_t> picks;
+  for (const char* attr : {"name", "cuisine", "speciality"}) {
+    picks.push_back(std::find(c.begin(), c.end(), attr) - c.begin());
+  }
+  EXPECT_TRUE(session.SetupExtendedKey(picks).ok());
+  EID_ASSERT_OK_AND_ASSIGN(std::string r_table, session.PrintExtendedR());
+  EXPECT_NE(r_table.find("Gyros"), std::string::npos);  // derived via I7+I8
+  EID_ASSERT_OK_AND_ASSIGN(std::string s_table, session.PrintExtendedS());
+  EXPECT_NE(s_table.find("Chinese"), std::string::npos);  // derived via I1
+}
+
+TEST(SessionTest, BadPicksRejected) {
+  PrototypeSession session = Example3Session();
+  EXPECT_FALSE(session.SetupExtendedKey({}).ok());
+  EXPECT_FALSE(session.SetupExtendedKey({999}).ok());
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,108 @@
+#include "eid/virtual_view.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "workload/fixtures.h"
+
+namespace eid {
+namespace {
+
+VirtualIntegrator MakeExample2View() {
+  Relation r = fixtures::Example2R();
+  Relation s = fixtures::Example2S();
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.extended_key = fixtures::Example2ExtendedKey();
+  config.ilfds = fixtures::Example2Ilfds();
+  return VirtualIntegrator(std::move(config), std::move(r), std::move(s));
+}
+
+TEST(VirtualViewTest, IdentificationRunsLazilyAndOnce) {
+  VirtualIntegrator view = MakeExample2View();
+  EXPECT_EQ(view.stats().identifications, 0u);
+  EID_ASSERT_OK_AND_ASSIGN(Relation t1, view.IntegratedView());
+  EXPECT_EQ(view.stats().identifications, 1u);
+  EID_ASSERT_OK_AND_ASSIGN(Relation t2, view.IntegratedView());
+  EXPECT_EQ(view.stats().identifications, 1u);  // cached
+  EXPECT_EQ(view.stats().queries, 2u);
+  EXPECT_TRUE(t1.RowsEqualUnordered(t2));
+}
+
+TEST(VirtualViewTest, IntegratedViewMergesMatchedPair) {
+  VirtualIntegrator view = MakeExample2View();
+  EID_ASSERT_OK_AND_ASSIGN(Relation t, view.IntegratedView());
+  // 2 R tuples, 1 S tuple, 1 match => 2 rows.
+  EXPECT_EQ(t.size(), 2u);
+  bool merged_row = false;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t.tuple(i).GetOrNull("speciality").ToString() == "Mughalai") {
+      merged_row = true;
+      EXPECT_EQ(t.tuple(i).GetOrNull("street").AsString(), "Univ.Ave.");
+      EXPECT_EQ(t.tuple(i).GetOrNull("city").AsString(), "St.Paul");
+    }
+  }
+  EXPECT_TRUE(merged_row);
+}
+
+TEST(VirtualViewTest, UpdatesInvalidateAndReflect) {
+  VirtualIntegrator view = MakeExample2View();
+  EID_ASSERT_OK_AND_ASSIGN(Relation before, view.IntegratedView());
+  EXPECT_EQ(before.size(), 2u);
+  // An autonomous insert into S: a Hunan restaurant + the knowledge is
+  // not present, so it shows up unmatched.
+  EID_EXPECT_OK(view.InsertS(Row{Value::Str("VillageWok"),
+                                 Value::Str("Hunan"), Value::Str("Mpls")}));
+  EXPECT_EQ(view.stats().invalidations, 1u);
+  EID_ASSERT_OK_AND_ASSIGN(Relation after, view.IntegratedView());
+  EXPECT_EQ(after.size(), 3u);
+  EXPECT_EQ(view.stats().identifications, 2u);  // re-ran once
+}
+
+TEST(VirtualViewTest, QueryWithSelectionAndProjection) {
+  VirtualIntegrator view = MakeExample2View();
+  EID_ASSERT_OK_AND_ASSIGN(
+      Relation out,
+      view.Query(
+          [](const TupleView& t) {
+            return NonNullEq(t.GetOrNull("cuisine"), Value::Str("Indian"));
+          },
+          {"name", "city"}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.schema().size(), 2u);
+  EXPECT_EQ(out.tuple(0).GetOrNull("city").AsString(), "St.Paul");
+}
+
+TEST(VirtualViewTest, LookupPointQuery) {
+  VirtualIntegrator view = MakeExample2View();
+  EID_ASSERT_OK_AND_ASSIGN(Relation hit,
+                           view.Lookup("cuisine", Value::Str("Chinese")));
+  EXPECT_EQ(hit.size(), 1u);
+  EID_ASSERT_OK_AND_ASSIGN(Relation miss,
+                           view.Lookup("cuisine", Value::Str("Thai")));
+  EXPECT_EQ(miss.size(), 0u);
+}
+
+TEST(VirtualViewTest, BadInsertDoesNotInvalidate) {
+  VirtualIntegrator view = MakeExample2View();
+  EID_ASSERT_OK_AND_ASSIGN(Relation before, view.IntegratedView());
+  // Candidate-key violation (duplicate (name, cuisine) in R).
+  Status st = view.InsertR(Row{Value::Str("TwinCities"),
+                               Value::Str("Chinese"), Value::Str("Elsewhere")});
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(view.stats().invalidations, 0u);
+  EID_ASSERT_OK_AND_ASSIGN(Relation after, view.IntegratedView());
+  EXPECT_EQ(view.stats().identifications, 1u);  // cache still valid
+  EXPECT_TRUE(before.RowsEqualUnordered(after));
+}
+
+TEST(VirtualViewTest, CurrentIdentificationExposesSoundness) {
+  VirtualIntegrator view = MakeExample2View();
+  EID_ASSERT_OK_AND_ASSIGN(const IdentificationResult* result,
+                           view.CurrentIdentification());
+  EXPECT_TRUE(result->Sound());
+  EXPECT_EQ(result->matching.size(), 1u);
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,181 @@
+#include "ilfd/derivation.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "workload/fixtures.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+TEST(DerivationTest, ExhaustiveDerivesChains) {
+  IlfdSet set;
+  EXPECT_TRUE(set.AddText("street=FrontAve. -> county=Ramsey").ok());
+  EXPECT_TRUE(
+      set.AddText("name=It'sGreek & county=Ramsey -> speciality=Gyros").ok());
+  Relation r = MakeRelation("R", {"name", "street"}, {},
+                            {{"It'sGreek", "FrontAve."}});
+  EID_ASSERT_OK_AND_ASSIGN(Derivation d, DeriveTuple(r.tuple(0), set));
+  EXPECT_EQ(d.derived.at("county").AsString(), "Ramsey");
+  EXPECT_EQ(d.derived.at("speciality").AsString(), "Gyros");
+  ASSERT_EQ(d.steps.size(), 2u);
+  EXPECT_EQ(d.steps[0].ilfd_index, 0u);
+  EXPECT_EQ(d.steps[1].ilfd_index, 1u);
+}
+
+TEST(DerivationTest, FirstMatchResolvesRecursively) {
+  IlfdSet set;
+  EXPECT_TRUE(set.AddText("street=FrontAve. -> county=Ramsey").ok());
+  EXPECT_TRUE(
+      set.AddText("name=It'sGreek & county=Ramsey -> speciality=Gyros").ok());
+  Relation r = MakeRelation("R", {"name", "street"}, {},
+                            {{"It'sGreek", "FrontAve."}});
+  DerivationOptions opts;
+  opts.mode = DerivationMode::kFirstMatch;
+  opts.target_attributes = {"speciality"};
+  EID_ASSERT_OK_AND_ASSIGN(Derivation d, DeriveTuple(r.tuple(0), set, opts));
+  EXPECT_EQ(d.derived.at("speciality").AsString(), "Gyros");
+}
+
+TEST(DerivationTest, BaseValuesAreNeverOverwritten) {
+  IlfdSet set;
+  EXPECT_TRUE(set.AddText("a=1 -> b=2").ok());
+  Relation r("R", Schema({Attribute{"a", ValueType::kInt},
+                          Attribute{"b", ValueType::kInt}}));
+  EID_EXPECT_OK(r.Insert(Row{Value::Int(1), Value::Int(2)}));
+  EID_ASSERT_OK_AND_ASSIGN(Derivation d, DeriveTuple(r.tuple(0), set));
+  EXPECT_TRUE(d.derived.empty());  // b already present
+}
+
+TEST(DerivationTest, ConflictWithBaseValueErrors) {
+  IlfdSet set;
+  EXPECT_TRUE(set.AddText("a=1 -> b=2").ok());
+  Relation r("R", Schema({Attribute{"a", ValueType::kInt},
+                          Attribute{"b", ValueType::kInt}}));
+  EID_EXPECT_OK(r.Insert(Row{Value::Int(1), Value::Int(99)}));
+  Result<Derivation> d = DeriveTuple(r.tuple(0), set);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST(DerivationTest, ConflictBetweenIlfdsPolicies) {
+  IlfdSet set;
+  EXPECT_TRUE(set.AddText("a=1 -> b=2").ok());
+  EXPECT_TRUE(set.AddText("c=3 -> b=7").ok());
+  Relation r("R", Schema({Attribute{"a", ValueType::kInt},
+                          Attribute{"c", ValueType::kInt}}));
+  EID_EXPECT_OK(r.Insert(Row{Value::Int(1), Value::Int(3)}));
+
+  DerivationOptions opts;
+  opts.conflict_policy = ConflictPolicy::kError;
+  EXPECT_FALSE(DeriveTuple(r.tuple(0), set, opts).ok());
+
+  opts.conflict_policy = ConflictPolicy::kKeepFirst;
+  EID_ASSERT_OK_AND_ASSIGN(Derivation keep, DeriveTuple(r.tuple(0), set, opts));
+  EXPECT_EQ(keep.derived.at("b").AsInt(), 2);
+  ASSERT_EQ(keep.conflicts.size(), 1u);
+  EXPECT_EQ(keep.conflicts[0].attribute, "b");
+
+  opts.conflict_policy = ConflictPolicy::kNullOut;
+  EID_ASSERT_OK_AND_ASSIGN(Derivation nullout,
+                           DeriveTuple(r.tuple(0), set, opts));
+  EXPECT_EQ(nullout.derived.count("b"), 0u);
+  EXPECT_FALSE(nullout.conflicts.empty());
+}
+
+TEST(DerivationTest, FirstMatchTakesDeclarationOrder) {
+  // The Prolog cut: the first rule for an attribute wins.
+  IlfdSet set;
+  EXPECT_TRUE(set.AddText("a=1 -> b=2").ok());
+  EXPECT_TRUE(set.AddText("a=1 -> b=7").ok());
+  Relation r("R", Schema({Attribute{"a", ValueType::kInt}}));
+  EID_EXPECT_OK(r.Insert(Row{Value::Int(1)}));
+  DerivationOptions opts;
+  opts.mode = DerivationMode::kFirstMatch;
+  EID_ASSERT_OK_AND_ASSIGN(Derivation d, DeriveTuple(r.tuple(0), set, opts));
+  EXPECT_EQ(d.derived.at("b").AsInt(), 2);
+  EXPECT_TRUE(d.conflicts.empty());  // first-match never sees the second
+}
+
+TEST(DerivationTest, ExhaustiveFlagsWhatFirstMatchHides) {
+  IlfdSet set;
+  EXPECT_TRUE(set.AddText("a=1 -> b=2").ok());
+  EXPECT_TRUE(set.AddText("a=1 -> b=7").ok());
+  Relation r("R", Schema({Attribute{"a", ValueType::kInt}}));
+  EID_EXPECT_OK(r.Insert(Row{Value::Int(1)}));
+  DerivationOptions opts;
+  opts.conflict_policy = ConflictPolicy::kKeepFirst;
+  EID_ASSERT_OK_AND_ASSIGN(Derivation d, DeriveTuple(r.tuple(0), set, opts));
+  EXPECT_EQ(d.conflicts.size(), 1u);
+}
+
+TEST(DerivationTest, CyclicIlfdsTerminate) {
+  IlfdSet set;
+  EXPECT_TRUE(set.AddText("a=1 -> b=2").ok());
+  EXPECT_TRUE(set.AddText("b=2 -> a=1").ok());
+  Relation r("R", Schema({Attribute{"b", ValueType::kInt}}));
+  EID_EXPECT_OK(r.Insert(Row{Value::Int(2)}));
+  EID_ASSERT_OK_AND_ASSIGN(Derivation ex, DeriveTuple(r.tuple(0), set));
+  EXPECT_EQ(ex.derived.at("a").AsInt(), 1);
+  DerivationOptions opts;
+  opts.mode = DerivationMode::kFirstMatch;
+  EID_ASSERT_OK_AND_ASSIGN(Derivation fm, DeriveTuple(r.tuple(0), set, opts));
+  EXPECT_EQ(fm.derived.at("a").AsInt(), 1);
+}
+
+TEST(DerivationTest, TargetAttributesFilterOutput) {
+  IlfdSet set;
+  EXPECT_TRUE(set.AddText("a=1 -> b=2").ok());
+  EXPECT_TRUE(set.AddText("a=1 -> c=3").ok());
+  Relation r("R", Schema({Attribute{"a", ValueType::kInt}}));
+  EID_EXPECT_OK(r.Insert(Row{Value::Int(1)}));
+  DerivationOptions opts;
+  opts.target_attributes = {"c"};
+  EID_ASSERT_OK_AND_ASSIGN(Derivation d, DeriveTuple(r.tuple(0), set, opts));
+  EXPECT_EQ(d.derived.count("b"), 0u);
+  EXPECT_EQ(d.derived.at("c").AsInt(), 3);
+}
+
+TEST(DerivationTest, PaperExample3Table6RPrime) {
+  // Exhaustive derivation reproduces the R' column of Table 6.
+  IlfdSet set = fixtures::Example3Ilfds();
+  Relation r = fixtures::Example3R();
+  std::vector<std::string> expected = {"Hunan", "null", "Gyros", "Mughalai",
+                                       "null"};
+  for (size_t i = 0; i < r.size(); ++i) {
+    EID_ASSERT_OK_AND_ASSIGN(Derivation d, DeriveTuple(r.tuple(i), set));
+    auto it = d.derived.find("speciality");
+    std::string got = (it == d.derived.end()) ? "null"
+                                              : it->second.ToString();
+    EXPECT_EQ(got, expected[i]) << "row " << i;
+  }
+}
+
+TEST(DerivationTest, PaperExample3Table6SPrime) {
+  IlfdSet set = fixtures::Example3Ilfds();
+  Relation s = fixtures::Example3S();
+  std::vector<std::string> expected = {"Chinese", "Chinese", "Greek",
+                                       "Indian"};
+  for (size_t i = 0; i < s.size(); ++i) {
+    EID_ASSERT_OK_AND_ASSIGN(Derivation d, DeriveTuple(s.tuple(i), set));
+    EXPECT_EQ(d.derived.at("cuisine").ToString(), expected[i]) << "row " << i;
+  }
+}
+
+TEST(DerivationTest, FirstMatchAgreesWithExhaustiveOnConsistentKnowledge) {
+  // On conflict-free ILFDs the two modes must derive identical values.
+  IlfdSet set = fixtures::Example3Ilfds();
+  Relation r = fixtures::Example3R();
+  for (size_t i = 0; i < r.size(); ++i) {
+    EID_ASSERT_OK_AND_ASSIGN(Derivation ex, DeriveTuple(r.tuple(i), set));
+    DerivationOptions opts;
+    opts.mode = DerivationMode::kFirstMatch;
+    EID_ASSERT_OK_AND_ASSIGN(Derivation fm, DeriveTuple(r.tuple(i), set, opts));
+    EXPECT_EQ(ex.derived, fm.derived) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace eid

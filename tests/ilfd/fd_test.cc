@@ -1,0 +1,123 @@
+#include "ilfd/fd.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+TEST(FdTest, FdHoldsDetectsViolation) {
+  Relation ok = MakeRelation("R", {"name", "cuisine"}, {},
+                             {{"A", "Chinese"}, {"B", "Greek"}, {"A", "Chinese"}});
+  Relation bad = MakeRelation("R", {"name", "cuisine"}, {},
+                              {{"A", "Chinese"}, {"A", "Greek"}});
+  Fd fd{{"name"}, {"cuisine"}};
+  EID_ASSERT_OK_AND_ASSIGN(bool holds_ok, FdHolds(ok, fd));
+  EXPECT_TRUE(holds_ok);
+  EID_ASSERT_OK_AND_ASSIGN(bool holds_bad, FdHolds(bad, fd));
+  EXPECT_FALSE(holds_bad);
+}
+
+TEST(FdTest, FdHoldsCompositeLhs) {
+  Relation r = MakeRelation("R", {"a", "b", "c"}, {},
+                            {{"1", "1", "x"}, {"1", "2", "y"}, {"1", "1", "x"}});
+  EID_ASSERT_OK_AND_ASSIGN(bool holds, FdHolds(r, Fd{{"a", "b"}, {"c"}}));
+  EXPECT_TRUE(holds);
+  EID_ASSERT_OK_AND_ASSIGN(bool single, FdHolds(r, Fd{{"a"}, {"c"}}));
+  EXPECT_FALSE(single);
+}
+
+TEST(FdTest, FdHoldsUnknownAttributeErrors) {
+  Relation r = MakeRelation("R", {"a"}, {}, {});
+  EXPECT_FALSE(FdHolds(r, Fd{{"z"}, {"a"}}).ok());
+}
+
+TEST(FdTest, NullsCompareAsEqualForFdChecking) {
+  Relation r("R", Schema::OfStrings({"a", "b"}));
+  EID_EXPECT_OK(r.Insert(Row{Value::Null(), Value::Str("x")}));
+  EID_EXPECT_OK(r.Insert(Row{Value::Null(), Value::Str("y")}));
+  EID_ASSERT_OK_AND_ASSIGN(bool holds, FdHolds(r, Fd{{"a"}, {"b"}}));
+  EXPECT_FALSE(holds);  // the two NULL-lhs rows disagree on b
+}
+
+TEST(FdTest, AttributeClosureChains) {
+  std::vector<Fd> fds = {Fd{{"a"}, {"b"}}, Fd{{"b"}, {"c"}},
+                         Fd{{"c", "d"}, {"e"}}};
+  std::set<std::string> closure = AttributeClosure({"a"}, fds);
+  EXPECT_EQ(closure, (std::set<std::string>{"a", "b", "c"}));
+  closure = AttributeClosure({"a", "d"}, fds);
+  EXPECT_EQ(closure, (std::set<std::string>{"a", "b", "c", "d", "e"}));
+}
+
+TEST(FdTest, FdImplies) {
+  std::vector<Fd> fds = {Fd{{"a"}, {"b"}}, Fd{{"b"}, {"c"}}};
+  EXPECT_TRUE(FdImplies(fds, Fd{{"a"}, {"c"}}));
+  EXPECT_TRUE(FdImplies(fds, Fd{{"a", "z"}, {"c", "z"}}));
+  EXPECT_FALSE(FdImplies(fds, Fd{{"c"}, {"a"}}));
+}
+
+TEST(FdTest, Proposition2CoveredFamilyImpliesFd) {
+  // ILFDs covering every speciality value in the active domain imply the
+  // FD speciality -> cuisine (Proposition 2).
+  IlfdSet ilfds;
+  EXPECT_TRUE(ilfds.AddText("speciality=Hunan -> cuisine=Chinese").ok());
+  EXPECT_TRUE(ilfds.AddText("speciality=Gyros -> cuisine=Greek").ok());
+  Relation r = MakeRelation("R", {"speciality", "cuisine"}, {},
+                            {{"Hunan", "Chinese"}, {"Gyros", "Greek"}});
+  Fd fd{{"speciality"}, {"cuisine"}};
+  EID_ASSERT_OK_AND_ASSIGN(bool covered, IlfdFamilyCoversFd(ilfds, r, fd));
+  EXPECT_TRUE(covered);
+  EID_ASSERT_OK_AND_ASSIGN(bool holds, FdHolds(r, fd));
+  EXPECT_TRUE(holds);
+}
+
+TEST(FdTest, Proposition2UncoveredValueBreaksPremise) {
+  IlfdSet ilfds;
+  EXPECT_TRUE(ilfds.AddText("speciality=Hunan -> cuisine=Chinese").ok());
+  Relation r = MakeRelation("R", {"speciality", "cuisine"}, {},
+                            {{"Hunan", "Chinese"}, {"Gyros", "Greek"}});
+  EID_ASSERT_OK_AND_ASSIGN(
+      bool covered,
+      IlfdFamilyCoversFd(ilfds, r, Fd{{"speciality"}, {"cuisine"}}));
+  EXPECT_FALSE(covered);  // Gyros has no ILFD: Proposition 2 premise fails
+}
+
+TEST(FdTest, Proposition2ConverseFailsAsThePaperNotes) {
+  // The FD holds in this instance, yet no ILFD family exists — FDs do not
+  // suggest particular values (paper: the converse is not necessarily
+  // true).
+  IlfdSet empty;
+  Relation r = MakeRelation("R", {"speciality", "cuisine"}, {},
+                            {{"Hunan", "Chinese"}});
+  EID_ASSERT_OK_AND_ASSIGN(bool holds,
+                           FdHolds(r, Fd{{"speciality"}, {"cuisine"}}));
+  EXPECT_TRUE(holds);
+  EID_ASSERT_OK_AND_ASSIGN(
+      bool covered,
+      IlfdFamilyCoversFd(empty, r, Fd{{"speciality"}, {"cuisine"}}));
+  EXPECT_FALSE(covered);
+}
+
+TEST(FdTest, Proposition2ViaDerivedClosure) {
+  // Coverage may come from chained ILFDs, not just direct ones.
+  IlfdSet ilfds;
+  EXPECT_TRUE(ilfds.AddText("speciality=Hunan -> region=Sichuan").ok());
+  EXPECT_TRUE(ilfds.AddText("region=Sichuan -> cuisine=Chinese").ok());
+  Relation r = MakeRelation("R", {"speciality", "cuisine"}, {},
+                            {{"Hunan", "Chinese"}});
+  EID_ASSERT_OK_AND_ASSIGN(
+      bool covered,
+      IlfdFamilyCoversFd(ilfds, r, Fd{{"speciality"}, {"cuisine"}}));
+  EXPECT_TRUE(covered);
+}
+
+TEST(FdTest, ToStringFormat) {
+  Fd fd{{"b", "a"}, {"c"}};
+  EXPECT_EQ(fd.ToString(), "{a,b} -> {c}");
+}
+
+}  // namespace
+}  // namespace eid

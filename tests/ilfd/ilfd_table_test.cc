@@ -1,0 +1,115 @@
+#include "ilfd/ilfd_table.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "workload/fixtures.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+IlfdTable SpecialityTable() {
+  // Paper Table 8: IM(speciality; cuisine).
+  IlfdTable table({"speciality"}, "cuisine");
+  EXPECT_TRUE(table.AddEntry({Value::Str("Hunan")}, Value::Str("Chinese")).ok());
+  EXPECT_TRUE(
+      table.AddEntry({Value::Str("Sichuan")}, Value::Str("Chinese")).ok());
+  EXPECT_TRUE(table.AddEntry({Value::Str("Gyros")}, Value::Str("Greek")).ok());
+  EXPECT_TRUE(
+      table.AddEntry({Value::Str("Mughalai")}, Value::Str("Indian")).ok());
+  return table;
+}
+
+TEST(IlfdTableTest, RelationFormMatchesTable8) {
+  IlfdTable table = SpecialityTable();
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_TRUE(table.relation().schema().Contains("speciality"));
+  EXPECT_TRUE(table.relation().schema().Contains("cuisine"));
+  EXPECT_EQ(table.relation().PrimaryKeyNames(),
+            (std::vector<std::string>{"speciality"}));
+}
+
+TEST(IlfdTableTest, ContradictoryEntriesRejectedByKey) {
+  IlfdTable table = SpecialityTable();
+  // Hunan cannot also map to Greek: IM is keyed on the antecedent.
+  Status st = table.AddEntry({Value::Str("Hunan")}, Value::Str("Greek"));
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+}
+
+TEST(IlfdTableTest, LookupDerivesValue) {
+  IlfdTable table = SpecialityTable();
+  Relation r = MakeRelation("R", {"name", "speciality"}, {},
+                            {{"X", "Gyros"}, {"Y", "Unknown"}});
+  EXPECT_EQ(table.Lookup(r.tuple(0)).AsString(), "Greek");
+  EXPECT_TRUE(table.Lookup(r.tuple(1)).is_null());
+}
+
+TEST(IlfdTableTest, LookupWithNullOrMissingAntecedentIsNull) {
+  IlfdTable table = SpecialityTable();
+  Relation r("R", Schema::OfStrings({"speciality"}));
+  EID_EXPECT_OK(r.Insert(Row{Value::Null()}));
+  EXPECT_TRUE(table.Lookup(r.tuple(0)).is_null());
+  Relation no_attr = MakeRelation("R2", {"name"}, {}, {{"X"}});
+  EXPECT_TRUE(table.Lookup(no_attr.tuple(0)).is_null());
+}
+
+TEST(IlfdTableTest, AddIlfdValidatesFormat) {
+  IlfdTable table({"speciality"}, "cuisine");
+  EID_ASSERT_OK_AND_ASSIGN(Ilfd good,
+                           ParseIlfd("speciality=Hunan -> cuisine=Chinese"));
+  EID_EXPECT_OK(table.AddIlfd(good));
+  EID_ASSERT_OK_AND_ASSIGN(Ilfd wrong_consequent,
+                           ParseIlfd("speciality=Gyros -> county=Ramsey"));
+  EXPECT_FALSE(table.AddIlfd(wrong_consequent).ok());
+  EID_ASSERT_OK_AND_ASSIGN(
+      Ilfd wrong_antecedent,
+      ParseIlfd("name=X & speciality=Gyros -> cuisine=Greek"));
+  EXPECT_FALSE(table.AddIlfd(wrong_antecedent).ok());
+}
+
+TEST(IlfdTableTest, ToIlfdsRoundTrips) {
+  IlfdTable table = SpecialityTable();
+  std::vector<Ilfd> ilfds = table.ToIlfds();
+  ASSERT_EQ(ilfds.size(), 4u);
+  EID_ASSERT_OK_AND_ASSIGN(IlfdTable back, IlfdTable::FromIlfds(ilfds));
+  EXPECT_TRUE(back.relation().RowsEqualUnordered(table.relation()));
+}
+
+TEST(IlfdTableTest, PartitionGroupsByFormat) {
+  IlfdSet set = fixtures::Example3Ilfds();
+  EID_ASSERT_OK_AND_ASSIGN(std::vector<IlfdTable> tables,
+                           IlfdTable::Partition(set.ilfds()));
+  // Formats in I1..I8: (speciality->cuisine), (name,street->speciality),
+  // (street->county), (name,county->speciality) = 4 tables.
+  EXPECT_EQ(tables.size(), 4u);
+  size_t total = 0;
+  for (const IlfdTable& t : tables) total += t.size();
+  EXPECT_EQ(total, 8u);
+}
+
+TEST(IlfdTableTest, PartitionRejectsMultiConsequent) {
+  EID_ASSERT_OK_AND_ASSIGN(Ilfd multi, ParseIlfd("a=1 -> b=2 & c=3"));
+  EXPECT_FALSE(IlfdTable::Partition({multi}).ok());
+}
+
+TEST(IlfdTableTest, FromIlfdsRejectsMixedFormats) {
+  EID_ASSERT_OK_AND_ASSIGN(Ilfd a, ParseIlfd("x=1 -> y=2"));
+  EID_ASSERT_OK_AND_ASSIGN(Ilfd b, ParseIlfd("z=1 -> y=2"));
+  EXPECT_FALSE(IlfdTable::FromIlfds({a, b}).ok());
+  EXPECT_FALSE(IlfdTable::FromIlfds({}).ok());
+}
+
+TEST(IlfdTableTest, MultiAttributeAntecedentLookup) {
+  IlfdTable table({"name", "street"}, "speciality");
+  EID_EXPECT_OK(table.AddEntry({Value::Str("TwinCities"), Value::Str("Co.B2")},
+                               Value::Str("Hunan")));
+  Relation r = MakeRelation("R", {"name", "street"}, {},
+                            {{"TwinCities", "Co.B2"}, {"TwinCities", "Co.B3"}});
+  EXPECT_EQ(table.Lookup(r.tuple(0)).AsString(), "Hunan");
+  EXPECT_TRUE(table.Lookup(r.tuple(1)).is_null());
+}
+
+}  // namespace
+}  // namespace eid

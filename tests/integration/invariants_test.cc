@@ -1,0 +1,177 @@
+// Cross-cutting invariants of the identification machinery, checked over
+// the paper fixtures and generated worlds:
+//   * extension idempotence — extending an already-extended relation adds
+//     nothing and changes no value;
+//   * identify symmetry — Identify(R, S) and Identify(S, R) produce
+//     mirrored matching tables and partitions;
+//   * decision totality/exclusivity — every pair gets exactly one of the
+//     three decisions, consistent with the two tables;
+//   * printable tables round-trip through CSV.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.h"
+#include "eid.h"
+#include "workload/fixtures.h"
+#include "workload/generator.h"
+
+namespace eid {
+namespace {
+
+TEST(InvariantsTest, ExtensionIsIdempotent) {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  AttributeCorrespondence corr = AttributeCorrespondence::Identity(r, s);
+  ExtendedKey key = fixtures::Example3ExtendedKey();
+  IlfdSet ilfds = fixtures::Example3Ilfds();
+  EID_ASSERT_OK_AND_ASSIGN(ExtensionResult once,
+                           ExtendRelation(r, Side::kR, corr, key, ilfds));
+  // Re-extend the extension: identity correspondence over the extended
+  // schema; nothing is missing anymore.
+  AttributeCorrespondence corr2 =
+      AttributeCorrespondence::Identity(once.extended, s);
+  EID_ASSERT_OK_AND_ASSIGN(
+      ExtensionResult twice,
+      ExtendRelation(once.extended, Side::kR, corr2, key, ilfds));
+  EXPECT_TRUE(twice.added_attributes.empty());
+  EXPECT_TRUE(twice.extended.RowsEqualUnordered(once.extended));
+}
+
+TEST(InvariantsTest, IdentifySymmetryOnExample3) {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  IdentifierConfig forward;
+  forward.correspondence = AttributeCorrespondence::Identity(r, s);
+  forward.extended_key = fixtures::Example3ExtendedKey();
+  forward.ilfds = fixtures::Example3Ilfds();
+  IdentifierConfig backward = forward;
+  backward.correspondence = AttributeCorrespondence::Identity(s, r);
+
+  EID_ASSERT_OK_AND_ASSIGN(IdentificationResult fwd,
+                           EntityIdentifier(forward).Identify(r, s));
+  EID_ASSERT_OK_AND_ASSIGN(IdentificationResult bwd,
+                           EntityIdentifier(backward).Identify(s, r));
+  EXPECT_EQ(fwd.matching.size(), bwd.matching.size());
+  EXPECT_EQ(fwd.negative.table.size(), bwd.negative.table.size());
+  EXPECT_EQ(fwd.partition.undetermined, bwd.partition.undetermined);
+  for (const TuplePair& p : fwd.matching.pairs()) {
+    EXPECT_TRUE(bwd.matching.Contains(TuplePair{p.s_index, p.r_index}));
+  }
+  for (const TuplePair& p : fwd.negative.table.pairs()) {
+    EXPECT_TRUE(bwd.negative.table.Contains(TuplePair{p.s_index, p.r_index}));
+  }
+}
+
+TEST(InvariantsTest, IdentifySymmetryOnGeneratedWorld) {
+  GeneratorConfig gen;
+  gen.seed = 55;
+  gen.overlap_entities = 25;
+  gen.r_only_entities = 10;
+  gen.s_only_entities = 10;
+  gen.name_pool = 40;
+  gen.street_pool = 90;
+  gen.cities = 5;
+  gen.speciality_pool = 12;
+  gen.cuisines = 4;
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld world, GenerateWorld(gen));
+  IdentifierConfig forward;
+  forward.correspondence = world.correspondence;
+  forward.extended_key = world.extended_key;
+  forward.ilfds = world.ilfds;
+  IdentifierConfig backward = forward;
+  backward.correspondence =
+      AttributeCorrespondence::Identity(world.s, world.r);
+  EID_ASSERT_OK_AND_ASSIGN(
+      IdentificationResult fwd,
+      EntityIdentifier(forward).Identify(world.r, world.s));
+  EID_ASSERT_OK_AND_ASSIGN(
+      IdentificationResult bwd,
+      EntityIdentifier(backward).Identify(world.s, world.r));
+  ASSERT_EQ(fwd.matching.size(), bwd.matching.size());
+  for (const TuplePair& p : fwd.matching.pairs()) {
+    EXPECT_TRUE(bwd.matching.Contains(TuplePair{p.s_index, p.r_index}));
+  }
+}
+
+TEST(InvariantsTest, DecisionsAreTotalAndExclusive) {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.extended_key = fixtures::Example3ExtendedKey();
+  config.ilfds = fixtures::Example3Ilfds();
+  EID_ASSERT_OK_AND_ASSIGN(IdentificationResult result,
+                           EntityIdentifier(config).Identify(r, s));
+  ASSERT_TRUE(result.Sound());
+  size_t matched = 0, non_matched = 0, undetermined = 0;
+  for (size_t i = 0; i < r.size(); ++i) {
+    for (size_t j = 0; j < s.size(); ++j) {
+      switch (result.Decide(i, j)) {
+        case MatchDecision::kMatch: ++matched; break;
+        case MatchDecision::kNonMatch: ++non_matched; break;
+        case MatchDecision::kUndetermined: ++undetermined; break;
+      }
+      // Exclusivity: a sound result never has a pair in both tables.
+      TuplePair p{i, j};
+      EXPECT_FALSE(result.matching.Contains(p) &&
+                   result.negative.table.Contains(p));
+    }
+  }
+  EXPECT_EQ(matched, result.partition.matched);
+  EXPECT_EQ(non_matched, result.partition.non_matched);
+  EXPECT_EQ(undetermined, result.partition.undetermined);
+}
+
+TEST(InvariantsTest, TablesRoundTripThroughCsv) {
+  Relation r = fixtures::Example3R();
+  Relation s = fixtures::Example3S();
+  IdentifierConfig config;
+  config.correspondence = AttributeCorrespondence::Identity(r, s);
+  config.extended_key = fixtures::Example3ExtendedKey();
+  config.ilfds = fixtures::Example3Ilfds();
+  EID_ASSERT_OK_AND_ASSIGN(IdentificationResult result,
+                           EntityIdentifier(config).Identify(r, s));
+  EID_ASSERT_OK_AND_ASSIGN(Relation mt, result.MatchingRelation());
+  EID_ASSERT_OK_AND_ASSIGN(Relation back, ReadCsv(WriteCsv(mt), "MT"));
+  EXPECT_TRUE(mt.RowsEqualUnordered(back));
+  EID_ASSERT_OK_AND_ASSIGN(
+      Relation integrated,
+      BuildIntegratedTable(result, IntegrationLayout::kSideBySide));
+  EID_ASSERT_OK_AND_ASSIGN(Relation integrated_back,
+                           ReadCsv(WriteCsv(integrated), "T"));
+  EXPECT_TRUE(integrated.RowsEqualUnordered(integrated_back));
+}
+
+TEST(InvariantsTest, MatchedPairsAgreeOnSharedWorldAttributes) {
+  // For any sound result, matched extended tuples never hold conflicting
+  // non-NULL values on any shared attribute (merged integration works).
+  GeneratorConfig gen;
+  gen.seed = 67;
+  gen.overlap_entities = 30;
+  gen.r_only_entities = 15;
+  gen.s_only_entities = 15;
+  gen.name_pool = 60;
+  gen.street_pool = 120;
+  gen.cities = 5;
+  gen.speciality_pool = 15;
+  gen.cuisines = 4;
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld world, GenerateWorld(gen));
+  IdentifierConfig config;
+  config.correspondence = world.correspondence;
+  config.extended_key = world.extended_key;
+  config.ilfds = world.ilfds;
+  EID_ASSERT_OK_AND_ASSIGN(
+      IdentificationResult result,
+      EntityIdentifier(config).Identify(world.r, world.s));
+  EID_ASSERT_OK_AND_ASSIGN(
+      Relation merged,
+      BuildIntegratedTable(result, IntegrationLayout::kMerged));
+  EXPECT_EQ(merged.size(), result.matching.size() +
+                               (world.r.size() - result.matching.size()) +
+                               (world.s.size() - result.matching.size()));
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,173 @@
+#include "logic/armstrong.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "logic/model.h"
+#include "workload/rng.h"
+
+namespace eid {
+namespace {
+
+class ArmstrongTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    p_ = table_.Intern("A", Value::Str("a1"));
+    q_ = table_.Intern("B", Value::Str("b1"));
+    r_ = table_.Intern("C", Value::Str("c1"));
+    kb_.Add(Implication{AtomSet::Of({p_}), AtomSet::Of({q_})});
+    kb_.Add(Implication{AtomSet::Of({q_}), AtomSet::Of({r_})});
+  }
+
+  AtomTable table_;
+  KnowledgeBase kb_;
+  AtomId p_ = 0, q_ = 0, r_ = 0;
+};
+
+TEST_F(ArmstrongTest, ProofOfTransitiveConsequenceVerifies) {
+  Implication target{AtomSet::Of({p_}), AtomSet::Of({r_})};
+  EID_ASSERT_OK_AND_ASSIGN(Proof proof, BuildProof(kb_, target));
+  EID_EXPECT_OK(VerifyProof(kb_, proof, target));
+  EXPECT_EQ(proof.Conclusion(), target);
+}
+
+TEST_F(ArmstrongTest, ProofOfTrivialImplication) {
+  Implication target{AtomSet::Of({p_, q_}), AtomSet::Of({q_})};
+  EID_ASSERT_OK_AND_ASSIGN(Proof proof, BuildProof(kb_, target));
+  EID_EXPECT_OK(VerifyProof(kb_, proof, target));
+}
+
+TEST_F(ArmstrongTest, UnprovableTargetFails) {
+  Implication target{AtomSet::Of({r_}), AtomSet::Of({p_})};
+  EXPECT_EQ(BuildProof(kb_, target).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ArmstrongTest, TamperedProofRejected) {
+  Implication target{AtomSet::Of({p_}), AtomSet::Of({r_})};
+  EID_ASSERT_OK_AND_ASSIGN(Proof proof, BuildProof(kb_, target));
+  // Corrupt the final conclusion.
+  proof.steps.back().conclusion.head = AtomSet::Of({p_, q_, r_});
+  EXPECT_FALSE(VerifyProof(kb_, proof, target).ok());
+}
+
+TEST_F(ArmstrongTest, ForwardReferenceRejected) {
+  Proof proof;
+  proof.steps.push_back(ProofStep{InferenceRule::kDecomposition,
+                                  {1},
+                                  0,
+                                  Implication{AtomSet::Of({p_}),
+                                              AtomSet::Of({p_})}});
+  proof.steps.push_back(ProofStep{InferenceRule::kReflexivity,
+                                  {},
+                                  0,
+                                  Implication{AtomSet::Of({p_}),
+                                              AtomSet::Of({p_})}});
+  EXPECT_FALSE(
+      VerifyProof(kb_, proof, Implication{AtomSet::Of({p_}), AtomSet::Of({p_})})
+          .ok());
+}
+
+TEST_F(ArmstrongTest, GivenStepMustMatchClause) {
+  Proof proof;
+  proof.steps.push_back(ProofStep{
+      InferenceRule::kGiven, {}, 0,
+      Implication{AtomSet::Of({p_}), AtomSet::Of({r_})}});  // not clause 0
+  EXPECT_FALSE(
+      VerifyProof(kb_, proof, Implication{AtomSet::Of({p_}), AtomSet::Of({r_})})
+          .ok());
+}
+
+TEST_F(ArmstrongTest, ProofToStringMentionsRules) {
+  Implication target{AtomSet::Of({p_}), AtomSet::Of({r_})};
+  EID_ASSERT_OK_AND_ASSIGN(Proof proof, BuildProof(kb_, target));
+  std::string text = proof.ToString(table_);
+  EXPECT_NE(text.find("reflexivity"), std::string::npos);
+  EXPECT_NE(text.find("transitivity"), std::string::npos);
+}
+
+TEST(ArmstrongRulesTest, UnionRule) {
+  // {X->Y, X->Z} |= X->(Y^Z) (Lemma 2.1).
+  Implication xy{AtomSet::Of({0}), AtomSet::Of({1})};
+  Implication xz{AtomSet::Of({0}), AtomSet::Of({2})};
+  EID_ASSERT_OK_AND_ASSIGN(Implication u, ApplyUnion(xy, xz));
+  EXPECT_EQ(u, (Implication{AtomSet::Of({0}), AtomSet::Of({1, 2})}));
+  EXPECT_FALSE(ApplyUnion(xy, Implication{AtomSet::Of({5}), AtomSet::Of({2})})
+                   .ok());
+}
+
+TEST(ArmstrongRulesTest, PseudoTransitivityRule) {
+  // {X->Y, (W^Y)->Z} |= (W^X)->Z (Lemma 2.2).
+  Implication xy{AtomSet::Of({0}), AtomSet::Of({1})};
+  Implication wyz{AtomSet::Of({1, 5}), AtomSet::Of({9})};
+  EID_ASSERT_OK_AND_ASSIGN(Implication out, ApplyPseudoTransitivity(xy, wyz));
+  EXPECT_EQ(out, (Implication{AtomSet::Of({0, 5}), AtomSet::Of({9})}));
+  // Y not inside the second body -> error.
+  EXPECT_FALSE(
+      ApplyPseudoTransitivity(xy, Implication{AtomSet::Of({5}), AtomSet::Of({9})})
+          .ok());
+}
+
+TEST(ArmstrongRulesTest, DecompositionRule) {
+  Implication xyz{AtomSet::Of({0}), AtomSet::Of({1, 2})};
+  EID_ASSERT_OK_AND_ASSIGN(Implication out,
+                           ApplyDecomposition(xyz, AtomSet::Of({2})));
+  EXPECT_EQ(out, (Implication{AtomSet::Of({0}), AtomSet::Of({2})}));
+  EXPECT_FALSE(ApplyDecomposition(xyz, AtomSet::Of({3})).ok());
+}
+
+TEST(ArmstrongRulesTest, DerivedRulesAreSemanticallySound) {
+  // Model-check the derived rules on their defining shapes.
+  std::vector<Implication> premises = {
+      Implication{AtomSet::Of({0}), AtomSet::Of({1})},
+      Implication{AtomSet::Of({1, 2}), AtomSet::Of({3})}};
+  EID_ASSERT_OK_AND_ASSIGN(
+      Implication pseudo, ApplyPseudoTransitivity(premises[0], premises[1]));
+  EXPECT_TRUE(EntailsByExhaustiveModels(premises, pseudo, 4));
+}
+
+/// Randomized soundness + completeness: closure-based derivability must
+/// coincide with semantic entailment over all models (Theorem 1), and
+/// every built proof must verify.
+TEST(ArmstrongPropertyTest, SoundAndCompleteOnRandomKbs) {
+  Rng rng(7);
+  const size_t universe = 8;
+  for (int trial = 0; trial < 200; ++trial) {
+    KnowledgeBase kb;
+    std::vector<Implication> clauses;
+    size_t n_clauses = 1 + rng.Below(5);
+    for (size_t c = 0; c < n_clauses; ++c) {
+      std::vector<AtomId> body, head;
+      size_t nb = 1 + rng.Below(3), nh = 1 + rng.Below(2);
+      for (size_t i = 0; i < nb; ++i) {
+        body.push_back(static_cast<AtomId>(rng.Below(universe)));
+      }
+      for (size_t i = 0; i < nh; ++i) {
+        head.push_back(static_cast<AtomId>(rng.Below(universe)));
+      }
+      Implication imp{AtomSet(body), AtomSet(head)};
+      clauses.push_back(imp);
+      kb.Add(imp);
+    }
+    // Random target.
+    std::vector<AtomId> tb, th;
+    size_t ntb = 1 + rng.Below(3);
+    for (size_t i = 0; i < ntb; ++i) {
+      tb.push_back(static_cast<AtomId>(rng.Below(universe)));
+    }
+    th.push_back(static_cast<AtomId>(rng.Below(universe)));
+    Implication target{AtomSet(tb), AtomSet(th)};
+
+    bool derivable = kb.Implies(target);
+    bool semantic = EntailsByExhaustiveModels(clauses, target, universe);
+    EXPECT_EQ(derivable, semantic)
+        << "trial " << trial << ": closure derivability disagrees with "
+        << "semantic entailment";
+    if (derivable) {
+      EID_ASSERT_OK_AND_ASSIGN(Proof proof, BuildProof(kb, target));
+      EID_EXPECT_OK(VerifyProof(kb, proof, target));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,110 @@
+#include "logic/kb.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eid {
+namespace {
+
+/// The §5.2 example: F = {(A=a1)->(B=b1), (B=b1)->(C=c1)} as atoms P,Q,R.
+class KbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    p_ = table_.Intern("A", Value::Str("a1"));
+    q_ = table_.Intern("B", Value::Str("b1"));
+    r_ = table_.Intern("C", Value::Str("c1"));
+    kb_.Add(Implication{AtomSet::Of({p_}), AtomSet::Of({q_})});
+    kb_.Add(Implication{AtomSet::Of({q_}), AtomSet::Of({r_})});
+  }
+
+  AtomTable table_;
+  KnowledgeBase kb_;
+  AtomId p_ = 0, q_ = 0, r_ = 0;
+};
+
+TEST_F(KbTest, ClosureContainsSeed) {
+  ClosureResult c = kb_.ForwardClosure(AtomSet::Of({r_}));
+  EXPECT_EQ(c.atoms, AtomSet::Of({r_}));
+  EXPECT_TRUE(c.provenance.empty());
+}
+
+TEST_F(KbTest, TransitiveChainSaturates) {
+  ClosureResult c = kb_.ForwardClosure(AtomSet::Of({p_}));
+  EXPECT_EQ(c.atoms, AtomSet::Of({p_, q_, r_}));
+  EXPECT_EQ(c.provenance.at(q_), 0u);
+  EXPECT_EQ(c.provenance.at(r_), 1u);
+  EXPECT_EQ(c.firing_order, (std::vector<size_t>{0, 1}));
+}
+
+TEST_F(KbTest, EntailsAndImplies) {
+  EXPECT_TRUE(kb_.Entails(AtomSet::Of({p_}), AtomSet::Of({r_})));
+  EXPECT_FALSE(kb_.Entails(AtomSet::Of({q_}), AtomSet::Of({p_})));
+  EXPECT_TRUE(kb_.Implies(Implication{AtomSet::Of({p_}), AtomSet::Of({q_, r_})}));
+  EXPECT_TRUE(kb_.Implies(Implication{AtomSet::Of({p_}), AtomSet::Of({p_})}));
+}
+
+TEST(KnowledgeBaseTest, MultiAtomBodyNeedsEveryAtom) {
+  AtomTable t;
+  AtomId a = t.Intern("a", Value::Int(1));
+  AtomId b = t.Intern("b", Value::Int(1));
+  AtomId c = t.Intern("c", Value::Int(1));
+  KnowledgeBase kb;
+  kb.Add(Implication{AtomSet::Of({a, b}), AtomSet::Of({c})});
+  EXPECT_FALSE(kb.Entails(AtomSet::Of({a}), AtomSet::Of({c})));
+  EXPECT_FALSE(kb.Entails(AtomSet::Of({b}), AtomSet::Of({c})));
+  EXPECT_TRUE(kb.Entails(AtomSet::Of({a, b}), AtomSet::Of({c})));
+}
+
+TEST(KnowledgeBaseTest, UnconditionalFactsAlwaysFire) {
+  KnowledgeBase kb;
+  kb.Add(Implication{AtomSet(), AtomSet::Of({7})});
+  ClosureResult c = kb.ForwardClosure(AtomSet());
+  EXPECT_TRUE(c.atoms.Contains(7));
+}
+
+TEST(KnowledgeBaseTest, MultiHeadDerivesAllAtoms) {
+  KnowledgeBase kb;
+  kb.Add(Implication{AtomSet::Of({0}), AtomSet::Of({1, 2})});
+  ClosureResult c = kb.ForwardClosure(AtomSet::Of({0}));
+  EXPECT_TRUE(c.atoms.Contains(1));
+  EXPECT_TRUE(c.atoms.Contains(2));
+}
+
+TEST(KnowledgeBaseTest, CyclicClausesTerminate) {
+  KnowledgeBase kb;
+  kb.Add(Implication{AtomSet::Of({0}), AtomSet::Of({1})});
+  kb.Add(Implication{AtomSet::Of({1}), AtomSet::Of({0})});
+  ClosureResult c = kb.ForwardClosure(AtomSet::Of({0}));
+  EXPECT_EQ(c.atoms, AtomSet::Of({0, 1}));
+}
+
+TEST(KnowledgeBaseTest, DiamondDerivationsUseFirstClause) {
+  // Two clauses derive atom 2; provenance records the first to fire.
+  KnowledgeBase kb;
+  kb.Add(Implication{AtomSet::Of({0}), AtomSet::Of({2})});
+  kb.Add(Implication{AtomSet::Of({1}), AtomSet::Of({2})});
+  ClosureResult c = kb.ForwardClosure(AtomSet::Of({0, 1}));
+  EXPECT_EQ(c.provenance.at(2), 0u);
+}
+
+TEST(KnowledgeBaseTest, LongChainLinearTime) {
+  // 100k-clause chain closes without issue (counting algorithm).
+  KnowledgeBase kb;
+  const AtomId n = 100000;
+  for (AtomId i = 0; i < n; ++i) {
+    kb.Add(Implication{AtomSet::Of({i}), AtomSet::Of({i + 1})});
+  }
+  ClosureResult c = kb.ForwardClosure(AtomSet::Of({0}));
+  EXPECT_EQ(c.atoms.size(), n + 1);
+}
+
+TEST(KnowledgeBaseTest, SeedAtomsDoNotGetProvenance) {
+  KnowledgeBase kb;
+  kb.Add(Implication{AtomSet::Of({0}), AtomSet::Of({1})});
+  ClosureResult c = kb.ForwardClosure(AtomSet::Of({0, 1}));
+  EXPECT_TRUE(c.provenance.empty());  // 1 was already in the seed
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,87 @@
+#include "logic/model.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "logic/implication.h"
+
+namespace eid {
+namespace {
+
+TEST(ModelTest, VacuouslySatisfiedWhenBodyFalse) {
+  Implication imp{AtomSet::Of({0}), AtomSet::Of({1})};
+  EXPECT_TRUE(Satisfies(AtomSet::Of({2}), imp));
+  EXPECT_TRUE(Satisfies(AtomSet(), imp));
+}
+
+TEST(ModelTest, SatisfiedWhenHeadHolds) {
+  Implication imp{AtomSet::Of({0}), AtomSet::Of({1})};
+  EXPECT_TRUE(Satisfies(AtomSet::Of({0, 1}), imp));
+}
+
+TEST(ModelTest, ViolatedWhenBodyHoldsHeadDoesNot) {
+  Implication imp{AtomSet::Of({0}), AtomSet::Of({1})};
+  EXPECT_FALSE(Satisfies(AtomSet::Of({0}), imp));
+}
+
+TEST(ModelTest, SatisfiesAllShortCircuits) {
+  std::vector<Implication> imps = {
+      Implication{AtomSet::Of({0}), AtomSet::Of({1})},
+      Implication{AtomSet::Of({1}), AtomSet::Of({2})}};
+  EXPECT_TRUE(SatisfiesAll(AtomSet::Of({0, 1, 2}), imps));
+  EXPECT_FALSE(SatisfiesAll(AtomSet::Of({0, 1}), imps));
+}
+
+TEST(ModelTest, ExhaustiveEntailmentAgreesOnChain) {
+  std::vector<Implication> premises = {
+      Implication{AtomSet::Of({0}), AtomSet::Of({1})},
+      Implication{AtomSet::Of({1}), AtomSet::Of({2})}};
+  EXPECT_TRUE(EntailsByExhaustiveModels(
+      premises, Implication{AtomSet::Of({0}), AtomSet::Of({2})}, 3));
+  EXPECT_FALSE(EntailsByExhaustiveModels(
+      premises, Implication{AtomSet::Of({2}), AtomSet::Of({0})}, 3));
+}
+
+TEST(ModelTest, ReflexivityIsValid) {
+  EXPECT_TRUE(EntailsByExhaustiveModels(
+      {}, Implication{AtomSet::Of({0, 1}), AtomSet::Of({1})}, 2));
+}
+
+TEST(ModelTest, NoPremisesNontrivialTargetFails) {
+  EXPECT_FALSE(EntailsByExhaustiveModels(
+      {}, Implication{AtomSet::Of({0}), AtomSet::Of({1})}, 2));
+}
+
+TEST(ImplicationTest, TrivialDetection) {
+  EXPECT_TRUE((Implication{AtomSet::Of({0, 1}), AtomSet::Of({1})}).IsTrivial());
+  EXPECT_FALSE((Implication{AtomSet::Of({0}), AtomSet::Of({1})}).IsTrivial());
+}
+
+TEST(ImplicationTest, DecomposeSplitsHeads) {
+  Implication imp{AtomSet::Of({0}), AtomSet::Of({1, 2})};
+  std::vector<Implication> parts = Decompose(imp);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].head, AtomSet::Of({1}));
+  EXPECT_EQ(parts[1].head, AtomSet::Of({2}));
+}
+
+TEST(ImplicationTest, CombineByBodyMergesHeads) {
+  std::vector<Implication> imps = {
+      Implication{AtomSet::Of({0}), AtomSet::Of({1})},
+      Implication{AtomSet::Of({0}), AtomSet::Of({2})},
+      Implication{AtomSet::Of({5}), AtomSet::Of({6})}};
+  std::vector<Implication> combined = CombineByBody(imps);
+  ASSERT_EQ(combined.size(), 2u);
+  EXPECT_EQ(combined[0], (Implication{AtomSet::Of({0}), AtomSet::Of({1, 2})}));
+}
+
+TEST(ImplicationTest, ToStringFormat) {
+  AtomTable table;
+  AtomId a = table.Intern("x", Value::Int(1));
+  AtomId b = table.Intern("y", Value::Int(2));
+  Implication imp{AtomSet::Of({a}), AtomSet::Of({b})};
+  EXPECT_EQ(imp.ToString(table), "{x=1} -> {y=2}");
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,104 @@
+#include "logic/proposition.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eid {
+namespace {
+
+TEST(AtomTableTest, InternIsIdempotent) {
+  AtomTable table;
+  AtomId a = table.Intern("cuisine", Value::Str("Chinese"));
+  AtomId b = table.Intern("cuisine", Value::Str("Chinese"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(AtomTableTest, DistinctAtomsGetDistinctIds) {
+  AtomTable table;
+  AtomId a = table.Intern("cuisine", Value::Str("Chinese"));
+  AtomId b = table.Intern("cuisine", Value::Str("Greek"));
+  AtomId c = table.Intern("speciality", Value::Str("Chinese"));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(AtomTableTest, ValueTypeDistinguishesAtoms) {
+  AtomTable table;
+  AtomId a = table.Intern("n", Value::Int(1));
+  AtomId b = table.Intern("n", Value::Str("1"));
+  EXPECT_NE(a, b);
+}
+
+TEST(AtomTableTest, FindWithoutInterning) {
+  AtomTable table;
+  EXPECT_FALSE(table.Find("a", Value::Int(1)).has_value());
+  AtomId id = table.Intern("a", Value::Int(1));
+  EXPECT_EQ(table.Find("a", Value::Int(1)), id);
+}
+
+TEST(AtomTableTest, RoundTripAndToString) {
+  AtomTable table;
+  AtomId id = table.Intern("cuisine", Value::Str("Greek"));
+  EXPECT_EQ(table.atom(id).attribute, "cuisine");
+  EXPECT_EQ(table.ToString(id), "cuisine=Greek");
+}
+
+TEST(AtomTableTest, AtomsForAttribute) {
+  AtomTable table;
+  table.Intern("a", Value::Int(1));
+  table.Intern("b", Value::Int(2));
+  table.Intern("a", Value::Int(3));
+  EXPECT_EQ(table.AtomsForAttribute("a").size(), 2u);
+  EXPECT_EQ(table.AtomsForAttribute("zzz").size(), 0u);
+}
+
+TEST(AtomSetTest, ConstructionSortsAndDeduplicates) {
+  AtomSet s(std::vector<AtomId>{3, 1, 3, 2});
+  EXPECT_EQ(s.ids(), (std::vector<AtomId>{1, 2, 3}));
+}
+
+TEST(AtomSetTest, ContainsAndContainsAll) {
+  AtomSet s = AtomSet::Of({1, 2, 3});
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_TRUE(s.ContainsAll(AtomSet::Of({1, 3})));
+  EXPECT_FALSE(s.ContainsAll(AtomSet::Of({1, 4})));
+  EXPECT_TRUE(s.ContainsAll(AtomSet()));
+}
+
+TEST(AtomSetTest, SetOperations) {
+  AtomSet a = AtomSet::Of({1, 2, 3});
+  AtomSet b = AtomSet::Of({3, 4});
+  EXPECT_EQ(a.UnionWith(b).ids(), (std::vector<AtomId>{1, 2, 3, 4}));
+  EXPECT_EQ(a.IntersectWith(b).ids(), (std::vector<AtomId>{3}));
+  EXPECT_EQ(a.Minus(b).ids(), (std::vector<AtomId>{1, 2}));
+}
+
+TEST(AtomSetTest, DisjointFrom) {
+  EXPECT_TRUE(AtomSet::Of({1, 2}).DisjointFrom(AtomSet::Of({3})));
+  EXPECT_FALSE(AtomSet::Of({1, 2}).DisjointFrom(AtomSet::Of({2})));
+  EXPECT_TRUE(AtomSet().DisjointFrom(AtomSet::Of({1})));
+}
+
+TEST(AtomSetTest, InsertMaintainsOrder) {
+  AtomSet s;
+  s.Insert(5);
+  s.Insert(1);
+  s.Insert(5);
+  s.Insert(3);
+  EXPECT_EQ(s.ids(), (std::vector<AtomId>{1, 3, 5}));
+}
+
+TEST(AtomSetTest, ToStringUsesTable) {
+  AtomTable table;
+  AtomId a = table.Intern("x", Value::Int(1));
+  AtomId b = table.Intern("y", Value::Int(2));
+  AtomSet s = AtomSet::Of({a, b});
+  EXPECT_EQ(s.ToString(table), "{x=1 ^ y=2}");
+}
+
+}  // namespace
+}  // namespace eid

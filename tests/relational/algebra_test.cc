@@ -1,0 +1,185 @@
+#include "relational/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+Relation Left() {
+  return MakeRelation("L", {"k", "a"}, {},
+                      {{"1", "x"}, {"2", "y"}, {"3", "z"}});
+}
+
+Relation Right() {
+  return MakeRelation("Rt", {"k", "b"}, {},
+                      {{"2", "p"}, {"3", "q"}, {"4", "r"}});
+}
+
+TEST(AlgebraTest, SelectFilters) {
+  Relation out = Select(Left(), [](const TupleView& t) {
+    return t.GetOrNull("k").AsString() != "2";
+  });
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(AlgebraTest, ProjectDeduplicates) {
+  Relation r = MakeRelation("R", {"a", "b"}, {},
+                            {{"1", "x"}, {"1", "y"}, {"2", "x"}});
+  EID_ASSERT_OK_AND_ASSIGN(Relation out, Project(r, {"a"}));
+  EXPECT_EQ(out.size(), 2u);
+  EID_ASSERT_OK_AND_ASSIGN(Relation bag, ProjectBag(r, {"a"}));
+  EXPECT_EQ(bag.size(), 3u);
+}
+
+TEST(AlgebraTest, ProjectUnknownAttributeFails) {
+  EXPECT_FALSE(Project(Left(), {"zzz"}).ok());
+}
+
+TEST(AlgebraTest, RenamePreservesKeysAndData) {
+  Relation r = MakeRelation("R", {"a", "b"}, {"a"}, {{"1", "x"}});
+  EID_ASSERT_OK_AND_ASSIGN(Relation out, Rename(r, "b", "c"));
+  EXPECT_TRUE(out.schema().Contains("c"));
+  EXPECT_FALSE(out.schema().Contains("b"));
+  EXPECT_EQ(out.PrimaryKeyNames(), (std::vector<std::string>{"a"}));
+}
+
+TEST(AlgebraTest, RenameToExistingNameFails) {
+  EXPECT_EQ(Rename(Left(), "a", "k").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(AlgebraTest, RenameAllKeepsKeyPositions) {
+  Relation r = MakeRelation("R", {"a", "b"}, {"b"}, {{"1", "x"}});
+  EID_ASSERT_OK_AND_ASSIGN(Relation out, RenameAll(r, {"p", "q"}));
+  EXPECT_EQ(out.PrimaryKeyNames(), (std::vector<std::string>{"q"}));
+}
+
+TEST(AlgebraTest, NaturalJoinOnCommonAttribute) {
+  EID_ASSERT_OK_AND_ASSIGN(Relation out, NaturalJoin(Left(), Right()));
+  EXPECT_EQ(out.size(), 2u);  // k=2, k=3
+  ASSERT_EQ(out.schema().size(), 3u);
+  EXPECT_TRUE(out.schema().Contains("k"));
+  EXPECT_TRUE(out.schema().Contains("a"));
+  EXPECT_TRUE(out.schema().Contains("b"));
+}
+
+TEST(AlgebraTest, NaturalJoinNoCommonAttributesIsProduct) {
+  Relation a = MakeRelation("A", {"x"}, {}, {{"1"}, {"2"}});
+  Relation b = MakeRelation("B", {"y"}, {}, {{"p"}});
+  EID_ASSERT_OK_AND_ASSIGN(Relation out, NaturalJoin(a, b));
+  EXPECT_EQ(out.size(), 2u);  // empty join key: every pair matches
+}
+
+TEST(AlgebraTest, EquiJoinPrefixesCollidingRightColumns) {
+  Relation a = MakeRelation("A", {"k", "v"}, {}, {{"1", "x"}});
+  Relation b = MakeRelation("B", {"k", "v"}, {}, {{"1", "y"}});
+  EID_ASSERT_OK_AND_ASSIGN(Relation out,
+                           EquiJoin(a, b, {JoinCondition{"k", "k"}}));
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.schema().Contains("B.k"));
+  EXPECT_TRUE(out.schema().Contains("B.v"));
+}
+
+TEST(AlgebraTest, JoinNullPolicyNullEqualsNull) {
+  Relation a("A", Schema::OfStrings({"k", "v"}));
+  EID_EXPECT_OK(a.Insert(Row{Value::Null(), Value::Str("x")}));
+  Relation b("B", Schema::OfStrings({"k", "w"}));
+  EID_EXPECT_OK(b.Insert(Row{Value::Null(), Value::Str("y")}));
+  EID_ASSERT_OK_AND_ASSIGN(
+      Relation match, NaturalJoin(a, b, NullPolicy::kNullEqualsNull));
+  EXPECT_EQ(match.size(), 1u);
+  EID_ASSERT_OK_AND_ASSIGN(
+      Relation nomatch, NaturalJoin(a, b, NullPolicy::kNullNeverMatches));
+  EXPECT_EQ(nomatch.size(), 0u);
+}
+
+TEST(AlgebraTest, LeftOuterJoinPadsUnmatched) {
+  EID_ASSERT_OK_AND_ASSIGN(Relation out, LeftOuterJoin(Left(), Right()));
+  EXPECT_EQ(out.size(), 3u);
+  // The k=1 row has NULL b.
+  bool found_padded = false;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.tuple(i).GetOrNull("k").AsString() == "1") {
+      EXPECT_TRUE(out.tuple(i).GetOrNull("b").is_null());
+      found_padded = true;
+    }
+  }
+  EXPECT_TRUE(found_padded);
+}
+
+TEST(AlgebraTest, FullOuterJoinKeepsBothSides) {
+  EID_ASSERT_OK_AND_ASSIGN(Relation out, FullOuterJoin(Left(), Right()));
+  EXPECT_EQ(out.size(), 4u);  // 2 matched + k=1 + k=4
+  // Unmatched right row k=4 carries its join value in the shared column.
+  bool found_right = false;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.tuple(i).GetOrNull("k").AsString() == "4") {
+      EXPECT_TRUE(out.tuple(i).GetOrNull("a").is_null());
+      EXPECT_EQ(out.tuple(i).GetOrNull("b").AsString(), "r");
+      found_right = true;
+    }
+  }
+  EXPECT_TRUE(found_right);
+}
+
+TEST(AlgebraTest, UnionDeduplicates) {
+  Relation a = MakeRelation("A", {"x"}, {}, {{"1"}, {"2"}});
+  Relation b = MakeRelation("A", {"x"}, {}, {{"2"}, {"3"}});
+  EID_ASSERT_OK_AND_ASSIGN(Relation out, Union(a, b));
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(AlgebraTest, UnionSchemaMismatchFails) {
+  Relation a = MakeRelation("A", {"x"}, {}, {});
+  Relation b = MakeRelation("B", {"y"}, {}, {});
+  EXPECT_FALSE(Union(a, b).ok());
+}
+
+TEST(AlgebraTest, DifferenceRemovesAndDeduplicates) {
+  Relation a = MakeRelation("A", {"x"}, {}, {{"1"}, {"2"}, {"2"}, {"3"}});
+  Relation b = MakeRelation("A", {"x"}, {}, {{"2"}});
+  EID_ASSERT_OK_AND_ASSIGN(Relation out, Difference(a, b));
+  EXPECT_EQ(out.size(), 2u);  // {1, 3}
+}
+
+TEST(AlgebraTest, CartesianProduct) {
+  Relation a = MakeRelation("A", {"x"}, {}, {{"1"}, {"2"}});
+  Relation b = MakeRelation("B", {"y"}, {}, {{"p"}, {"q"}, {"r"}});
+  EID_ASSERT_OK_AND_ASSIGN(Relation out, CartesianProduct(a, b));
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(AlgebraTest, DistinctRemovesStorageDuplicatesIncludingNulls) {
+  Relation a("A", Schema::OfStrings({"x"}));
+  EID_EXPECT_OK(a.Insert(Row{Value::Null()}));
+  EID_EXPECT_OK(a.Insert(Row{Value::Null()}));
+  EID_EXPECT_OK(a.Insert(Row{Value::Str("v")}));
+  Relation out = Distinct(a);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(AlgebraTest, JoinMatchesNestedLoopReference) {
+  // Cross-check the hash join against a naive nested loop on a bigger
+  // input with duplicate join keys.
+  Relation a("A", Schema::OfStrings({"k", "u"}));
+  Relation b("B", Schema::OfStrings({"k", "w"}));
+  for (int i = 0; i < 40; ++i) {
+    EID_EXPECT_OK(a.InsertText({std::to_string(i % 7), "u" + std::to_string(i)}));
+    EID_EXPECT_OK(b.InsertText({std::to_string(i % 5), "w" + std::to_string(i)}));
+  }
+  EID_ASSERT_OK_AND_ASSIGN(Relation joined, NaturalJoin(a, b));
+  size_t expected = 0;
+  for (const Row& ra : a.rows()) {
+    for (const Row& rb : b.rows()) {
+      if (ra[0] == rb[0]) ++expected;
+    }
+  }
+  EXPECT_EQ(joined.size(), expected);
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,72 @@
+#include "relational/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+TEST(CatalogTest, AddAndGet) {
+  Catalog db("DB1");
+  EID_EXPECT_OK(db.Add(MakeRelation("R", {"a"}, {}, {{"1"}})));
+  EXPECT_TRUE(db.Contains("R"));
+  EID_ASSERT_OK_AND_ASSIGN(const Relation* r, db.Get("R"));
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog db("DB1");
+  EID_EXPECT_OK(db.Add(MakeRelation("R", {"a"}, {}, {})));
+  EXPECT_EQ(db.Add(MakeRelation("R", {"b"}, {}, {})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, UnnamedRelationRejected) {
+  Catalog db("DB1");
+  EXPECT_EQ(db.Add(Relation("", Schema::OfStrings({"a"}))).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, MissingRelationNotFound) {
+  Catalog db("DB1");
+  EXPECT_EQ(db.Get("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RelationNamesSorted) {
+  Catalog db("DB1");
+  EID_EXPECT_OK(db.Add(MakeRelation("Z", {"a"}, {}, {})));
+  EID_EXPECT_OK(db.Add(MakeRelation("A", {"a"}, {}, {})));
+  EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"A", "Z"}));
+}
+
+TEST(CatalogTest, DomainAttributeTagsEveryRow) {
+  Catalog db("DB1");
+  EID_EXPECT_OK(db.Add(MakeRelation("R", {"name"}, {}, {{"Wok"}, {"Ching"}})));
+  EID_ASSERT_OK_AND_ASSIGN(Relation tagged, db.WithDomainAttribute("R"));
+  ASSERT_TRUE(tagged.schema().Contains(kDomainAttribute));
+  for (size_t i = 0; i < tagged.size(); ++i) {
+    EXPECT_EQ(tagged.tuple(i).GetOrNull(kDomainAttribute).AsString(), "DB1");
+  }
+}
+
+TEST(CatalogTest, DomainAttributeCollisionRejected) {
+  Catalog db("DB1");
+  EID_EXPECT_OK(db.Add(MakeRelation("R", {"name", "domain"}, {}, {})));
+  EXPECT_EQ(db.WithDomainAttribute("R").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, GetMutableAllowsModification) {
+  Catalog db("DB1");
+  EID_EXPECT_OK(db.Add(MakeRelation("R", {"a"}, {}, {})));
+  EID_ASSERT_OK_AND_ASSIGN(Relation* r, db.GetMutable("R"));
+  EID_EXPECT_OK(r->InsertText({"1"}));
+  EID_ASSERT_OK_AND_ASSIGN(const Relation* again, db.Get("R"));
+  EXPECT_EQ(again->size(), 1u);
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,73 @@
+#include "relational/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+TEST(PrinterTest, HeaderAndRows) {
+  Relation r = MakeRelation("R", {"name", "cuisine"}, {},
+                            {{"Wok", "Chinese"}});
+  std::string out = FormatTable(r);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("cuisine"), std::string::npos);
+  EXPECT_NE(out.find("Wok"), std::string::npos);
+  EXPECT_NE(out.find("-------"), std::string::npos);
+}
+
+TEST(PrinterTest, TitleIsCenteredAboveRule) {
+  Relation r = MakeRelation("R", {"a", "b"}, {}, {{"1", "2"}});
+  PrintOptions opts;
+  opts.title = "matching table";
+  std::string out = FormatTable(r, opts);
+  EXPECT_EQ(out.find("matching table") != std::string::npos, true);
+  // The title line comes before the header line.
+  EXPECT_LT(out.find("matching table"), out.find("a "));
+}
+
+TEST(PrinterTest, NullPrintsAsNullLiteral) {
+  Relation r("R", Schema::OfStrings({"a"}));
+  EID_EXPECT_OK(r.Insert(Row{Value::Null()}));
+  std::string out = FormatTable(r);
+  EXPECT_NE(out.find("null"), std::string::npos);
+}
+
+TEST(PrinterTest, SortedOutputIsDeterministic) {
+  Relation r = MakeRelation("R", {"a"}, {}, {{"b"}, {"a"}});
+  std::string out = FormatTable(r);
+  EXPECT_LT(out.find("\na "), out.find("\nb "));
+}
+
+TEST(PrinterTest, UnsortedRespectsInsertionOrder) {
+  Relation r = MakeRelation("R", {"a"}, {}, {{"b"}, {"a"}});
+  PrintOptions opts;
+  opts.sort_rows = false;
+  std::string out = FormatTable(r, opts);
+  EXPECT_LT(out.find("\nb "), out.find("\na "));
+}
+
+TEST(PrinterTest, WideValuesWidenColumns) {
+  Relation r = MakeRelation("R", {"a", "b"}, {},
+                            {{"averyveryverylongvalueindeed", "x"}});
+  std::string out = FormatTable(r);
+  // The long value is not truncated.
+  EXPECT_NE(out.find("averyveryverylongvalueindeed"), std::string::npos);
+  // And the second column still appears after it on the same line.
+  size_t line_start = out.find("averyveryverylongvalueindeed");
+  size_t line_end = out.find('\n', line_start);
+  EXPECT_NE(out.substr(line_start, line_end - line_start).find("x"),
+            std::string::npos);
+}
+
+TEST(PrinterTest, EmptyRelationPrintsHeaderOnly) {
+  Relation r("R", Schema::OfStrings({"col"}));
+  std::string out = FormatTable(r);
+  EXPECT_NE(out.find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eid

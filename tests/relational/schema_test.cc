@@ -1,0 +1,91 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eid {
+namespace {
+
+TEST(SchemaTest, OfStringsBuildsStringAttributes) {
+  Schema s = Schema::OfStrings({"a", "b", "c"});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.attribute(0).name, "a");
+  EXPECT_EQ(s.attribute(1).type, ValueType::kString);
+}
+
+TEST(SchemaTest, IndexOfAndContains) {
+  Schema s = Schema::OfStrings({"name", "city"});
+  EXPECT_EQ(s.IndexOf("city"), 1u);
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+  EXPECT_TRUE(s.Contains("name"));
+  EXPECT_FALSE(s.Contains("Name"));  // case-sensitive
+}
+
+TEST(SchemaTest, RequireIndexErrors) {
+  Schema s = Schema::OfStrings({"a"});
+  EXPECT_TRUE(s.RequireIndex("a").ok());
+  Result<size_t> missing = s.RequireIndex("b");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, AppendRejectsDuplicates) {
+  Schema s = Schema::OfStrings({"a"});
+  EID_EXPECT_OK(s.Append(Attribute{"b", ValueType::kInt}));
+  Status dup = s.Append(Attribute{"a", ValueType::kString});
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(SchemaTest, ProjectReordersAndSelects) {
+  Schema s = Schema::OfStrings({"a", "b", "c"});
+  EID_ASSERT_OK_AND_ASSIGN(Schema p, s.Project({"c", "a"}));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.attribute(0).name, "c");
+  EXPECT_EQ(p.attribute(1).name, "a");
+  EXPECT_FALSE(s.Project({"z"}).ok());
+}
+
+TEST(SchemaTest, WithPrefix) {
+  Schema s = Schema::OfStrings({"a", "b"});
+  Schema p = s.WithPrefix("r_");
+  EXPECT_EQ(p.attribute(0).name, "r_a");
+  EXPECT_EQ(p.attribute(1).name, "r_b");
+}
+
+TEST(SchemaTest, ConcatDisjointOk) {
+  Schema a = Schema::OfStrings({"x"});
+  Schema b = Schema::OfStrings({"y"});
+  EID_ASSERT_OK_AND_ASSIGN(Schema c, a.Concat(b));
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(SchemaTest, ConcatCollisionFails) {
+  Schema a = Schema::OfStrings({"x"});
+  Schema b = Schema::OfStrings({"x"});
+  EXPECT_EQ(a.Concat(b).status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, CommonAttributeNamesInLeftOrder) {
+  Schema a = Schema::OfStrings({"p", "q", "r"});
+  Schema b = Schema::OfStrings({"r", "p"});
+  std::vector<std::string> common = a.CommonAttributeNames(b);
+  ASSERT_EQ(common.size(), 2u);
+  EXPECT_EQ(common[0], "p");
+  EXPECT_EQ(common[1], "r");
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  Schema a = Schema::OfStrings({"x", "y"});
+  Schema b = Schema::OfStrings({"x", "y"});
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.ToString(), "x:string, y:string");
+}
+
+TEST(SchemaDeathTest, DuplicateNamesAbort) {
+  EXPECT_DEATH(Schema::OfStrings({"a", "a"}), "duplicate attribute");
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,109 @@
+#include "relational/status.h"
+
+#include <gtest/gtest.h>
+
+namespace eid {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ConstraintViolation("x").code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(Status::Unsound("x").code(), StatusCode::kUnsound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  Status st = Status::NotFound("attribute 'q'");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "attribute 'q'");
+  EXPECT_EQ(st.ToString(), "NotFound: attribute 'q'");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnsound), "Unsound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kConstraintViolation),
+               "ConstraintViolation");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(ResultTest, ValueAndStatusAccess) {
+  Result<int> ok = ParsePositive(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(*ok, 7);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err = ParsePositive(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> res = std::string("payload");
+  std::string taken = std::move(res).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> res = std::string("abc");
+  EXPECT_EQ(res->size(), 3u);
+}
+
+Status Chain(int x) {
+  EID_RETURN_IF_ERROR(ParsePositive(x).status());
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chain(3).ok());
+  EXPECT_EQ(Chain(-3).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Doubled(int x) {
+  EID_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  Result<int> ok = Doubled(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 8);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> err = Status::NotFound("gone");
+  EXPECT_DEATH((void)err.value(), "Result::value\\(\\) on error");
+}
+
+TEST(ResultDeathTest, OkStatusIntoResultAborts) {
+  EXPECT_DEATH(Result<int>(Status::Ok()), "OK status");
+}
+
+TEST(CheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(EID_CHECK(1 == 2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace eid

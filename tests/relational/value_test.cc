@@ -1,0 +1,140 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "../test_util.h"
+
+namespace eid {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, TypedConstructionAndAccess) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Str("abc").AsString(), "abc");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_FALSE(Value::Bool(false).AsBool());
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Int(1).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Double(1).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::Str("x").type(), ValueType::kString);
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+}
+
+TEST(ValueTest, StorageEqualityNullEqualsNull) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Int(0));
+  EXPECT_NE(Value::Null(), Value::Str(""));
+}
+
+TEST(ValueTest, EqualityIsTypeSensitive) {
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));
+  EXPECT_NE(Value::Str("1"), Value::Int(1));
+  EXPECT_EQ(Value::Int(7), Value::Int(7));
+}
+
+TEST(ValueTest, NonNullEqRejectsNulls) {
+  EXPECT_FALSE(NonNullEq(Value::Null(), Value::Null()));
+  EXPECT_FALSE(NonNullEq(Value::Null(), Value::Int(1)));
+  EXPECT_FALSE(NonNullEq(Value::Int(1), Value::Null()));
+  EXPECT_TRUE(NonNullEq(Value::Int(1), Value::Int(1)));
+  EXPECT_FALSE(NonNullEq(Value::Int(1), Value::Int(2)));
+}
+
+TEST(ValueTest, OrderingAcrossTypes) {
+  // NULL < bool < numeric < string.
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(5), Value::Str(""));
+}
+
+TEST(ValueTest, NumericOrderingMixesIntAndDouble) {
+  EXPECT_LT(Value::Int(1), Value::Double(1.5));
+  EXPECT_LT(Value::Double(0.5), Value::Int(1));
+  EXPECT_LT(Value::Int(1), Value::Double(1.0));  // tie-break: int < double
+  EXPECT_FALSE(Value::Double(1.0) < Value::Int(1));
+}
+
+TEST(ValueTest, OrderingIsTotalAndConsistentWithEquality) {
+  std::vector<Value> values = {
+      Value::Null(),    Value::Bool(false), Value::Bool(true),
+      Value::Int(-3),   Value::Int(7),      Value::Double(-3.0),
+      Value::Double(7.5), Value::Str(""),   Value::Str("abc"),
+      Value::Str("abd")};
+  for (const Value& a : values) {
+    EXPECT_FALSE(a < a) << a.ToString();
+    for (const Value& b : values) {
+      if (a == b) continue;
+      EXPECT_TRUE((a < b) != (b < a))
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Int(42).Hash());
+  EXPECT_EQ(Value::Str("x").Hash(), Value::Str("x").Hash());
+  // Distinct types hash apart even with "equal" payloads (not guaranteed in
+  // general, but these specific pairs must differ for fingerprinting).
+  EXPECT_NE(Value::Int(1).Hash(), Value::Bool(true).Hash());
+  EXPECT_NE(Value::Str("1").Hash(), Value::Int(1).Hash());
+}
+
+TEST(ValueTest, HashSpreadsValues) {
+  std::unordered_set<size_t> hashes;
+  for (int i = 0; i < 1000; ++i) hashes.insert(Value::Int(i).Hash());
+  EXPECT_GT(hashes.size(), 990u);
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Str("hello").ToString(), "hello");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, ParseInt) {
+  EID_ASSERT_OK_AND_ASSIGN(Value v, Value::Parse("123", ValueType::kInt));
+  EXPECT_EQ(v.AsInt(), 123);
+  EXPECT_FALSE(Value::Parse("12x", ValueType::kInt).ok());
+  EXPECT_FALSE(Value::Parse("", ValueType::kInt).ok());
+}
+
+TEST(ValueTest, ParseDouble) {
+  EID_ASSERT_OK_AND_ASSIGN(Value v, Value::Parse("-2.5", ValueType::kDouble));
+  EXPECT_EQ(v.AsDouble(), -2.5);
+  EXPECT_FALSE(Value::Parse("abc", ValueType::kDouble).ok());
+}
+
+TEST(ValueTest, ParseBool) {
+  EID_ASSERT_OK_AND_ASSIGN(Value t, Value::Parse("true", ValueType::kBool));
+  EXPECT_TRUE(t.AsBool());
+  EID_ASSERT_OK_AND_ASSIGN(Value f, Value::Parse("0", ValueType::kBool));
+  EXPECT_FALSE(f.AsBool());
+  EXPECT_FALSE(Value::Parse("yes", ValueType::kBool).ok());
+}
+
+TEST(ValueTest, ParseStringTreatsNullLiteral) {
+  EID_ASSERT_OK_AND_ASSIGN(Value v, Value::Parse("null", ValueType::kString));
+  EXPECT_TRUE(v.is_null());
+  EID_ASSERT_OK_AND_ASSIGN(Value w, Value::Parse("abc", ValueType::kString));
+  EXPECT_EQ(w.AsString(), "abc");
+}
+
+TEST(ValueTest, AsNumericPromotesInt) {
+  EXPECT_EQ(Value::Int(3).AsNumeric(), 3.0);
+  EXPECT_EQ(Value::Double(3.5).AsNumeric(), 3.5);
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,118 @@
+#include "rules/distinctness_rule.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+TEST(DistinctnessRuleTest, PaperR3ValidatesAndApplies) {
+  // r3: (e1.speciality="Mughalai") ∧ (e2.cuisine≠"Indian") → e1 ≢ e2.
+  EID_ASSERT_OK_AND_ASSIGN(
+      DistinctnessRule r3,
+      ParseDistinctnessRule(
+          "r3", "e1.speciality = \"Mughalai\" & e2.cuisine != \"Indian\""));
+  EID_EXPECT_OK(r3.Validate());
+
+  Relation r = MakeRelation("R", {"speciality"}, {}, {{"Mughalai"}, {"Hunan"}});
+  Relation s = MakeRelation("S", {"cuisine"}, {}, {{"Greek"}, {"Indian"}});
+  EXPECT_EQ(r3.Applies(r.tuple(0), s.tuple(0)), Truth::kTrue);
+  EXPECT_EQ(r3.Applies(r.tuple(0), s.tuple(1)), Truth::kFalse);
+  EXPECT_EQ(r3.Applies(r.tuple(1), s.tuple(0)), Truth::kFalse);
+}
+
+TEST(DistinctnessRuleTest, MustInvolveBothEntities) {
+  EID_ASSERT_OK_AND_ASSIGN(
+      DistinctnessRule one_sided,
+      ParseDistinctnessRule("bad", "e1.speciality = \"Mughalai\""));
+  EXPECT_EQ(one_sided.Validate().code(), StatusCode::kInvalidArgument);
+  DistinctnessRule empty("empty", {});
+  EXPECT_FALSE(empty.Validate().ok());
+}
+
+TEST(DistinctnessRuleTest, NullMakesApplicationUnknown) {
+  EID_ASSERT_OK_AND_ASSIGN(
+      DistinctnessRule rule,
+      ParseDistinctnessRule(
+          "r", "e1.speciality = \"Mughalai\" & e2.cuisine != \"Indian\""));
+  Relation r = MakeRelation("R", {"speciality"}, {}, {{"Mughalai"}});
+  Relation s("S", Schema::OfStrings({"cuisine"}));
+  EID_EXPECT_OK(s.Insert(Row{Value::Null()}));
+  EXPECT_EQ(rule.Applies(r.tuple(0), s.tuple(0)), Truth::kUnknown);
+}
+
+TEST(Proposition1Test, IlfdToDistinctnessRule) {
+  EID_ASSERT_OK_AND_ASSIGN(Ilfd ilfd,
+                           ParseIlfd("speciality=Mughalai -> cuisine=Indian"));
+  EID_ASSERT_OK_AND_ASSIGN(DistinctnessRule rule,
+                           DistinctnessRuleFromIlfd(ilfd));
+  EID_EXPECT_OK(rule.Validate());
+  ASSERT_EQ(rule.predicates().size(), 2u);
+  // Antecedent equality on e1, consequent inequality on e2.
+  EXPECT_EQ(rule.predicates()[0].lhs.entity, 1);
+  EXPECT_EQ(rule.predicates()[0].op, CompareOp::kEq);
+  EXPECT_EQ(rule.predicates()[1].lhs.entity, 2);
+  EXPECT_EQ(rule.predicates()[1].op, CompareOp::kNe);
+}
+
+TEST(Proposition1Test, RoundTripsBothDirections) {
+  EID_ASSERT_OK_AND_ASSIGN(
+      Ilfd ilfd, ParseIlfd("name=TwinCities & street=Co.B2 -> speciality=Hunan"));
+  EID_ASSERT_OK_AND_ASSIGN(DistinctnessRule rule,
+                           DistinctnessRuleFromIlfd(ilfd));
+  EID_ASSERT_OK_AND_ASSIGN(Ilfd back, IlfdFromDistinctnessRule(rule));
+  EXPECT_EQ(ilfd, back);
+}
+
+TEST(Proposition1Test, MultiConsequentIlfdRejected) {
+  EID_ASSERT_OK_AND_ASSIGN(Ilfd multi, ParseIlfd("a=1 -> b=2 & c=3"));
+  EXPECT_FALSE(DistinctnessRuleFromIlfd(multi).ok());
+}
+
+TEST(Proposition1Test, NonInducedShapesRejected) {
+  // Attribute-attribute predicate: not ILFD-induced.
+  EID_ASSERT_OK_AND_ASSIGN(
+      DistinctnessRule attr_attr,
+      ParseDistinctnessRule("x", "e1.a = e2.a & e2.b != \"v\""));
+  EXPECT_FALSE(IlfdFromDistinctnessRule(attr_attr).ok());
+  // Two e2 inequalities.
+  EID_ASSERT_OK_AND_ASSIGN(
+      DistinctnessRule two_ne,
+      ParseDistinctnessRule(
+          "y", "e1.a = \"1\" & e2.b != \"2\" & e2.c != \"3\""));
+  EXPECT_FALSE(IlfdFromDistinctnessRule(two_ne).ok());
+  // Missing the e2 inequality.
+  EID_ASSERT_OK_AND_ASSIGN(DistinctnessRule no_ne,
+                           ParseDistinctnessRule("z", "e1.a = \"1\""));
+  EXPECT_FALSE(IlfdFromDistinctnessRule(no_ne).ok());
+}
+
+TEST(Proposition1Test, InducedRuleSemanticsMatchIlfd) {
+  // Applying the induced rule to Example 2's data flags exactly the
+  // Table 4 pair: R's (TwinCities, Chinese) vs S's (TwinCities, Mughalai).
+  EID_ASSERT_OK_AND_ASSIGN(Ilfd ilfd,
+                           ParseIlfd("speciality=Mughalai -> cuisine=Indian"));
+  EID_ASSERT_OK_AND_ASSIGN(DistinctnessRule rule,
+                           DistinctnessRuleFromIlfd(ilfd));
+  // e1 = S tuple (has speciality), e2 = R tuple (has cuisine).
+  Relation s = MakeRelation("S", {"name", "speciality"}, {},
+                            {{"TwinCities", "Mughalai"}});
+  Relation r = MakeRelation("R", {"name", "cuisine"}, {},
+                            {{"TwinCities", "Chinese"},
+                             {"TwinCities", "Indian"}});
+  EXPECT_EQ(rule.Applies(s.tuple(0), r.tuple(0)), Truth::kTrue);
+  EXPECT_EQ(rule.Applies(s.tuple(0), r.tuple(1)), Truth::kFalse);
+}
+
+TEST(DistinctnessRuleTest, ToStringShowsInequality) {
+  EID_ASSERT_OK_AND_ASSIGN(
+      DistinctnessRule rule,
+      ParseDistinctnessRule("r", "e1.a = \"1\" & e2.b != \"2\""));
+  EXPECT_NE(rule.ToString().find("-> e1 != e2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,124 @@
+#include "rules/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace eid {
+namespace {
+
+using ::eid::testing::MakeRelation;
+
+TEST(TruthTest, KleeneConjunction) {
+  EXPECT_EQ(And(Truth::kTrue, Truth::kTrue), Truth::kTrue);
+  EXPECT_EQ(And(Truth::kTrue, Truth::kFalse), Truth::kFalse);
+  EXPECT_EQ(And(Truth::kFalse, Truth::kUnknown), Truth::kFalse);
+  EXPECT_EQ(And(Truth::kTrue, Truth::kUnknown), Truth::kUnknown);
+  EXPECT_EQ(And(Truth::kUnknown, Truth::kUnknown), Truth::kUnknown);
+}
+
+TEST(TruthTest, KleeneNegation) {
+  EXPECT_EQ(Not(Truth::kTrue), Truth::kFalse);
+  EXPECT_EQ(Not(Truth::kFalse), Truth::kTrue);
+  EXPECT_EQ(Not(Truth::kUnknown), Truth::kUnknown);
+}
+
+TEST(CompareValuesTest, NullIsUnknownForEveryOp) {
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kGt, CompareOp::kLe, CompareOp::kGe}) {
+    EXPECT_EQ(CompareValues(Value::Null(), op, Value::Int(1)), Truth::kUnknown);
+    EXPECT_EQ(CompareValues(Value::Int(1), op, Value::Null()), Truth::kUnknown);
+    EXPECT_EQ(CompareValues(Value::Null(), op, Value::Null()), Truth::kUnknown);
+  }
+}
+
+TEST(CompareValuesTest, NumericComparisonsMixIntAndDouble) {
+  EXPECT_EQ(CompareValues(Value::Int(2), CompareOp::kLt, Value::Double(2.5)),
+            Truth::kTrue);
+  EXPECT_EQ(CompareValues(Value::Double(3.0), CompareOp::kGe, Value::Int(3)),
+            Truth::kTrue);
+  // Note: = between int and double uses storage equality (type-sensitive).
+  EXPECT_EQ(CompareValues(Value::Int(3), CompareOp::kEq, Value::Double(3.0)),
+            Truth::kFalse);
+}
+
+TEST(CompareValuesTest, StringOrdering) {
+  EXPECT_EQ(CompareValues(Value::Str("abc"), CompareOp::kLt, Value::Str("abd")),
+            Truth::kTrue);
+  EXPECT_EQ(CompareValues(Value::Str("x"), CompareOp::kEq, Value::Str("x")),
+            Truth::kTrue);
+  EXPECT_EQ(CompareValues(Value::Str("x"), CompareOp::kNe, Value::Str("y")),
+            Truth::kTrue);
+}
+
+TEST(CompareValuesTest, CrossKindComparison) {
+  EXPECT_EQ(CompareValues(Value::Str("1"), CompareOp::kEq, Value::Int(1)),
+            Truth::kFalse);
+  EXPECT_EQ(CompareValues(Value::Str("1"), CompareOp::kNe, Value::Int(1)),
+            Truth::kTrue);
+  EXPECT_EQ(CompareValues(Value::Str("1"), CompareOp::kLt, Value::Int(2)),
+            Truth::kUnknown);
+}
+
+TEST(PredicateTest, EntityAttributeVsConstant) {
+  Relation r = MakeRelation("R", {"cuisine"}, {}, {{"Chinese"}});
+  Relation s = MakeRelation("S", {"cuisine"}, {}, {{"Greek"}});
+  Predicate p{Operand::Attr(1, "cuisine"), CompareOp::kEq,
+              Operand::Const(Value::Str("Chinese"))};
+  EXPECT_EQ(p.Evaluate(r.tuple(0), s.tuple(0)), Truth::kTrue);
+  Predicate q{Operand::Attr(2, "cuisine"), CompareOp::kEq,
+              Operand::Const(Value::Str("Chinese"))};
+  EXPECT_EQ(q.Evaluate(r.tuple(0), s.tuple(0)), Truth::kFalse);
+}
+
+TEST(PredicateTest, AttributeVsAttributeAcrossEntities) {
+  Relation r = MakeRelation("R", {"name"}, {}, {{"Wok"}});
+  Relation s = MakeRelation("S", {"name"}, {}, {{"Wok"}});
+  Predicate p{Operand::Attr(1, "name"), CompareOp::kEq,
+              Operand::Attr(2, "name")};
+  EXPECT_EQ(p.Evaluate(r.tuple(0), s.tuple(0)), Truth::kTrue);
+}
+
+TEST(PredicateTest, MissingAttributeIsUnknown) {
+  Relation r = MakeRelation("R", {"name"}, {}, {{"Wok"}});
+  Relation s = MakeRelation("S", {"name"}, {}, {{"Wok"}});
+  Predicate p{Operand::Attr(1, "cuisine"), CompareOp::kEq,
+              Operand::Const(Value::Str("Chinese"))};
+  EXPECT_EQ(p.Evaluate(r.tuple(0), s.tuple(0)), Truth::kUnknown);
+}
+
+TEST(PredicateTest, ConjunctionShortCircuitsOnFalse) {
+  Relation r = MakeRelation("R", {"a", "b"}, {}, {{"1", "2"}});
+  Relation s = MakeRelation("S", {"a"}, {}, {{"1"}});
+  std::vector<Predicate> conj = {
+      // False:
+      Predicate{Operand::Attr(1, "a"), CompareOp::kEq,
+                Operand::Const(Value::Str("9"))},
+      // Would be unknown:
+      Predicate{Operand::Attr(2, "zzz"), CompareOp::kEq,
+                Operand::Const(Value::Str("1"))}};
+  EXPECT_EQ(EvaluateConjunction(conj, r.tuple(0), s.tuple(0)), Truth::kFalse);
+}
+
+TEST(PredicateTest, ConjunctionUnknownPropagates) {
+  Relation r = MakeRelation("R", {"a"}, {}, {{"1"}});
+  Relation s = MakeRelation("S", {"a"}, {}, {{"1"}});
+  std::vector<Predicate> conj = {
+      Predicate{Operand::Attr(1, "a"), CompareOp::kEq, Operand::Attr(2, "a")},
+      Predicate{Operand::Attr(1, "missing"), CompareOp::kEq,
+                Operand::Attr(2, "a")}};
+  EXPECT_EQ(EvaluateConjunction(conj, r.tuple(0), s.tuple(0)),
+            Truth::kUnknown);
+}
+
+TEST(PredicateTest, ToStringForms) {
+  Predicate p{Operand::Attr(1, "cuisine"), CompareOp::kNe,
+              Operand::Const(Value::Str("Indian"))};
+  EXPECT_EQ(p.ToString(), "e1.cuisine != \"Indian\"");
+  Predicate q{Operand::Attr(2, "n"), CompareOp::kLe,
+              Operand::Const(Value::Int(5))};
+  EXPECT_EQ(q.ToString(), "e2.n <= 5");
+}
+
+}  // namespace
+}  // namespace eid

@@ -1,0 +1,58 @@
+// Shared helpers for the eid test suites.
+
+#ifndef EID_TESTS_TEST_UTIL_H_
+#define EID_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace eid {
+namespace testing {
+
+/// Builds an all-string relation with an optional candidate key, failing
+/// the test on any error.
+inline Relation MakeRelation(
+    const std::string& name, const std::vector<std::string>& attributes,
+    const std::vector<std::string>& key,
+    const std::vector<std::vector<std::string>>& rows) {
+  Relation rel(name, Schema::OfStrings(attributes));
+  if (!key.empty()) {
+    Status st = rel.DeclareKey(key);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  for (const std::vector<std::string>& row : rows) {
+    Status st = rel.InsertText(row);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return rel;
+}
+
+/// gtest-friendly OK assertion for Status.
+#define EID_EXPECT_OK(expr)                              \
+  do {                                                   \
+    ::eid::Status _st = (expr);                          \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();             \
+  } while (0)
+
+#define EID_ASSERT_OK(expr)                              \
+  do {                                                   \
+    ::eid::Status _st = (expr);                          \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();             \
+  } while (0)
+
+/// Unwraps a Result<T>, failing the test on error. Usage:
+///   EID_ASSERT_OK_AND_ASSIGN(auto rel, ReadCsv(...));
+#define EID_ASSERT_OK_AND_ASSIGN(lhs, rexpr)                         \
+  auto EID_CONCAT_(_res_, __LINE__) = (rexpr);                       \
+  ASSERT_TRUE(EID_CONCAT_(_res_, __LINE__).ok())                     \
+      << EID_CONCAT_(_res_, __LINE__).status().ToString();           \
+  lhs = std::move(EID_CONCAT_(_res_, __LINE__)).value()
+
+}  // namespace testing
+}  // namespace eid
+
+#endif  // EID_TESTS_TEST_UTIL_H_

@@ -1,0 +1,135 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "ilfd/violation.h"
+
+namespace eid {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.seed = 123;
+  config.overlap_entities = 20;
+  config.r_only_entities = 10;
+  config.s_only_entities = 10;
+  config.name_pool = 30;
+  config.street_pool = 60;
+  config.cities = 5;
+  config.speciality_pool = 12;
+  config.cuisines = 4;
+  return config;
+}
+
+TEST(GeneratorTest, SizesMatchConfig) {
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld world, GenerateWorld(SmallConfig()));
+  EXPECT_EQ(world.universe.size(), 40u);
+  EXPECT_EQ(world.r.size(), 30u);
+  EXPECT_EQ(world.s.size(), 30u);
+  EXPECT_EQ(world.truth.size(), 20u);
+  EXPECT_EQ(world.covered.size(), 40u);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld a, GenerateWorld(SmallConfig()));
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld b, GenerateWorld(SmallConfig()));
+  EXPECT_TRUE(a.r.RowsEqualUnordered(b.r));
+  EXPECT_TRUE(a.s.RowsEqualUnordered(b.s));
+  EXPECT_EQ(a.truth, b.truth);
+  GeneratorConfig other = SmallConfig();
+  other.seed = 999;
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld c, GenerateWorld(other));
+  EXPECT_FALSE(a.r.RowsEqualUnordered(c.r));
+}
+
+TEST(GeneratorTest, KeysHoldInAllRelations) {
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld world, GenerateWorld(SmallConfig()));
+  EID_EXPECT_OK(world.universe.ValidateKeys());
+  EID_EXPECT_OK(world.r.ValidateKeys());
+  EID_EXPECT_OK(world.s.ValidateKeys());
+}
+
+TEST(GeneratorTest, ExtendedKeyIdentifiesUniverse) {
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld world, GenerateWorld(SmallConfig()));
+  EID_ASSERT_OK_AND_ASSIGN(
+      bool identifying,
+      IsIdentifying(world.universe, world.extended_key.attributes()));
+  EXPECT_TRUE(identifying);
+}
+
+TEST(GeneratorTest, UniverseSatisfiesItsIlfds) {
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld world, GenerateWorld(SmallConfig()));
+  EXPECT_TRUE(CheckViolations(world.universe, world.ilfds).empty());
+}
+
+TEST(GeneratorTest, GroundTruthPairsShareNameAcrossRelations) {
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld world, GenerateWorld(SmallConfig()));
+  for (const TuplePair& p : world.truth) {
+    EXPECT_EQ(world.r.tuple(p.r_index).GetOrNull("name"),
+              world.s.tuple(p.s_index).GetOrNull("name"));
+  }
+}
+
+TEST(GeneratorTest, CoverageZeroMeansNoPerEntityIlfds) {
+  GeneratorConfig config = SmallConfig();
+  config.ilfd_coverage = 0.0;
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld world, GenerateWorld(config));
+  // Only the two taxonomy families remain.
+  EXPECT_EQ(world.ilfds.size(),
+            config.speciality_pool + config.street_pool);
+  for (bool c : world.covered) EXPECT_FALSE(c);
+}
+
+TEST(GeneratorTest, CoverageOneCoversEveryEntity) {
+  GeneratorConfig config = SmallConfig();
+  config.ilfd_coverage = 1.0;
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld world, GenerateWorld(config));
+  for (bool c : world.covered) EXPECT_TRUE(c);
+  EXPECT_EQ(world.ilfds.size(),
+            config.speciality_pool + config.street_pool + 40u);
+}
+
+TEST(GeneratorTest, RejectsImpossibleDensity) {
+  GeneratorConfig config;
+  config.overlap_entities = 100;
+  config.r_only_entities = 0;
+  config.s_only_entities = 0;
+  config.name_pool = 3;
+  config.speciality_pool = 3;  // 9 < 100
+  EXPECT_FALSE(GenerateWorld(config).ok());
+}
+
+TEST(GeneratorTest, ResampleSeedSharesTaxonomiesNotEntities) {
+  GeneratorConfig base = SmallConfig();
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld a, GenerateWorld(base));
+  GeneratorConfig resampled = base;
+  resampled.resample_seed = 999;
+  EID_ASSERT_OK_AND_ASSIGN(GeneratedWorld b, GenerateWorld(resampled));
+  // Different entities...
+  EXPECT_FALSE(a.r.RowsEqualUnordered(b.r));
+  // ...but identical taxonomy ILFDs (speciality→cuisine, street→city are
+  // emitted before the per-entity rules, in pool order).
+  size_t taxonomy = base.speciality_pool + base.street_pool;
+  for (size_t i = 0; i < taxonomy; ++i) {
+    EXPECT_EQ(a.ilfds.ilfd(i), b.ilfds.ilfd(i)) << "taxonomy rule " << i;
+  }
+  // Each world's universe satisfies the *other's* taxonomy rules.
+  IlfdSet b_taxonomy;
+  for (size_t i = 0; i < taxonomy; ++i) b_taxonomy.Add(b.ilfds.ilfd(i));
+  EXPECT_TRUE(CheckViolations(a.universe, b_taxonomy).empty());
+}
+
+TEST(GeneratorTest, RejectsEmptyWorldAndPools) {
+  GeneratorConfig config;
+  config.overlap_entities = 0;
+  config.r_only_entities = 0;
+  config.s_only_entities = 0;
+  EXPECT_FALSE(GenerateWorld(config).ok());
+  GeneratorConfig zero_pool = SmallConfig();
+  zero_pool.cities = 0;
+  EXPECT_FALSE(GenerateWorld(zero_pool).ok());
+}
+
+}  // namespace
+}  // namespace eid
