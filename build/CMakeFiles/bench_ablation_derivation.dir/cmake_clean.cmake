@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_derivation.dir/bench/bench_ablation_derivation.cpp.o"
+  "CMakeFiles/bench_ablation_derivation.dir/bench/bench_ablation_derivation.cpp.o.d"
+  "bench/bench_ablation_derivation"
+  "bench/bench_ablation_derivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

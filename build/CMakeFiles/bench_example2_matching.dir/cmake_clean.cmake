@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example2_matching.dir/bench/bench_example2_matching.cpp.o"
+  "CMakeFiles/bench_example2_matching.dir/bench/bench_example2_matching.cpp.o.d"
+  "bench/bench_example2_matching"
+  "bench/bench_example2_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example2_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

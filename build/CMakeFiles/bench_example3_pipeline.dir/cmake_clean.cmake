@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example3_pipeline.dir/bench/bench_example3_pipeline.cpp.o"
+  "CMakeFiles/bench_example3_pipeline.dir/bench/bench_example3_pipeline.cpp.o.d"
+  "bench/bench_example3_pipeline"
+  "bench/bench_example3_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example3_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

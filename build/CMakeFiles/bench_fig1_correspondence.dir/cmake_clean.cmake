@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_correspondence.dir/bench/bench_fig1_correspondence.cpp.o"
+  "CMakeFiles/bench_fig1_correspondence.dir/bench/bench_fig1_correspondence.cpp.o.d"
+  "bench/bench_fig1_correspondence"
+  "bench/bench_fig1_correspondence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_correspondence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_soundness.dir/bench/bench_fig2_soundness.cpp.o"
+  "CMakeFiles/bench_fig2_soundness.dir/bench/bench_fig2_soundness.cpp.o.d"
+  "bench/bench_fig2_soundness"
+  "bench/bench_fig2_soundness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_monotonicity.dir/bench/bench_fig3_monotonicity.cpp.o"
+  "CMakeFiles/bench_fig3_monotonicity.dir/bench/bench_fig3_monotonicity.cpp.o.d"
+  "bench/bench_fig3_monotonicity"
+  "bench/bench_fig3_monotonicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_ilfd.dir/bench/bench_scaling_ilfd.cpp.o"
+  "CMakeFiles/bench_scaling_ilfd.dir/bench/bench_scaling_ilfd.cpp.o.d"
+  "bench/bench_scaling_ilfd"
+  "bench/bench_scaling_ilfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_ilfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_matcher.dir/bench/bench_scaling_matcher.cpp.o"
+  "CMakeFiles/bench_scaling_matcher.dir/bench/bench_scaling_matcher.cpp.o.d"
+  "bench/bench_scaling_matcher"
+  "bench/bench_scaling_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

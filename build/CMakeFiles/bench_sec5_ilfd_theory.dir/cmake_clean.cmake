@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_ilfd_theory.dir/bench/bench_sec5_ilfd_theory.cpp.o"
+  "CMakeFiles/bench_sec5_ilfd_theory.dir/bench/bench_sec5_ilfd_theory.cpp.o.d"
+  "bench/bench_sec5_ilfd_theory"
+  "bench/bench_sec5_ilfd_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_ilfd_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_prototype_session.dir/bench/bench_sec6_prototype_session.cpp.o"
+  "CMakeFiles/bench_sec6_prototype_session.dir/bench/bench_sec6_prototype_session.cpp.o.d"
+  "bench/bench_sec6_prototype_session"
+  "bench/bench_sec6_prototype_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_prototype_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

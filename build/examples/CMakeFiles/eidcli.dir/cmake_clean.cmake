@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eidcli.dir/eidcli.cpp.o"
+  "CMakeFiles/eidcli.dir/eidcli.cpp.o.d"
+  "eidcli"
+  "eidcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eidcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_sync.dir/federated_sync.cpp.o"
+  "CMakeFiles/federated_sync.dir/federated_sync.cpp.o.d"
+  "federated_sync"
+  "federated_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payroll_merge.dir/payroll_merge.cpp.o"
+  "CMakeFiles/payroll_merge.dir/payroll_merge.cpp.o.d"
+  "payroll_merge"
+  "payroll_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payroll_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

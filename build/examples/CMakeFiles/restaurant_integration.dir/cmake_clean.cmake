@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restaurant_integration.dir/restaurant_integration.cpp.o"
+  "CMakeFiles/restaurant_integration.dir/restaurant_integration.cpp.o.d"
+  "restaurant_integration"
+  "restaurant_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restaurant_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline.cc" "src/baselines/CMakeFiles/eid_baselines.dir/baseline.cc.o" "gcc" "src/baselines/CMakeFiles/eid_baselines.dir/baseline.cc.o.d"
+  "/root/repo/src/baselines/heuristic_rules.cc" "src/baselines/CMakeFiles/eid_baselines.dir/heuristic_rules.cc.o" "gcc" "src/baselines/CMakeFiles/eid_baselines.dir/heuristic_rules.cc.o.d"
+  "/root/repo/src/baselines/ilfd_technique.cc" "src/baselines/CMakeFiles/eid_baselines.dir/ilfd_technique.cc.o" "gcc" "src/baselines/CMakeFiles/eid_baselines.dir/ilfd_technique.cc.o.d"
+  "/root/repo/src/baselines/key_equivalence.cc" "src/baselines/CMakeFiles/eid_baselines.dir/key_equivalence.cc.o" "gcc" "src/baselines/CMakeFiles/eid_baselines.dir/key_equivalence.cc.o.d"
+  "/root/repo/src/baselines/probabilistic_attr.cc" "src/baselines/CMakeFiles/eid_baselines.dir/probabilistic_attr.cc.o" "gcc" "src/baselines/CMakeFiles/eid_baselines.dir/probabilistic_attr.cc.o.d"
+  "/root/repo/src/baselines/probabilistic_key.cc" "src/baselines/CMakeFiles/eid_baselines.dir/probabilistic_key.cc.o" "gcc" "src/baselines/CMakeFiles/eid_baselines.dir/probabilistic_key.cc.o.d"
+  "/root/repo/src/baselines/user_specified.cc" "src/baselines/CMakeFiles/eid_baselines.dir/user_specified.cc.o" "gcc" "src/baselines/CMakeFiles/eid_baselines.dir/user_specified.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eid/CMakeFiles/eid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/eid_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilfd/CMakeFiles/eid_ilfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/eid_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/eid_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eid_baselines.dir/baseline.cc.o"
+  "CMakeFiles/eid_baselines.dir/baseline.cc.o.d"
+  "CMakeFiles/eid_baselines.dir/heuristic_rules.cc.o"
+  "CMakeFiles/eid_baselines.dir/heuristic_rules.cc.o.d"
+  "CMakeFiles/eid_baselines.dir/ilfd_technique.cc.o"
+  "CMakeFiles/eid_baselines.dir/ilfd_technique.cc.o.d"
+  "CMakeFiles/eid_baselines.dir/key_equivalence.cc.o"
+  "CMakeFiles/eid_baselines.dir/key_equivalence.cc.o.d"
+  "CMakeFiles/eid_baselines.dir/probabilistic_attr.cc.o"
+  "CMakeFiles/eid_baselines.dir/probabilistic_attr.cc.o.d"
+  "CMakeFiles/eid_baselines.dir/probabilistic_key.cc.o"
+  "CMakeFiles/eid_baselines.dir/probabilistic_key.cc.o.d"
+  "CMakeFiles/eid_baselines.dir/user_specified.cc.o"
+  "CMakeFiles/eid_baselines.dir/user_specified.cc.o.d"
+  "libeid_baselines.a"
+  "libeid_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eid_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

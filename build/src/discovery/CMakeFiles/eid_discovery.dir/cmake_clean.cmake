@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eid_discovery.dir/ilfd_miner.cc.o"
+  "CMakeFiles/eid_discovery.dir/ilfd_miner.cc.o.d"
+  "CMakeFiles/eid_discovery.dir/key_discovery.cc.o"
+  "CMakeFiles/eid_discovery.dir/key_discovery.cc.o.d"
+  "libeid_discovery.a"
+  "libeid_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eid_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eid/algebra_pipeline.cc" "src/eid/CMakeFiles/eid_core.dir/algebra_pipeline.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/algebra_pipeline.cc.o.d"
+  "/root/repo/src/eid/correspondence.cc" "src/eid/CMakeFiles/eid_core.dir/correspondence.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/correspondence.cc.o.d"
+  "/root/repo/src/eid/explain.cc" "src/eid/CMakeFiles/eid_core.dir/explain.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/explain.cc.o.d"
+  "/root/repo/src/eid/extended_key.cc" "src/eid/CMakeFiles/eid_core.dir/extended_key.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/extended_key.cc.o.d"
+  "/root/repo/src/eid/extension.cc" "src/eid/CMakeFiles/eid_core.dir/extension.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/extension.cc.o.d"
+  "/root/repo/src/eid/identifier.cc" "src/eid/CMakeFiles/eid_core.dir/identifier.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/identifier.cc.o.d"
+  "/root/repo/src/eid/incremental.cc" "src/eid/CMakeFiles/eid_core.dir/incremental.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/incremental.cc.o.d"
+  "/root/repo/src/eid/integrate.cc" "src/eid/CMakeFiles/eid_core.dir/integrate.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/integrate.cc.o.d"
+  "/root/repo/src/eid/match_tables.cc" "src/eid/CMakeFiles/eid_core.dir/match_tables.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/match_tables.cc.o.d"
+  "/root/repo/src/eid/matcher.cc" "src/eid/CMakeFiles/eid_core.dir/matcher.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/matcher.cc.o.d"
+  "/root/repo/src/eid/monotonic.cc" "src/eid/CMakeFiles/eid_core.dir/monotonic.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/monotonic.cc.o.d"
+  "/root/repo/src/eid/multiway.cc" "src/eid/CMakeFiles/eid_core.dir/multiway.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/multiway.cc.o.d"
+  "/root/repo/src/eid/negative.cc" "src/eid/CMakeFiles/eid_core.dir/negative.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/negative.cc.o.d"
+  "/root/repo/src/eid/session.cc" "src/eid/CMakeFiles/eid_core.dir/session.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/session.cc.o.d"
+  "/root/repo/src/eid/virtual_view.cc" "src/eid/CMakeFiles/eid_core.dir/virtual_view.cc.o" "gcc" "src/eid/CMakeFiles/eid_core.dir/virtual_view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/eid_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilfd/CMakeFiles/eid_ilfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/eid_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/eid_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eid_core.dir/algebra_pipeline.cc.o"
+  "CMakeFiles/eid_core.dir/algebra_pipeline.cc.o.d"
+  "CMakeFiles/eid_core.dir/correspondence.cc.o"
+  "CMakeFiles/eid_core.dir/correspondence.cc.o.d"
+  "CMakeFiles/eid_core.dir/explain.cc.o"
+  "CMakeFiles/eid_core.dir/explain.cc.o.d"
+  "CMakeFiles/eid_core.dir/extended_key.cc.o"
+  "CMakeFiles/eid_core.dir/extended_key.cc.o.d"
+  "CMakeFiles/eid_core.dir/extension.cc.o"
+  "CMakeFiles/eid_core.dir/extension.cc.o.d"
+  "CMakeFiles/eid_core.dir/identifier.cc.o"
+  "CMakeFiles/eid_core.dir/identifier.cc.o.d"
+  "CMakeFiles/eid_core.dir/incremental.cc.o"
+  "CMakeFiles/eid_core.dir/incremental.cc.o.d"
+  "CMakeFiles/eid_core.dir/integrate.cc.o"
+  "CMakeFiles/eid_core.dir/integrate.cc.o.d"
+  "CMakeFiles/eid_core.dir/match_tables.cc.o"
+  "CMakeFiles/eid_core.dir/match_tables.cc.o.d"
+  "CMakeFiles/eid_core.dir/matcher.cc.o"
+  "CMakeFiles/eid_core.dir/matcher.cc.o.d"
+  "CMakeFiles/eid_core.dir/monotonic.cc.o"
+  "CMakeFiles/eid_core.dir/monotonic.cc.o.d"
+  "CMakeFiles/eid_core.dir/multiway.cc.o"
+  "CMakeFiles/eid_core.dir/multiway.cc.o.d"
+  "CMakeFiles/eid_core.dir/negative.cc.o"
+  "CMakeFiles/eid_core.dir/negative.cc.o.d"
+  "CMakeFiles/eid_core.dir/session.cc.o"
+  "CMakeFiles/eid_core.dir/session.cc.o.d"
+  "CMakeFiles/eid_core.dir/virtual_view.cc.o"
+  "CMakeFiles/eid_core.dir/virtual_view.cc.o.d"
+  "libeid_core.a"
+  "libeid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

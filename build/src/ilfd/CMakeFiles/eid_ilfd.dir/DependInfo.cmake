@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ilfd/derivation.cc" "src/ilfd/CMakeFiles/eid_ilfd.dir/derivation.cc.o" "gcc" "src/ilfd/CMakeFiles/eid_ilfd.dir/derivation.cc.o.d"
+  "/root/repo/src/ilfd/fd.cc" "src/ilfd/CMakeFiles/eid_ilfd.dir/fd.cc.o" "gcc" "src/ilfd/CMakeFiles/eid_ilfd.dir/fd.cc.o.d"
+  "/root/repo/src/ilfd/ilfd.cc" "src/ilfd/CMakeFiles/eid_ilfd.dir/ilfd.cc.o" "gcc" "src/ilfd/CMakeFiles/eid_ilfd.dir/ilfd.cc.o.d"
+  "/root/repo/src/ilfd/ilfd_set.cc" "src/ilfd/CMakeFiles/eid_ilfd.dir/ilfd_set.cc.o" "gcc" "src/ilfd/CMakeFiles/eid_ilfd.dir/ilfd_set.cc.o.d"
+  "/root/repo/src/ilfd/ilfd_table.cc" "src/ilfd/CMakeFiles/eid_ilfd.dir/ilfd_table.cc.o" "gcc" "src/ilfd/CMakeFiles/eid_ilfd.dir/ilfd_table.cc.o.d"
+  "/root/repo/src/ilfd/violation.cc" "src/ilfd/CMakeFiles/eid_ilfd.dir/violation.cc.o" "gcc" "src/ilfd/CMakeFiles/eid_ilfd.dir/violation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/eid_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/eid_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eid_ilfd.dir/derivation.cc.o"
+  "CMakeFiles/eid_ilfd.dir/derivation.cc.o.d"
+  "CMakeFiles/eid_ilfd.dir/fd.cc.o"
+  "CMakeFiles/eid_ilfd.dir/fd.cc.o.d"
+  "CMakeFiles/eid_ilfd.dir/ilfd.cc.o"
+  "CMakeFiles/eid_ilfd.dir/ilfd.cc.o.d"
+  "CMakeFiles/eid_ilfd.dir/ilfd_set.cc.o"
+  "CMakeFiles/eid_ilfd.dir/ilfd_set.cc.o.d"
+  "CMakeFiles/eid_ilfd.dir/ilfd_table.cc.o"
+  "CMakeFiles/eid_ilfd.dir/ilfd_table.cc.o.d"
+  "CMakeFiles/eid_ilfd.dir/violation.cc.o"
+  "CMakeFiles/eid_ilfd.dir/violation.cc.o.d"
+  "libeid_ilfd.a"
+  "libeid_ilfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eid_ilfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

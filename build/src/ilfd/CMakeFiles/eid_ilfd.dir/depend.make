@@ -1,0 +1,2 @@
+# Empty dependencies file for eid_ilfd.
+# This may be replaced when dependencies are built.

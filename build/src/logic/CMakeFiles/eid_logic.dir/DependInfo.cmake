@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/armstrong.cc" "src/logic/CMakeFiles/eid_logic.dir/armstrong.cc.o" "gcc" "src/logic/CMakeFiles/eid_logic.dir/armstrong.cc.o.d"
+  "/root/repo/src/logic/implication.cc" "src/logic/CMakeFiles/eid_logic.dir/implication.cc.o" "gcc" "src/logic/CMakeFiles/eid_logic.dir/implication.cc.o.d"
+  "/root/repo/src/logic/kb.cc" "src/logic/CMakeFiles/eid_logic.dir/kb.cc.o" "gcc" "src/logic/CMakeFiles/eid_logic.dir/kb.cc.o.d"
+  "/root/repo/src/logic/model.cc" "src/logic/CMakeFiles/eid_logic.dir/model.cc.o" "gcc" "src/logic/CMakeFiles/eid_logic.dir/model.cc.o.d"
+  "/root/repo/src/logic/proposition.cc" "src/logic/CMakeFiles/eid_logic.dir/proposition.cc.o" "gcc" "src/logic/CMakeFiles/eid_logic.dir/proposition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/eid_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eid_logic.dir/armstrong.cc.o"
+  "CMakeFiles/eid_logic.dir/armstrong.cc.o.d"
+  "CMakeFiles/eid_logic.dir/implication.cc.o"
+  "CMakeFiles/eid_logic.dir/implication.cc.o.d"
+  "CMakeFiles/eid_logic.dir/kb.cc.o"
+  "CMakeFiles/eid_logic.dir/kb.cc.o.d"
+  "CMakeFiles/eid_logic.dir/model.cc.o"
+  "CMakeFiles/eid_logic.dir/model.cc.o.d"
+  "CMakeFiles/eid_logic.dir/proposition.cc.o"
+  "CMakeFiles/eid_logic.dir/proposition.cc.o.d"
+  "libeid_logic.a"
+  "libeid_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eid_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eid_relational.dir/algebra.cc.o"
+  "CMakeFiles/eid_relational.dir/algebra.cc.o.d"
+  "CMakeFiles/eid_relational.dir/catalog.cc.o"
+  "CMakeFiles/eid_relational.dir/catalog.cc.o.d"
+  "CMakeFiles/eid_relational.dir/csv.cc.o"
+  "CMakeFiles/eid_relational.dir/csv.cc.o.d"
+  "CMakeFiles/eid_relational.dir/printer.cc.o"
+  "CMakeFiles/eid_relational.dir/printer.cc.o.d"
+  "CMakeFiles/eid_relational.dir/relation.cc.o"
+  "CMakeFiles/eid_relational.dir/relation.cc.o.d"
+  "CMakeFiles/eid_relational.dir/schema.cc.o"
+  "CMakeFiles/eid_relational.dir/schema.cc.o.d"
+  "CMakeFiles/eid_relational.dir/status.cc.o"
+  "CMakeFiles/eid_relational.dir/status.cc.o.d"
+  "CMakeFiles/eid_relational.dir/value.cc.o"
+  "CMakeFiles/eid_relational.dir/value.cc.o.d"
+  "libeid_relational.a"
+  "libeid_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eid_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

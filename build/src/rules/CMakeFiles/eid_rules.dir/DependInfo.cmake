@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/distinctness_rule.cc" "src/rules/CMakeFiles/eid_rules.dir/distinctness_rule.cc.o" "gcc" "src/rules/CMakeFiles/eid_rules.dir/distinctness_rule.cc.o.d"
+  "/root/repo/src/rules/identity_rule.cc" "src/rules/CMakeFiles/eid_rules.dir/identity_rule.cc.o" "gcc" "src/rules/CMakeFiles/eid_rules.dir/identity_rule.cc.o.d"
+  "/root/repo/src/rules/predicate.cc" "src/rules/CMakeFiles/eid_rules.dir/predicate.cc.o" "gcc" "src/rules/CMakeFiles/eid_rules.dir/predicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ilfd/CMakeFiles/eid_ilfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/eid_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/eid_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

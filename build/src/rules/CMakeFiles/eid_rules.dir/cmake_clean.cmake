@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eid_rules.dir/distinctness_rule.cc.o"
+  "CMakeFiles/eid_rules.dir/distinctness_rule.cc.o.d"
+  "CMakeFiles/eid_rules.dir/identity_rule.cc.o"
+  "CMakeFiles/eid_rules.dir/identity_rule.cc.o.d"
+  "CMakeFiles/eid_rules.dir/predicate.cc.o"
+  "CMakeFiles/eid_rules.dir/predicate.cc.o.d"
+  "libeid_rules.a"
+  "libeid_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eid_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeid_rules.a"
+)

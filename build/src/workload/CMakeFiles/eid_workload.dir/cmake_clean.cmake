@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eid_workload.dir/fixtures.cc.o"
+  "CMakeFiles/eid_workload.dir/fixtures.cc.o.d"
+  "CMakeFiles/eid_workload.dir/generator.cc.o"
+  "CMakeFiles/eid_workload.dir/generator.cc.o.d"
+  "libeid_workload.a"
+  "libeid_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eid_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_pipeline_test.dir/eid/algebra_pipeline_test.cc.o"
+  "CMakeFiles/algebra_pipeline_test.dir/eid/algebra_pipeline_test.cc.o.d"
+  "algebra_pipeline_test"
+  "algebra_pipeline_test.pdb"
+  "algebra_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armstrong_test.dir/logic/armstrong_test.cc.o"
+  "CMakeFiles/armstrong_test.dir/logic/armstrong_test.cc.o.d"
+  "armstrong_test"
+  "armstrong_test.pdb"
+  "armstrong_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armstrong_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinctness_rule_test.dir/rules/distinctness_rule_test.cc.o"
+  "CMakeFiles/distinctness_rule_test.dir/rules/distinctness_rule_test.cc.o.d"
+  "distinctness_rule_test"
+  "distinctness_rule_test.pdb"
+  "distinctness_rule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinctness_rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_key_test.dir/eid/extended_key_test.cc.o"
+  "CMakeFiles/extended_key_test.dir/eid/extended_key_test.cc.o.d"
+  "extended_key_test"
+  "extended_key_test.pdb"
+  "extended_key_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

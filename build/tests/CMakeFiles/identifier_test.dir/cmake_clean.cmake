@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identifier_test.dir/eid/identifier_test.cc.o"
+  "CMakeFiles/identifier_test.dir/eid/identifier_test.cc.o.d"
+  "identifier_test"
+  "identifier_test.pdb"
+  "identifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identity_rule_test.dir/rules/identity_rule_test.cc.o"
+  "CMakeFiles/identity_rule_test.dir/rules/identity_rule_test.cc.o.d"
+  "identity_rule_test"
+  "identity_rule_test.pdb"
+  "identity_rule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identity_rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilfd_miner_test.dir/discovery/ilfd_miner_test.cc.o"
+  "CMakeFiles/ilfd_miner_test.dir/discovery/ilfd_miner_test.cc.o.d"
+  "ilfd_miner_test"
+  "ilfd_miner_test.pdb"
+  "ilfd_miner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilfd_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

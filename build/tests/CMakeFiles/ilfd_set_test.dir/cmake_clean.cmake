@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilfd_set_test.dir/ilfd/ilfd_set_test.cc.o"
+  "CMakeFiles/ilfd_set_test.dir/ilfd/ilfd_set_test.cc.o.d"
+  "ilfd_set_test"
+  "ilfd_set_test.pdb"
+  "ilfd_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilfd_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

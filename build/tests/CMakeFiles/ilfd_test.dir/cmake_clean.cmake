@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilfd_test.dir/ilfd/ilfd_test.cc.o"
+  "CMakeFiles/ilfd_test.dir/ilfd/ilfd_test.cc.o.d"
+  "ilfd_test"
+  "ilfd_test.pdb"
+  "ilfd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilfd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_discovery_test.dir/discovery/key_discovery_test.cc.o"
+  "CMakeFiles/key_discovery_test.dir/discovery/key_discovery_test.cc.o.d"
+  "key_discovery_test"
+  "key_discovery_test.pdb"
+  "key_discovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monotonic_test.dir/eid/monotonic_test.cc.o"
+  "CMakeFiles/monotonic_test.dir/eid/monotonic_test.cc.o.d"
+  "monotonic_test"
+  "monotonic_test.pdb"
+  "monotonic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monotonic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eid/multiway_test.cc" "tests/CMakeFiles/multiway_test.dir/eid/multiway_test.cc.o" "gcc" "tests/CMakeFiles/multiway_test.dir/eid/multiway_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/eid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/eid_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/eid_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/eid/CMakeFiles/eid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/eid_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilfd/CMakeFiles/eid_ilfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/eid_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/eid_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

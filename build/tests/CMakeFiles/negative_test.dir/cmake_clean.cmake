@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negative_test.dir/eid/negative_test.cc.o"
+  "CMakeFiles/negative_test.dir/eid/negative_test.cc.o.d"
+  "negative_test"
+  "negative_test.pdb"
+  "negative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

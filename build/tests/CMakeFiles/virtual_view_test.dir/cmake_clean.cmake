@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_view_test.dir/eid/virtual_view_test.cc.o"
+  "CMakeFiles/virtual_view_test.dir/eid/virtual_view_test.cc.o.d"
+  "virtual_view_test"
+  "virtual_view_test.pdb"
+  "virtual_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
