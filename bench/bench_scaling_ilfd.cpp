@@ -12,7 +12,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "eid.h"
+#include "workload/generator.h"
 #include "workload/rng.h"
 
 namespace eid {
@@ -156,7 +158,57 @@ void BM_ViolationScan(benchmark::State& state) {
 }
 BENCHMARK(BM_ViolationScan)->Range(64, 4096)->Complexity(benchmark::oN);
 
+// --- Thread sweep: per-tuple derivation via parallel extension ----------
+// The derivation workload the pool shards in ExtendRelation; ns/op per
+// (n, threads) lands in BENCH_scaling.json via the custom main.
+
+void BM_ParallelExtension(benchmark::State& state) {
+  size_t per_side = static_cast<size_t>(state.range(0));
+  GeneratorConfig gen;
+  gen.seed = 1234;
+  gen.overlap_entities = per_side / 2;
+  gen.r_only_entities = per_side / 2;
+  gen.s_only_entities = per_side / 2;
+  gen.name_pool = per_side * 2;
+  gen.street_pool = per_side * 3;
+  gen.cities = 32;
+  gen.speciality_pool = 128;
+  gen.cuisines = 16;
+  Result<GeneratedWorld> world = GenerateWorld(gen);
+  EID_CHECK(world.ok());
+  ExtensionOptions options;
+  options.threads = static_cast<int>(state.range(1));
+  double total_ms = 0;
+  size_t iterations = 0;
+  for (auto _ : state) {
+    bench::WallTimer timer;
+    Result<ExtensionResult> rx =
+        ExtendRelation(world->r, Side::kR, world->correspondence,
+                       world->extended_key, world->ilfds, options);
+    EID_CHECK(rx.ok());
+    total_ms += timer.ElapsedMs();
+    ++iterations;
+    benchmark::DoNotOptimize(rx->extended.size());
+  }
+  state.counters["threads"] = static_cast<double>(options.threads);
+  bench::GlobalJson().Record("extension", per_side, options.threads,
+                             total_ms * 1e6 / static_cast<double>(iterations));
+}
+BENCHMARK(BM_ParallelExtension)->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}});
+
 }  // namespace
 }  // namespace eid
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const std::string path = eid::bench::ScalingJsonPath();
+  if (!eid::bench::GlobalJson().records().empty() &&
+      !eid::bench::GlobalJson().WriteFile(path)) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  return 0;
+}

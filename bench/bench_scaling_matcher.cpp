@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "eid.h"
 #include "workload/generator.h"
 
@@ -138,7 +139,78 @@ void BM_IntegratedTable(benchmark::State& state) {
 }
 BENCHMARK(BM_IntegratedTable)->Range(256, 8192)->Complexity(benchmark::oN);
 
+// --- Thread sweeps (exec layer) -----------------------------------------
+// ns/op per (n, threads) lands in BENCH_scaling.json via the custom main.
+
+void BM_ParallelMatcher(benchmark::State& state) {
+  GeneratedWorld world = MakeWorld(static_cast<size_t>(state.range(0)));
+  MatcherOptions options;
+  options.threads = static_cast<int>(state.range(1));
+  double total_ms = 0;
+  size_t iterations = 0;
+  for (auto _ : state) {
+    bench::WallTimer timer;
+    Result<MatcherResult> result =
+        BuildMatchingTable(world.r, world.s, world.correspondence,
+                           world.extended_key, world.ilfds, options);
+    EID_CHECK(result.ok());
+    total_ms += timer.ElapsedMs();
+    ++iterations;
+    benchmark::DoNotOptimize(result->matching.size());
+  }
+  state.counters["threads"] = static_cast<double>(options.threads);
+  bench::GlobalJson().Record("matcher", static_cast<size_t>(state.range(0)),
+                             options.threads,
+                             total_ms * 1e6 / static_cast<double>(iterations));
+}
+BENCHMARK(BM_ParallelMatcher)
+    ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}});
+
+void BM_ParallelIdentify(benchmark::State& state) {
+  GeneratedWorld world = MakeWorld(static_cast<size_t>(state.range(0)));
+  IdentifierConfig config;
+  config.correspondence = world.correspondence;
+  config.extended_key = world.extended_key;
+  config.ilfds = world.ilfds;
+  config.distinctness_from_ilfds = true;
+  config.matcher_options.threads = static_cast<int>(state.range(1));
+  EntityIdentifier identifier(config);
+  double total_ms = 0;
+  size_t iterations = 0;
+  for (auto _ : state) {
+    bench::WallTimer timer;
+    Result<IdentificationResult> result = identifier.Identify(world.r,
+                                                              world.s);
+    EID_CHECK(result.ok());
+    total_ms += timer.ElapsedMs();
+    ++iterations;
+    benchmark::DoNotOptimize(result->partition.undetermined);
+  }
+  state.counters["threads"] =
+      static_cast<double>(config.matcher_options.threads);
+  bench::GlobalJson().Record("identify", static_cast<size_t>(state.range(0)),
+                             config.matcher_options.threads,
+                             total_ms * 1e6 / static_cast<double>(iterations));
+}
+// Identify sweeps the full Prop-1 distinctness rule set (one rule per
+// covered entity) and materialises the complete NMT.
+BENCHMARK(BM_ParallelIdentify)
+    ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace eid
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const std::string path = eid::bench::ScalingJsonPath();
+  if (!eid::bench::GlobalJson().records().empty() &&
+      !eid::bench::GlobalJson().WriteFile(path)) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  return 0;
+}

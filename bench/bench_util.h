@@ -7,8 +7,13 @@
 #define EID_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 namespace eid {
 namespace bench {
@@ -35,6 +40,85 @@ class WallTimer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// One scaling measurement: benchmark case, input size, thread count,
+/// nanoseconds per operation.
+struct JsonRecord {
+  std::string name;
+  size_t n = 0;
+  int threads = 1;
+  double ns_op = 0.0;
+};
+
+/// Accumulates JsonRecords and writes them as a JSON array, one record per
+/// line. WriteFile merges with an existing file written by this emitter
+/// (another bench binary's run), newer records replacing older ones with
+/// the same (name, n, threads) key — so the scaling benches can share one
+/// BENCH_scaling.json at the repo root.
+class JsonEmitter {
+ public:
+  void Record(const std::string& name, size_t n, int threads, double ns_op) {
+    records_.push_back(JsonRecord{name, n, threads, ns_op});
+  }
+
+  static std::string ToLine(const JsonRecord& r) {
+    std::ostringstream out;
+    out << "  {\"name\": \"" << r.name << "\", \"n\": " << r.n
+        << ", \"threads\": " << r.threads << ", \"ns_op\": " << r.ns_op
+        << "}";
+    return out.str();
+  }
+
+  bool WriteFile(const std::string& path) const {
+    // Keyed lines; existing entries first so new ones replace them.
+    std::map<std::string, std::string> lines;
+    std::vector<std::string> order;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("  {\"name\"", 0) != 0) continue;
+      if (!line.empty() && line.back() == ',') line.pop_back();
+      std::string key = line.substr(0, line.find("\"ns_op\""));
+      if (lines.emplace(key, line).second) order.push_back(key);
+    }
+    in.close();
+    for (const JsonRecord& r : records_) {
+      std::string full = ToLine(r);
+      std::string key = full.substr(0, full.find("\"ns_op\""));
+      if (lines.emplace(key, full).second) {
+        order.push_back(key);
+      } else {
+        lines[key] = full;
+      }
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << "[\n";
+    for (size_t i = 0; i < order.size(); ++i) {
+      out << lines[order[i]] << (i + 1 < order.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    return out.good();
+  }
+
+  const std::vector<JsonRecord>& records() const { return records_; }
+
+ private:
+  std::vector<JsonRecord> records_;
+};
+
+/// Shared emitter for bench binaries whose main() writes BENCH_scaling.json.
+inline JsonEmitter& GlobalJson() {
+  static JsonEmitter emitter;
+  return emitter;
+}
+
+/// Output path: $EID_BENCH_JSON, or BENCH_scaling.json in the working
+/// directory (run bench binaries from the repo root to land it there).
+inline std::string ScalingJsonPath() {
+  const char* env = std::getenv("EID_BENCH_JSON");
+  return env != nullptr && *env != '\0' ? env : "BENCH_scaling.json";
+}
 
 }  // namespace bench
 }  // namespace eid

@@ -12,6 +12,24 @@ Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
                                        const ExtendedKey& ext_key,
                                        const IlfdSet& ilfds,
                                        const ExtensionOptions& options) {
+  int threads = exec::ResolveThreads(options.threads);
+  if (threads <= 1) {
+    return ExtendRelation(relation, side, corr, ext_key, ilfds, options,
+                          /*pool=*/nullptr, /*stats=*/nullptr);
+  }
+  exec::ThreadPool pool(threads);
+  return ExtendRelation(relation, side, corr, ext_key, ilfds, options, &pool,
+                        /*stats=*/nullptr);
+}
+
+Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
+                                       const AttributeCorrespondence& corr,
+                                       const ExtendedKey& ext_key,
+                                       const IlfdSet& ilfds,
+                                       const ExtensionOptions& options,
+                                       exec::ThreadPool* pool,
+                                       exec::StageStats* stats) {
+  exec::StageTimer timer;
   // 1. Rename into world naming.
   EID_ASSIGN_OR_RETURN(Relation world, corr.ToWorldNaming(relation, side));
 
@@ -73,24 +91,61 @@ Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
     derivation.target_attributes.clear();  // everything derivable
   }
 
-  // One evaluator amortises the per-closure counter initialisation across
-  // all tuples (it only helps exhaustive mode; harmless otherwise).
-  ClosureEvaluator evaluator(&ilfds.kb());
-  for (size_t r = 0; r < world.size(); ++r) {
-    Row row = world.row(r);
-    row.resize(row.size() + added.size(), Value::Null());
-    TupleView view(&extended.schema(), &row);
-    EID_ASSIGN_OR_RETURN(Derivation derivation_result,
-                         DeriveTuple(view, ilfds, derivation, &evaluator));
-    for (const auto& [attr, value] : derivation_result.derived) {
-      std::optional<size_t> idx = extended.schema().IndexOf(attr);
-      if (!idx.has_value()) continue;  // derivable but not modeled
-      if (row[*idx].is_null()) row[*idx] = value;
+  // Derivation is independent per tuple: shard rows across the pool,
+  // each worker with its own ClosureEvaluator (the evaluator's
+  // epoch-stamped workspace is the only mutable state; the IlfdSet is
+  // read-only during the sweep). Every result lands in its row's slot,
+  // so the assembled relation is identical for any thread count.
+  const size_t n = world.size();
+  const int workers = (pool != nullptr ? pool->threads() : 1);
+  std::vector<ClosureEvaluator> evaluators;
+  evaluators.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) evaluators.emplace_back(&ilfds.kb());
+
+  std::vector<Row> rows(n);
+  std::vector<Derivation> traces(n);
+  std::vector<Status> row_status(n);
+  const Schema& ext_schema = extended.schema();
+  exec::ParallelFor(pool, n, /*grain=*/0,
+                    [&](size_t begin, size_t end, int worker) {
+    ClosureEvaluator& evaluator = evaluators[static_cast<size_t>(worker)];
+    for (size_t r = begin; r < end; ++r) {
+      Row row = world.row(r);
+      row.resize(row.size() + added.size(), Value::Null());
+      TupleView view(&ext_schema, &row);
+      Result<Derivation> derived =
+          DeriveTuple(view, ilfds, derivation, &evaluator);
+      if (!derived.ok()) {
+        row_status[r] = derived.status();
+        continue;
+      }
+      for (const auto& [attr, value] : derived->derived) {
+        std::optional<size_t> idx = ext_schema.IndexOf(attr);
+        if (!idx.has_value()) continue;  // derivable but not modeled
+        if (row[*idx].is_null()) row[*idx] = value;
+      }
+      rows[r] = std::move(row);
+      traces[r] = std::move(derived).value();
     }
-    EID_RETURN_IF_ERROR(extended.Insert(std::move(row)));
-    out.traces.push_back(std::move(derivation_result));
+  });
+  // Merge in row order, surfacing errors exactly as the serial engine
+  // did: row r's derivation error precedes its insert error, which
+  // precedes anything about row r+1.
+  size_t values_derived = 0;
+  for (size_t r = 0; r < n; ++r) {
+    EID_RETURN_IF_ERROR(row_status[r]);
+    values_derived += traces[r].derived.size();
+    EID_RETURN_IF_ERROR(extended.Insert(std::move(rows[r])));
+    out.traces.push_back(std::move(traces[r]));
   }
   out.extended = std::move(extended);
+  if (stats != nullptr) {
+    stats->stage = side == Side::kR ? "extend_r" : "extend_s";
+    stats->threads = workers;
+    stats->items = n;
+    stats->values_derived = values_derived;
+    stats->wall_ms = timer.ElapsedMs();
+  }
   return out;
 }
 

@@ -18,6 +18,8 @@
 
 #include "eid/correspondence.h"
 #include "eid/extended_key.h"
+#include "exec/stage_stats.h"
+#include "exec/thread_pool.h"
 #include "ilfd/derivation.h"
 
 namespace eid {
@@ -41,6 +43,10 @@ struct ExtensionOptions {
   /// carries the richer tuples. Default mirrors the paper: only K_Ext
   /// columns are added.
   bool derive_all = false;
+  /// Parallelism for the per-tuple derivation loop. 0 resolves via
+  /// EID_THREADS, then hardware concurrency (exec::ResolveThreads); 1 is
+  /// the serial engine. Results are identical for every value.
+  int threads = 0;
 };
 
 /// Builds R' from `relation` (one side of the match).
@@ -49,6 +55,18 @@ Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
                                        const ExtendedKey& ext_key,
                                        const IlfdSet& ilfds,
                                        const ExtensionOptions& options = {});
+
+/// Pool-sharing form used by the engine: per-tuple derivation is sharded
+/// over `pool` (one ClosureEvaluator per worker; may be null for the
+/// serial path), and stage counters are recorded into `stats` when
+/// non-null. `options.threads` is ignored — the pool decides.
+Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
+                                       const AttributeCorrespondence& corr,
+                                       const ExtendedKey& ext_key,
+                                       const IlfdSet& ilfds,
+                                       const ExtensionOptions& options,
+                                       exec::ThreadPool* pool,
+                                       exec::StageStats* stats);
 
 }  // namespace eid
 

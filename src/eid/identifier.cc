@@ -1,5 +1,9 @@
 #include "eid/identifier.h"
 
+#include <algorithm>
+
+#include "exec/blocking_index.h"
+
 namespace eid {
 
 const char* MatchDecisionName(MatchDecision decision) {
@@ -34,65 +38,96 @@ Result<IdentificationResult> EntityIdentifier::Identify(
   IdentificationResult out;
   EID_RETURN_IF_ERROR(config_.correspondence.ValidateAgainst(r, s));
 
+  const int threads = exec::ResolveThreads(config_.matcher_options.threads);
+  exec::ThreadPool pool(threads);
+  exec::ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+
   // --- Extension + extended-key matching -------------------------------
   out.uniqueness = Status::Ok();
   if (config_.extended_key.has_value()) {
+    // BuildMatchingTable would create a second pool; inline its stages
+    // on the shared one.
+    MatcherOptions options = config_.matcher_options;
+    options.threads = threads;
     EID_ASSIGN_OR_RETURN(
         MatcherResult matcher,
         BuildMatchingTable(r, s, config_.correspondence,
-                           *config_.extended_key, config_.ilfds,
-                           config_.matcher_options));
+                           *config_.extended_key, config_.ilfds, options));
     out.r_extended = std::move(matcher.r_extension.extended);
     out.s_extended = std::move(matcher.s_extension.extended);
     out.r_traces = std::move(matcher.r_extension.traces);
     out.s_traces = std::move(matcher.s_extension.traces);
     out.matching = std::move(matcher.matching);
     out.uniqueness = std::move(matcher.uniqueness);
+    out.stats.Merge(matcher.stats);
   } else {
     // No extended key: extend with every derivable attribute so the
     // explicit rules see the richest tuples.
     ExtensionOptions ext = config_.matcher_options.extension;
     ext.derive_all = true;
+    exec::StageStats extend_r, extend_s;
     EID_ASSIGN_OR_RETURN(ExtensionResult rx,
                          ExtendRelation(r, Side::kR, config_.correspondence,
                                         ExtendedKey(std::vector<std::string>{}),
-                                        config_.ilfds, ext));
+                                        config_.ilfds, ext, pool_ptr,
+                                        &extend_r));
     EID_ASSIGN_OR_RETURN(ExtensionResult sx,
                          ExtendRelation(s, Side::kS, config_.correspondence,
                                         ExtendedKey(std::vector<std::string>{}),
-                                        config_.ilfds, ext));
+                                        config_.ilfds, ext, pool_ptr,
+                                        &extend_s));
     out.r_extended = std::move(rx.extended);
     out.s_extended = std::move(sx.extended);
     out.r_traces = std::move(rx.traces);
     out.s_traces = std::move(sx.traces);
+    out.stats.Add(std::move(extend_r));
+    out.stats.Add(std::move(extend_s));
   }
 
   // --- Additional identity rules ----------------------------------------
   for (const IdentityRule& rule : config_.identity_rules) {
     EID_RETURN_IF_ERROR(rule.Validate());
   }
+  exec::ColumnIndexCache r_index(&out.r_extended);
+  exec::ColumnIndexCache s_index(&out.s_extended);
   if (!config_.identity_rules.empty()) {
-    for (size_t i = 0; i < out.r_extended.size(); ++i) {
-      TupleView e1 = out.r_extended.tuple(i);
-      for (size_t j = 0; j < out.s_extended.size(); ++j) {
-        TupleView e2 = out.s_extended.tuple(j);
-        for (const IdentityRule& rule : config_.identity_rules) {
-          // Rules quantify over all pairs; try both instantiation orders.
-          if (rule.Matches(e1, e2) != Truth::kTrue &&
-              rule.Matches(e2, e1) != Truth::kTrue) {
-            continue;
-          }
-          Status st = out.matching.Add(TuplePair{i, j});
-          if (!st.ok()) {
-            if (config_.matcher_options.fail_on_uniqueness_violation) {
-              return st;
-            }
-            if (out.uniqueness.ok()) out.uniqueness = st;
-          }
-          break;
-        }
+    exec::StageTimer timer;
+    exec::StageStats identity;
+    identity.stage = "identity_rules";
+    identity.threads = threads;
+    identity.cross_product = out.r_extended.size() * out.s_extended.size();
+    // The serial sweep adds pair (i, j) iff *some* rule matches in some
+    // orientation, visiting pairs row-major. The rule → pair-set union is
+    // orientation- and rule-order-independent, so collect per rule with
+    // index-bounded parallel scans, then insert the deduplicated union in
+    // row-major order — the exact serial insertion sequence, which the
+    // order-sensitive uniqueness verdict depends on.
+    std::vector<TuplePair> fired;
+    for (const IdentityRule& rule : config_.identity_rules) {
+      for (bool flipped : {false, true}) {
+        exec::PairScanStats scan;
+        std::vector<TuplePair> pairs = exec::CollectTruePairs(
+            out.r_extended, out.s_extended, rule.predicates(), flipped,
+            r_index, s_index, pool_ptr, &scan);
+        identity.candidate_pairs += scan.candidate_pairs;
+        identity.rule_evals += scan.rule_evals;
+        fired.insert(fired.end(), pairs.begin(), pairs.end());
       }
     }
+    std::sort(fired.begin(), fired.end());
+    fired.erase(std::unique(fired.begin(), fired.end()), fired.end());
+    for (const TuplePair& pair : fired) {
+      Status st = out.matching.Add(pair);
+      if (!st.ok()) {
+        if (config_.matcher_options.fail_on_uniqueness_violation) {
+          return st;
+        }
+        if (out.uniqueness.ok()) out.uniqueness = st;
+      }
+    }
+    identity.items = fired.size();
+    identity.wall_ms = timer.ElapsedMs();
+    out.stats.Add(std::move(identity));
   }
 
   // --- Distinctness rules (explicit + Proposition 1 from ILFDs) ---------
@@ -114,7 +149,9 @@ Result<IdentificationResult> EntityIdentifier::Identify(
   }
   EID_ASSIGN_OR_RETURN(
       out.negative,
-      BuildNegativeMatchingTable(out.r_extended, out.s_extended, rules));
+      BuildNegativeMatchingTable(out.r_extended, out.s_extended, rules,
+                                 pool_ptr));
+  out.stats.Add(out.negative.stats);
 
   // --- Constraint verification ------------------------------------------
   out.consistency =

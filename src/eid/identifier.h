@@ -70,6 +70,11 @@ struct IdentificationResult {
   Status uniqueness;
   Status consistency;
   PairPartition partition;
+  /// Per-stage execution counters (extend_r, extend_s, key_join,
+  /// identity_rules, distinctness_rules): wall time, thread count,
+  /// candidate pairs vs. cross product, rule evaluations. All counts are
+  /// deterministic across thread counts; wall_ms is not.
+  exec::StageStatsSet stats;
 
   /// True when both constraints held — the prototype's "extended key is
   /// verified" outcome.

@@ -1,6 +1,5 @@
 #include "eid/match_tables.h"
 
-#include <algorithm>
 #include <set>
 
 namespace eid {
@@ -25,16 +24,14 @@ Status MatchTable::Add(TuplePair pair) {
   }
   size_t idx = pairs_.size();
   pairs_.push_back(pair);
+  members_.insert(pair);
   by_r_.emplace(pair.r_index, idx);
   by_s_.emplace(pair.s_index, idx);
   return Status::Ok();
 }
 
 bool MatchTable::Contains(const TuplePair& pair) const {
-  auto it = by_r_.find(pair.r_index);
-  if (it == by_r_.end()) return false;
-  if (!negative_) return pairs_[it->second] == pair;
-  return std::find(pairs_.begin(), pairs_.end(), pair) != pairs_.end();
+  return members_.count(pair) > 0;
 }
 
 std::optional<size_t> MatchTable::MatchOfR(size_t r_index) const {

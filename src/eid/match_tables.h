@@ -41,6 +41,16 @@ struct TuplePair {
   }
 };
 
+struct TuplePairHash {
+  size_t operator()(const TuplePair& p) const {
+    // splitmix64-style mix of the two indices.
+    uint64_t h = static_cast<uint64_t>(p.r_index) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<uint64_t>(p.s_index) + 0x9E3779B97F4A7C15ull +
+         (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
 /// A matching (or negative-matching) table over row-index pairs.
 class MatchTable {
  public:
@@ -81,6 +91,9 @@ class MatchTable {
  private:
   bool negative_ = false;
   std::vector<TuplePair> pairs_;
+  // Membership set: Contains must stay O(1) even for negative tables,
+  // whose NMT grows with the pair cross product.
+  std::unordered_set<TuplePair, TuplePairHash> members_;
   // First pair index per side, for uniqueness checks and lookups.
   std::unordered_map<size_t, size_t> by_r_;
   std::unordered_map<size_t, size_t> by_s_;

@@ -1,12 +1,45 @@
 #include "eid/matcher.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace eid {
 
+namespace {
+
+/// Key fingerprint of a row over the given columns; sets *has_null when
+/// any key column is NULL (such rows never join: non_null_eq).
+std::string KeyFingerprint(const Row& row, const std::vector<size_t>& idx,
+                           bool* has_null) {
+  std::string fp;
+  *has_null = false;
+  for (size_t i : idx) {
+    if (row[i].is_null()) {
+      *has_null = true;
+      return fp;
+    }
+    std::string v = row[i].ToString();
+    fp += std::to_string(v.size()) + ":" + v + "|" +
+          static_cast<char>('0' + static_cast<int>(row[i].type()));
+  }
+  return fp;
+}
+
+}  // namespace
+
 Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
                                                  const Relation& s_extended,
                                                  const ExtendedKey& ext_key) {
+  return JoinOnExtendedKey(r_extended, s_extended, ext_key, /*pool=*/nullptr,
+                           /*stats=*/nullptr);
+}
+
+Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
+                                                 const Relation& s_extended,
+                                                 const ExtendedKey& ext_key,
+                                                 exec::ThreadPool* pool,
+                                                 exec::StageStats* stats) {
+  exec::StageTimer timer;
   std::vector<size_t> r_idx, s_idx;
   for (const std::string& a : ext_key.attributes()) {
     EID_ASSIGN_OR_RETURN(size_t ri, r_extended.schema().RequireIndex(a));
@@ -14,41 +47,52 @@ Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
     r_idx.push_back(ri);
     s_idx.push_back(si);
   }
-  auto fingerprint = [](const Row& row, const std::vector<size_t>& idx,
-                        bool* has_null) {
-    std::string fp;
-    *has_null = false;
-    for (size_t i : idx) {
-      if (row[i].is_null()) {
-        *has_null = true;
-        return fp;
-      }
-      std::string v = row[i].ToString();
-      fp += std::to_string(v.size()) + ":" + v + "|" +
-            static_cast<char>('0' + static_cast<int>(row[i].type()));
-    }
-    return fp;
-  };
 
   std::unordered_map<std::string, std::vector<size_t>> build;
   build.reserve(s_extended.size() * 2);
   for (size_t s = 0; s < s_extended.size(); ++s) {
     bool has_null = false;
-    std::string fp = fingerprint(s_extended.row(s), s_idx, &has_null);
+    std::string fp = KeyFingerprint(s_extended.row(s), s_idx, &has_null);
     if (has_null) continue;  // non_null_eq: NULL keys never match
     build[fp].push_back(s);
   }
 
-  std::vector<TuplePair> pairs;
-  for (size_t r = 0; r < r_extended.size(); ++r) {
-    bool has_null = false;
-    std::string fp = fingerprint(r_extended.row(r), r_idx, &has_null);
-    if (has_null) continue;
-    auto it = build.find(fp);
-    if (it == build.end()) continue;
-    for (size_t s : it->second) {
-      pairs.push_back(TuplePair{r, s});
+  // Probe R in parallel chunks; buckets hold ascending s indices and
+  // chunks cover ascending r ranges, so concatenating per-chunk buffers
+  // reproduces the serial probe's (r-major, s-ascending) pair order.
+  const size_t n = r_extended.size();
+  const int threads = pool != nullptr ? pool->threads() : 1;
+  const size_t grain =
+      std::max<size_t>(1, n / (static_cast<size_t>(threads) * 4));
+  const size_t num_chunks = n == 0 ? 0 : (n + grain - 1) / grain;
+  std::vector<std::vector<TuplePair>> found(num_chunks);
+  exec::ParallelFor(pool, n, grain, [&](size_t begin, size_t end, int) {
+    const size_t chunk = begin / grain;
+    for (size_t r = begin; r < end; ++r) {
+      bool has_null = false;
+      std::string fp = KeyFingerprint(r_extended.row(r), r_idx, &has_null);
+      if (has_null) continue;
+      auto it = build.find(fp);
+      if (it == build.end()) continue;
+      for (size_t s : it->second) {
+        found[chunk].push_back(TuplePair{r, s});
+      }
     }
+  });
+
+  std::vector<TuplePair> pairs;
+  size_t total = 0;
+  for (const auto& f : found) total += f.size();
+  pairs.reserve(total);
+  for (auto& f : found) pairs.insert(pairs.end(), f.begin(), f.end());
+
+  if (stats != nullptr) {
+    stats->stage = "key_join";
+    stats->threads = threads;
+    stats->items = pairs.size();
+    stats->candidate_pairs = pairs.size();
+    stats->cross_product = r_extended.size() * s_extended.size();
+    stats->wall_ms = timer.ElapsedMs();
   }
   return pairs;
 }
@@ -72,18 +116,26 @@ Result<MatcherResult> BuildMatchingTable(const Relation& r, const Relation& s,
     }
   }
 
+  const int threads = exec::ResolveThreads(options.threads);
+  exec::ThreadPool pool(threads);
+  exec::ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+
   MatcherResult result;
+  exec::StageStats extend_r, extend_s, key_join;
   EID_ASSIGN_OR_RETURN(
       result.r_extension,
-      ExtendRelation(r, Side::kR, corr, ext_key, ilfds, options.extension));
+      ExtendRelation(r, Side::kR, corr, ext_key, ilfds, options.extension,
+                     pool_ptr, &extend_r));
   EID_ASSIGN_OR_RETURN(
       result.s_extension,
-      ExtendRelation(s, Side::kS, corr, ext_key, ilfds, options.extension));
+      ExtendRelation(s, Side::kS, corr, ext_key, ilfds, options.extension,
+                     pool_ptr, &extend_s));
 
   EID_ASSIGN_OR_RETURN(
       std::vector<TuplePair> pairs,
       JoinOnExtendedKey(result.r_extension.extended,
-                        result.s_extension.extended, ext_key));
+                        result.s_extension.extended, ext_key, pool_ptr,
+                        &key_join));
 
   result.uniqueness = Status::Ok();
   for (const TuplePair& p : pairs) {
@@ -93,6 +145,9 @@ Result<MatcherResult> BuildMatchingTable(const Relation& r, const Relation& s,
       if (result.uniqueness.ok()) result.uniqueness = st;  // first violation
     }
   }
+  result.stats.Add(std::move(extend_r));
+  result.stats.Add(std::move(extend_s));
+  result.stats.Add(std::move(key_join));
   return result;
 }
 

@@ -34,6 +34,8 @@ struct MatcherResult {
   /// OK when the uniqueness constraint held; ConstraintViolation(+detail)
   /// when some tuple matched more than one counterpart (unsound key).
   Status uniqueness;
+  /// Per-stage counters: extend_r, extend_s, key_join.
+  exec::StageStatsSet stats;
 
   /// Printable MT_RS (paper Table 7 layout: R-key columns then S-key
   /// columns of the extended relations).
@@ -51,6 +53,11 @@ struct MatcherOptions {
   /// violating pair, and still returns the table — mirroring the prototype,
   /// which warns ("unsound matching result") but keeps the definition.
   bool fail_on_uniqueness_violation = false;
+  /// Parallelism for the whole build (extension, join probe, and — when
+  /// driven from EntityIdentifier — the rule sweeps). 0 resolves via
+  /// EID_THREADS, then hardware concurrency; 1 is the serial engine.
+  /// Output is identical for every value (see src/exec/thread_pool.h).
+  int threads = 0;
 };
 
 /// Builds MT_RS for `r` and `s` under the given extended key and ILFDs.
@@ -67,6 +74,16 @@ Result<MatcherResult> BuildMatchingTable(const Relation& r, const Relation& s,
 Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
                                                  const Relation& s_extended,
                                                  const ExtendedKey& ext_key);
+
+/// Pool-sharing form: the probe side is sharded over `pool` (null = serial)
+/// with per-chunk pair buffers merged in index order, so the pair sequence
+/// equals the serial probe's for any thread count. Stage counters land in
+/// `stats` when non-null.
+Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
+                                                 const Relation& s_extended,
+                                                 const ExtendedKey& ext_key,
+                                                 exec::ThreadPool* pool,
+                                                 exec::StageStats* stats);
 
 }  // namespace eid
 

@@ -1,32 +1,60 @@
 #include "eid/negative.h"
 
+#include <map>
+#include <utility>
+
+#include "exec/blocking_index.h"
+
 namespace eid {
 
 Result<NegativeResult> BuildNegativeMatchingTable(
     const Relation& r_extended, const Relation& s_extended,
     const std::vector<DistinctnessRule>& rules) {
+  return BuildNegativeMatchingTable(r_extended, s_extended, rules,
+                                    /*pool=*/nullptr);
+}
+
+Result<NegativeResult> BuildNegativeMatchingTable(
+    const Relation& r_extended, const Relation& s_extended,
+    const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool) {
+  exec::StageTimer timer;
   for (const DistinctnessRule& rule : rules) {
     EID_RETURN_IF_ERROR(rule.Validate());
   }
   NegativeResult out;
-  for (size_t i = 0; i < r_extended.size(); ++i) {
-    TupleView e1 = r_extended.tuple(i);
-    for (size_t j = 0; j < s_extended.size(); ++j) {
-      TupleView e2 = s_extended.tuple(j);
-      for (size_t k = 0; k < rules.size(); ++k) {
-        bool direct = rules[k].Applies(e1, e2) == Truth::kTrue;
-        bool flipped = !direct && rules[k].Applies(e2, e1) == Truth::kTrue;
-        if (direct || flipped) {
-          TuplePair pair{i, j};
-          if (!out.table.Contains(pair)) {
-            EID_RETURN_IF_ERROR(out.table.Add(pair));
-            out.evidence.push_back(NegativePairEvidence{pair, k, flipped});
-          }
-          break;  // one certificate per pair suffices
-        }
+  out.stats.stage = "distinctness_rules";
+  out.stats.threads = pool != nullptr ? pool->threads() : 1;
+  out.stats.cross_product = r_extended.size() * s_extended.size();
+
+  // The serial sweep visits pairs row-major and keeps, per pair, the
+  // first rule that fires — direct orientation tried before flipped.
+  // Reproduce that exactly: collect each rule/orientation's true pairs
+  // (index-bounded, parallel), then fold them in (rule, orientation)
+  // priority order with first-insert-wins, and emit sorted row-major.
+  exec::ColumnIndexCache r_index(&r_extended);
+  exec::ColumnIndexCache s_index(&s_extended);
+  std::map<TuplePair, std::pair<size_t, bool>> best;  // pair -> (rule, flipped)
+  for (size_t k = 0; k < rules.size(); ++k) {
+    const std::vector<Predicate>& preds = rules[k].predicates();
+    for (bool flipped : {false, true}) {
+      exec::PairScanStats scan;
+      std::vector<TuplePair> fired =
+          exec::CollectTruePairs(r_extended, s_extended, preds, flipped,
+                                 r_index, s_index, pool, &scan);
+      out.stats.candidate_pairs += scan.candidate_pairs;
+      out.stats.rule_evals += scan.rule_evals;
+      for (const TuplePair& p : fired) {
+        best.emplace(p, std::make_pair(k, flipped));  // first wins
       }
     }
   }
+  for (const auto& [pair, certificate] : best) {
+    EID_RETURN_IF_ERROR(out.table.Add(pair));
+    out.evidence.push_back(
+        NegativePairEvidence{pair, certificate.first, certificate.second});
+  }
+  out.stats.items = out.table.size();
+  out.stats.wall_ms = timer.ElapsedMs();
   return out;
 }
 

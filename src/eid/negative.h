@@ -7,6 +7,11 @@
 // pairs, so NMT_RS is conceptual; this module materialises exactly the
 // pairs the supplied rules certify, which is what consistency checking and
 // the three-valued decision function need.
+//
+// Evaluation is index-accelerated (src/exec/blocking_index.h): each
+// rule's equality conjuncts bound its candidate pairs, and candidates
+// are swept in parallel. The resulting table, evidence list and ordering
+// are identical to the serial nested-loop sweep for any thread count.
 
 #ifndef EID_EID_NEGATIVE_H_
 #define EID_EID_NEGATIVE_H_
@@ -14,6 +19,8 @@
 #include <vector>
 
 #include "eid/match_tables.h"
+#include "exec/stage_stats.h"
+#include "exec/thread_pool.h"
 #include "rules/distinctness_rule.h"
 
 namespace eid {
@@ -32,6 +39,8 @@ struct NegativePairEvidence {
 struct NegativeResult {
   MatchTable table{/*negative=*/true};
   std::vector<NegativePairEvidence> evidence;
+  /// Counters of the sweep ("distinctness_rules" stage).
+  exec::StageStats stats;
 };
 
 /// Evaluates every rule over every pair of rows of the two (extended,
@@ -40,6 +49,11 @@ struct NegativeResult {
 Result<NegativeResult> BuildNegativeMatchingTable(
     const Relation& r_extended, const Relation& s_extended,
     const std::vector<DistinctnessRule>& rules);
+
+/// Pool-sharing form used by the engine (null pool = serial sweep).
+Result<NegativeResult> BuildNegativeMatchingTable(
+    const Relation& r_extended, const Relation& s_extended,
+    const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool);
 
 }  // namespace eid
 

@@ -1,0 +1,238 @@
+#include "exec/blocking_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace eid {
+namespace exec {
+
+ColumnIndex ColumnIndex::Build(const Relation& relation, size_t column) {
+  ColumnIndex index;
+  index.buckets_.reserve(relation.size());
+  for (size_t i = 0; i < relation.size(); ++i) {
+    const Value& v = relation.row(i)[column];
+    if (v.is_null()) continue;
+    index.buckets_[v].push_back(i);  // ascending: i is monotone
+  }
+  return index;
+}
+
+const std::vector<size_t>* ColumnIndex::Find(const Value& v) const {
+  auto it = buckets_.find(v);
+  if (it == buckets_.end()) return nullptr;
+  return &it->second;
+}
+
+const ColumnIndex* ColumnIndexCache::ForAttribute(
+    const std::string& attribute) {
+  auto it = indexes_.find(attribute);
+  if (it != indexes_.end()) return it->second.get();
+  std::optional<size_t> col = relation_->schema().IndexOf(attribute);
+  std::unique_ptr<ColumnIndex> built;
+  if (col.has_value()) {
+    built = std::make_unique<ColumnIndex>(
+        ColumnIndex::Build(*relation_, *col));
+  }
+  return indexes_.emplace(attribute, std::move(built))
+      .first->second.get();
+}
+
+BlockingPlan PlanBlocking(const std::vector<Predicate>& predicates,
+                          const Schema& r_schema, const Schema& s_schema,
+                          bool flipped) {
+  BlockingPlan plan;
+  // Which relation an entity's attributes live in under this orientation.
+  auto schema_of = [&](int entity) -> const Schema& {
+    bool r_side = (entity == 1) != flipped;
+    return r_side ? r_schema : s_schema;
+  };
+  auto is_r_side = [&](int entity) { return (entity == 1) != flipped; };
+
+  for (const Predicate& p : predicates) {
+    // Any conjunct referencing an attribute absent from its bound schema
+    // evaluates on a NULL operand — kUnknown for every op — so the
+    // conjunction can never reach kTrue.
+    for (const Operand* o : {&p.lhs, &p.rhs}) {
+      if (o->kind == Operand::Kind::kEntityAttribute &&
+          !schema_of(o->entity).Contains(o->attribute)) {
+        plan.impossible = true;
+        return plan;
+      }
+      if (o->kind == Operand::Kind::kConstant && o->constant.is_null()) {
+        plan.impossible = true;  // NULL operand: kUnknown forever
+        return plan;
+      }
+    }
+    // Row-independent conjunct (constant vs constant): evaluate now.
+    if (p.lhs.kind == Operand::Kind::kConstant &&
+        p.rhs.kind == Operand::Kind::kConstant) {
+      if (CompareValues(p.lhs.constant, p.op, p.rhs.constant) !=
+          Truth::kTrue) {
+        plan.impossible = true;
+        return plan;
+      }
+      continue;
+    }
+    if (p.op != CompareOp::kEq) continue;
+    const bool lhs_attr = p.lhs.kind == Operand::Kind::kEntityAttribute;
+    const bool rhs_attr = p.rhs.kind == Operand::Kind::kEntityAttribute;
+    if (lhs_attr && rhs_attr) {
+      if (p.lhs.entity == p.rhs.entity) continue;  // same-side: not a join
+      if (!plan.has_join) {
+        plan.has_join = true;
+        if (is_r_side(p.lhs.entity)) {
+          plan.r_attr = p.lhs.attribute;
+          plan.s_attr = p.rhs.attribute;
+        } else {
+          plan.r_attr = p.rhs.attribute;
+          plan.s_attr = p.lhs.attribute;
+        }
+      }
+      continue;
+    }
+    if (lhs_attr != rhs_attr) {
+      const Operand& attr_op = lhs_attr ? p.lhs : p.rhs;
+      const Operand& const_op = lhs_attr ? p.rhs : p.lhs;
+      auto& filters =
+          is_r_side(attr_op.entity) ? plan.r_const_eq : plan.s_const_eq;
+      filters.emplace_back(attr_op.attribute, const_op.constant);
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+/// Rows of `rel` passing every (attribute == constant) filter, ascending.
+/// Uses the column index of the first filter to seed the list.
+std::vector<size_t> FilteredRows(
+    ColumnIndexCache& cache,
+    const std::vector<std::pair<std::string, Value>>& filters) {
+  const Relation& rel = cache.relation();
+  std::vector<size_t> rows;
+  if (filters.empty()) {
+    rows.resize(rel.size());
+    std::iota(rows.begin(), rows.end(), size_t{0});
+    return rows;
+  }
+  const ColumnIndex* index = cache.ForAttribute(filters[0].first);
+  if (index == nullptr) return rows;  // attribute absent: nothing passes
+  const std::vector<size_t>* bucket = index->Find(filters[0].second);
+  if (bucket == nullptr) return rows;
+  std::vector<size_t> cols;
+  for (size_t f = 1; f < filters.size(); ++f) {
+    std::optional<size_t> c = rel.schema().IndexOf(filters[f].first);
+    if (!c.has_value()) return rows;
+    cols.push_back(*c);
+  }
+  for (size_t i : *bucket) {
+    bool pass = true;
+    for (size_t f = 1; f < filters.size(); ++f) {
+      const Value& v = rel.row(i)[cols[f - 1]];
+      if (v.is_null() || !(v == filters[f].second)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) rows.push_back(i);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<TuplePair> CollectTruePairs(
+    const Relation& r_ext, const Relation& s_ext,
+    const std::vector<Predicate>& predicates, bool flipped,
+    ColumnIndexCache& r_index, ColumnIndexCache& s_index, ThreadPool* pool,
+    PairScanStats* stats) {
+  PairScanStats local;
+  std::vector<TuplePair> out;
+  BlockingPlan plan =
+      PlanBlocking(predicates, r_ext.schema(), s_ext.schema(), flipped);
+  if (plan.impossible || r_ext.empty() || s_ext.empty()) {
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
+  local.indexed = plan.has_join;
+
+  std::vector<size_t> r_rows = FilteredRows(r_index, plan.r_const_eq);
+
+  // Evaluate the *full* conjunction on a candidate — blocking only
+  // bounds the candidate set, it never decides a pair.
+  auto evaluate = [&](size_t i, size_t j) {
+    TupleView rv = r_ext.tuple(i);
+    TupleView sv = s_ext.tuple(j);
+    return flipped ? EvaluateConjunction(predicates, sv, rv)
+                   : EvaluateConjunction(predicates, rv, sv);
+  };
+
+  const int threads = pool != nullptr ? pool->threads() : 1;
+  const size_t n = r_rows.size();
+  if (n == 0) {
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
+  const size_t grain =
+      std::max<size_t>(1, n / (static_cast<size_t>(threads) * 4));
+  const size_t num_chunks = (n + grain - 1) / grain;
+  // Per-chunk buffers merged in chunk order: the output is row-major for
+  // any thread count because chunks cover ascending r ranges.
+  std::vector<std::vector<TuplePair>> found(num_chunks);
+  std::vector<size_t> evals(num_chunks, 0);
+
+  if (plan.has_join) {
+    const ColumnIndex* s_idx = s_index.ForAttribute(plan.s_attr);
+    EID_CHECK(s_idx != nullptr);  // schema checked in PlanBlocking
+    std::optional<size_t> r_col = r_ext.schema().IndexOf(plan.r_attr);
+    EID_CHECK(r_col.has_value());
+    ParallelFor(pool, n, grain, [&](size_t begin, size_t end, int) {
+      const size_t chunk = begin / grain;
+      for (size_t k = begin; k < end; ++k) {
+        size_t i = r_rows[k];
+        const Value& v = r_ext.row(i)[*r_col];
+        if (v.is_null()) continue;
+        const std::vector<size_t>* bucket = s_idx->Find(v);
+        if (bucket == nullptr) continue;
+        for (size_t j : *bucket) {
+          ++evals[chunk];
+          if (evaluate(i, j) == Truth::kTrue) {
+            found[chunk].push_back(TuplePair{i, j});
+          }
+        }
+      }
+    });
+  } else {
+    std::vector<size_t> s_rows = FilteredRows(s_index, plan.s_const_eq);
+    if (!s_rows.empty()) {
+      ParallelFor(pool, n, grain, [&](size_t begin, size_t end, int) {
+        const size_t chunk = begin / grain;
+        for (size_t k = begin; k < end; ++k) {
+          size_t i = r_rows[k];
+          for (size_t j : s_rows) {
+            ++evals[chunk];
+            if (evaluate(i, j) == Truth::kTrue) {
+              found[chunk].push_back(TuplePair{i, j});
+            }
+          }
+        }
+      });
+    }
+  }
+
+  size_t total = 0;
+  for (const auto& f : found) total += f.size();
+  out.reserve(total);
+  for (auto& f : found) {
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  for (size_t e : evals) {
+    local.candidate_pairs += e;
+    local.rule_evals += e;
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace exec
+}  // namespace eid

@@ -1,0 +1,127 @@
+// Predicate-driven blocking for pairwise rule evaluation.
+//
+// Identity and distinctness rules (paper §3.2) are conjunctions of
+// predicates over an entity pair, and the engine needs every (r, s) pair
+// whose antecedent evaluates to kTrue. Enumerating the cross product is
+// O(|R|·|S|) per rule; almost every practical rule, however, contains an
+// equality conjunct that bounds its match set:
+//
+//   e1.A = e2.B   — a pair can only satisfy the rule when the r-side A
+//                   equals the s-side B, both non-NULL (Kleene kTrue
+//                   requires non-NULL operands). Hash-index the s-side
+//                   column and candidates come from bucket lookups.
+//   e_i.A = c     — the i-side row must carry exactly c; prune that
+//                   side's scan list before pairing.
+//
+// Both reductions are *complete* for kTrue: a conjunction is kTrue only
+// if every conjunct is, so no qualifying pair can fall outside the
+// candidate set. Candidates are then re-evaluated with the full
+// three-valued conjunction, making blocking purely an optimisation —
+// rules with no usable equality conjunct fall back to a tiled parallel
+// scan over the (filtered) cross product.
+//
+// Determinism: buckets store row indices in ascending order and the scan
+// emits pairs r-major, so CollectTruePairs returns the same row-major
+// sequence the serial nested loop would visit, for any thread count.
+
+#ifndef EID_EXEC_BLOCKING_INDEX_H_
+#define EID_EXEC_BLOCKING_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "eid/match_tables.h"
+#include "exec/thread_pool.h"
+#include "relational/relation.h"
+#include "rules/predicate.h"
+
+namespace eid {
+namespace exec {
+
+/// Hash index over one column of a relation. NULL cells are not indexed
+/// (non_null_eq semantics: NULL equals nothing). Buckets hold row
+/// indices in ascending order.
+class ColumnIndex {
+ public:
+  static ColumnIndex Build(const Relation& relation, size_t column);
+
+  /// Rows whose cell storage-equals `v`; nullptr when none.
+  const std::vector<size_t>* Find(const Value& v) const;
+
+  size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> buckets_;
+};
+
+/// Lazily-built per-relation collection of column indexes, shared across
+/// the rules of one engine run so each referenced column is indexed at
+/// most once. Not thread-safe; build happens on first use, before the
+/// parallel probe of a rule starts.
+class ColumnIndexCache {
+ public:
+  explicit ColumnIndexCache(const Relation* relation)
+      : relation_(relation) {}
+
+  /// Index for the named attribute; nullptr when the relation has no
+  /// such attribute.
+  const ColumnIndex* ForAttribute(const std::string& attribute);
+
+  const Relation& relation() const { return *relation_; }
+
+ private:
+  const Relation* relation_;
+  // nullptr entry = attribute absent (negative cache).
+  std::unordered_map<std::string, std::unique_ptr<ColumnIndex>> indexes_;
+};
+
+/// How one rule antecedent will be evaluated against an (R, S) pair
+/// space, for one orientation. `flipped` orientations bind e1 to the
+/// s-side tuple and e2 to the r-side (rules quantify over all entity
+/// pairs, so the engine tries both instantiation orders).
+struct BlockingPlan {
+  /// A conjunct forces equality between these columns (r-side attribute
+  /// name / s-side attribute name); empty names when no such conjunct.
+  bool has_join = false;
+  std::string r_attr;
+  std::string s_attr;
+  /// Conjuncts of the form side.attr = constant.
+  std::vector<std::pair<std::string, Value>> r_const_eq;
+  std::vector<std::pair<std::string, Value>> s_const_eq;
+  /// True when some conjunct can never evaluate kTrue against these
+  /// schemas (references an absent attribute, or an unsatisfiable
+  /// constant pair) — the rule matches nothing.
+  bool impossible = false;
+};
+
+/// Analyses the equality conjuncts of `predicates` for the given
+/// orientation against the two (extended) schemas.
+BlockingPlan PlanBlocking(const std::vector<Predicate>& predicates,
+                          const Schema& r_schema, const Schema& s_schema,
+                          bool flipped);
+
+/// Counters from one CollectTruePairs call.
+struct PairScanStats {
+  size_t candidate_pairs = 0;  // pairs the conjunction was evaluated on
+  size_t rule_evals = 0;       // same as candidate_pairs today
+  bool indexed = false;        // an equality join bounded the scan
+};
+
+/// All pairs (i over `r_ext` rows, j over `s_ext` rows) whose antecedent
+/// conjunction evaluates to kTrue with (e1, e2) = (r_i, s_j), or
+/// (s_j, r_i) when `flipped`. Returned in row-major (i, then j) order —
+/// exactly the visit order of the serial nested loop — for any pool
+/// size. `r_index`/`s_index` must cache the respective relations.
+std::vector<TuplePair> CollectTruePairs(
+    const Relation& r_ext, const Relation& s_ext,
+    const std::vector<Predicate>& predicates, bool flipped,
+    ColumnIndexCache& r_index, ColumnIndexCache& s_index, ThreadPool* pool,
+    PairScanStats* stats);
+
+}  // namespace exec
+}  // namespace eid
+
+#endif  // EID_EXEC_BLOCKING_INDEX_H_

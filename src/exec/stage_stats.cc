@@ -1,0 +1,94 @@
+#include "exec/stage_stats.h"
+
+#include <cstdio>
+
+namespace eid {
+namespace exec {
+
+namespace {
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+std::string StageStats::ToString() const {
+  std::string out = stage + ": " + FormatMs(wall_ms) + " ms, threads=" +
+                    std::to_string(threads) +
+                    ", items=" + std::to_string(items);
+  if (values_derived > 0) {
+    out += ", values_derived=" + std::to_string(values_derived);
+  }
+  if (cross_product > 0) {
+    out += ", candidate_pairs=" + std::to_string(candidate_pairs) + "/" +
+           std::to_string(cross_product);
+  }
+  if (rule_evals > 0) out += ", rule_evals=" + std::to_string(rule_evals);
+  return out;
+}
+
+std::string StageStats::ToJson() const {
+  std::string out = "{\"stage\":\"" + stage + "\"";
+  out += ",\"wall_ms\":" + FormatMs(wall_ms);
+  out += ",\"threads\":" + std::to_string(threads);
+  out += ",\"items\":" + std::to_string(items);
+  out += ",\"values_derived\":" + std::to_string(values_derived);
+  out += ",\"candidate_pairs\":" + std::to_string(candidate_pairs);
+  out += ",\"cross_product\":" + std::to_string(cross_product);
+  out += ",\"rule_evals\":" + std::to_string(rule_evals);
+  out += "}";
+  return out;
+}
+
+void StageStatsSet::Merge(const StageStatsSet& other) {
+  for (const StageStats& s : other.stages_) stages_.push_back(s);
+}
+
+const StageStats* StageStatsSet::Find(const std::string& stage) const {
+  for (const StageStats& s : stages_) {
+    if (s.stage == stage) return &s;
+  }
+  return nullptr;
+}
+
+size_t StageStatsSet::TotalRuleEvals() const {
+  size_t total = 0;
+  for (const StageStats& s : stages_) total += s.rule_evals;
+  return total;
+}
+
+size_t StageStatsSet::TotalCandidatePairs() const {
+  size_t total = 0;
+  for (const StageStats& s : stages_) total += s.candidate_pairs;
+  return total;
+}
+
+double StageStatsSet::TotalWallMs() const {
+  double total = 0;
+  for (const StageStats& s : stages_) total += s.wall_ms;
+  return total;
+}
+
+std::string StageStatsSet::ToJson() const {
+  std::string out = "[";
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += stages_[i].ToJson();
+  }
+  out += "]";
+  return out;
+}
+
+std::string StageStatsSet::ToString() const {
+  std::string out;
+  for (const StageStats& s : stages_) {
+    out += s.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace exec
+}  // namespace eid

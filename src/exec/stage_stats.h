@@ -1,0 +1,90 @@
+// Per-stage instrumentation of the identification engine.
+//
+// Every stage of an identification run (extension, key join, identity
+// rules, distinctness rules) records what it actually did: tuples
+// derived, candidate pairs generated versus the full cross product,
+// rule-antecedent evaluations, wall time, thread count. The counters are
+// the engine's perf contract — the scaling benches serialise them into
+// BENCH_scaling.json, and `candidate_pairs / cross_product` is the
+// blocking-index selectivity that explains *why* a run was fast, not
+// just how fast it was.
+//
+// Counters are aggregated per index chunk and summed, so every count is
+// deterministic across thread counts; only wall_ms varies run to run.
+
+#ifndef EID_EXEC_STAGE_STATS_H_
+#define EID_EXEC_STAGE_STATS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eid {
+namespace exec {
+
+/// Counters for one engine stage.
+struct StageStats {
+  std::string stage;    // "extend_r", "key_join", "identity_rules", ...
+  double wall_ms = 0.0; // wall-clock time of the stage
+  int threads = 1;      // parallelism the stage ran with
+
+  size_t items = 0;            // stage unit: tuples processed / pairs added
+  size_t values_derived = 0;   // attribute values filled in via ILFDs
+  size_t candidate_pairs = 0;  // pairs actually evaluated
+  size_t cross_product = 0;    // |R'| * |S'| baseline for candidate_pairs
+  size_t rule_evals = 0;       // antecedent-conjunction evaluations
+
+  /// One-line human-readable form.
+  std::string ToString() const;
+  /// JSON object form (stable key order).
+  std::string ToJson() const;
+};
+
+/// An ordered collection of stage counters for one run.
+class StageStatsSet {
+ public:
+  void Add(StageStats stats) { stages_.push_back(std::move(stats)); }
+  /// Appends every stage of `other` (used to fold sub-results into the
+  /// full identification result).
+  void Merge(const StageStatsSet& other);
+
+  const std::vector<StageStats>& stages() const { return stages_; }
+  bool empty() const { return stages_.empty(); }
+
+  /// The named stage, or nullptr.
+  const StageStats* Find(const std::string& stage) const;
+
+  /// Sum of a counter across stages.
+  size_t TotalRuleEvals() const;
+  size_t TotalCandidatePairs() const;
+  double TotalWallMs() const;
+
+  /// JSON array of stage objects.
+  std::string ToJson() const;
+  /// Multi-line human-readable table.
+  std::string ToString() const;
+
+ private:
+  std::vector<StageStats> stages_;
+};
+
+/// Scoped wall timer: construct at stage start, call ElapsedMs() when
+/// filling in the stage's StageStats.
+class StageTimer {
+ public:
+  StageTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace exec
+}  // namespace eid
+
+#endif  // EID_EXEC_STAGE_STATS_H_

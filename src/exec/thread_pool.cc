@@ -1,0 +1,116 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace eid {
+namespace exec {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("EID_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 4096) {
+      return static_cast<int>(v);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(threads, 1)) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunChunks(int worker) {
+  for (;;) {
+    size_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    size_t begin = chunk * grain_;
+    if (begin >= n_) return;
+    size_t end = std::min(n_, begin + grain_);
+    try {
+      (*body_)(begin, end, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      // Keep draining chunks: every iteration must still run so callers
+      // may rely on "all slots written" even when one chunk threw.
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    RunChunks(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--unfinished_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain, const ChunkBody& body) {
+  if (n == 0) return;
+  if (threads_ == 1) {
+    body(0, n, 0);
+    return;
+  }
+  if (grain == 0) {
+    // A few chunks per worker smooths imbalance without shrinking chunks
+    // so far that the claim counter becomes the bottleneck.
+    grain = std::max<size_t>(1, n / (static_cast<size_t>(threads_) * 4));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    n_ = n;
+    grain_ = grain;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    unfinished_ = threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  RunChunks(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+  body_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                 const ChunkBody& body) {
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->ParallelFor(n, grain, body);
+  } else if (n > 0) {
+    body(0, n, 0);
+  }
+}
+
+}  // namespace exec
+}  // namespace eid

@@ -1,0 +1,97 @@
+// Deterministic parallel execution substrate.
+//
+// The engine's hot paths (per-tuple ILFD derivation, pairwise rule
+// sweeps, key-join probes) are all loops over index ranges whose
+// iterations are independent. ThreadPool::ParallelFor schedules such a
+// loop over a fixed set of persistent workers in contiguous chunks.
+// There is deliberately *no work stealing* and no shared mutable
+// accumulator: each iteration writes only to its own index slot (or each
+// chunk to its own buffer), so results are position-addressed and the
+// merged output is identical for every thread count — the determinism
+// guarantee the identification engine's `threads=1 ≡ threads=N` contract
+// rests on.
+//
+// Thread-count resolution (ResolveThreads): an explicit positive request
+// wins; otherwise the EID_THREADS environment variable; otherwise the
+// hardware concurrency. `threads == 1` never spawns and runs the body
+// inline on the caller's thread — byte-identical to the pre-parallel
+// engine by construction.
+
+#ifndef EID_EXEC_THREAD_POOL_H_
+#define EID_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eid {
+namespace exec {
+
+/// Resolves a requested thread count: `requested > 0` is taken verbatim;
+/// `0` falls back to the EID_THREADS environment variable, then to
+/// std::thread::hardware_concurrency(). Always returns >= 1.
+int ResolveThreads(int requested);
+
+/// Loop body: [begin, end) is a contiguous chunk of the iteration space,
+/// `worker` a stable id in [0, threads) usable to index per-worker
+/// scratch state (e.g. one ClosureEvaluator per worker).
+using ChunkBody = std::function<void(size_t begin, size_t end, int worker)>;
+
+/// A fixed-size pool of persistent workers. The constructing thread
+/// participates in every ParallelFor as worker 0, so `threads` is the
+/// total parallelism, not the number of spawned threads.
+class ThreadPool {
+ public:
+  /// `threads <= 1` creates no workers; ParallelFor then runs inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs `body` over [0, n) split into chunks of `grain` iterations
+  /// (grain == 0 picks a default that gives each worker several chunks).
+  /// Chunks are claimed dynamically but identified by position, so any
+  /// iteration-to-output mapping keyed on the index is deterministic.
+  /// Blocks until every iteration has run. Exceptions thrown by `body`
+  /// are rethrown here (first one wins).
+  void ParallelFor(size_t n, size_t grain, const ChunkBody& body);
+
+ private:
+  void WorkerLoop(int worker);
+  void RunChunks(int worker);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;  // bumped per ParallelFor; guarded by mu_
+  int unfinished_ = 0;       // workers still on the current job
+  bool shutdown_ = false;
+
+  // Current job (valid while unfinished_ > 0 for the latest generation).
+  const ChunkBody* body_ = nullptr;
+  size_t n_ = 0;
+  size_t grain_ = 1;
+  std::atomic<size_t> next_chunk_{0};
+  std::exception_ptr first_error_;  // guarded by mu_
+};
+
+/// Runs `body` over [0, n): on the pool when `pool` is non-null and has
+/// more than one thread, inline otherwise. The common entry point for
+/// engine stages, so every call site handles the serial mode uniformly.
+void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                 const ChunkBody& body);
+
+}  // namespace exec
+}  // namespace eid
+
+#endif  // EID_EXEC_THREAD_POOL_H_

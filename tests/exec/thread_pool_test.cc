@@ -1,0 +1,106 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace eid {
+namespace exec {
+namespace {
+
+TEST(ResolveThreadsTest, ExplicitRequestWins) {
+  EXPECT_EQ(ResolveThreads(3), 3);
+  EXPECT_EQ(ResolveThreads(1), 1);
+}
+
+TEST(ResolveThreadsTest, EnvironmentFallback) {
+  ::setenv("EID_THREADS", "5", 1);
+  EXPECT_EQ(ResolveThreads(0), 5);
+  EXPECT_EQ(ResolveThreads(2), 2);  // explicit still wins
+  ::setenv("EID_THREADS", "not-a-number", 1);
+  EXPECT_GE(ResolveThreads(0), 1);  // junk ignored, hardware fallback
+  ::setenv("EID_THREADS", "0", 1);
+  EXPECT_GE(ResolveThreads(0), 1);
+  ::unsetenv("EID_THREADS");
+  EXPECT_GE(ResolveThreads(0), 1);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      pool.ParallelFor(n, /*grain=*/0, [&](size_t begin, size_t end, int w) {
+        EXPECT_GE(w, 0);
+        EXPECT_LT(w, threads);
+        for (size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1);
+        }
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SlotWritesAreDeterministicAcrossThreadCounts) {
+  const size_t n = 4096;
+  std::vector<uint64_t> reference(n);
+  for (size_t i = 0; i < n; ++i) reference[i] = i * 2654435761u;
+  for (int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> out(n, 0);
+    pool.ParallelFor(n, /*grain=*/64, [&](size_t begin, size_t end, int) {
+      for (size_t i = begin; i < end; ++i) out[i] = i * 2654435761u;
+    });
+    EXPECT_EQ(out, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(100, /*grain=*/7, [&](size_t begin, size_t end, int) {
+      total.fetch_add(end - begin);
+    });
+  }
+  EXPECT_EQ(total.load(), 5000u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100, /*grain=*/1,
+                       [&](size_t begin, size_t, int) {
+                         if (begin == 42) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must still schedule correctly after an exception.
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(10, /*grain=*/1,
+                   [&](size_t begin, size_t end, int) {
+                     count.fetch_add(end - begin);
+                   });
+  EXPECT_EQ(count.load(), 10u);
+}
+
+TEST(ParallelForHelperTest, NullPoolRunsInline) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 5, 0, [&](size_t begin, size_t end, int w) {
+    EXPECT_EQ(w, 0);
+    for (size_t i = begin; i < end; ++i) order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace eid
