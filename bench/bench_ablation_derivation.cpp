@@ -92,6 +92,7 @@ int main() {
   gen.cuisines = 8;
   gen.ilfd_coverage = 1.0;
   GeneratedWorld world = GenerateWorld(gen).value();
+  bench::RequireCleanWorld("ablation_derivation base", world);
 
   bench::Section("part 1 — clean knowledge: the two modes agree");
   {
@@ -129,6 +130,15 @@ int main() {
     config.correspondence = world.correspondence;
     config.extended_key = world.extended_key;
     config.ilfds = conflicted;
+
+    // Sanity: the injected conflicts are exactly what eid-lint's closure
+    // check exists to catch — the analyzer must flag this set as
+    // contradictory (EID-E003) while the base world above linted clean.
+    {
+      analysis::AnalysisReport report =
+          analysis::AnalyzeRuleProgram(world.r, world.s, config);
+      EID_CHECK(report.HasCode("EID-E003"));
+    }
     config.distinctness_from_ilfds = false;  // isolate derivation effects
 
     config.matcher_options.extension.derivation.mode =

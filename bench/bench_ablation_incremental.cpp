@@ -50,6 +50,8 @@ int main() {
     gen.cuisines = 8;
     gen.ilfd_coverage = 1.0;
     GeneratedWorld world = GenerateWorld(gen).value();
+    bench::RequireCleanWorld(
+        "ablation_incremental per_side=" + std::to_string(per_side), world);
 
     IdentifierConfig config;
     config.correspondence = world.correspondence;

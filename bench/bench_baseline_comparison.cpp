@@ -67,6 +67,9 @@ void RunSetting(uint64_t seed, size_t name_pool, double coverage) {
   gen.cuisines = 8;
   gen.ilfd_coverage = coverage;
   GeneratedWorld world = GenerateWorld(gen).value();
+  bench::RequireCleanWorld("baseline name_pool=" + std::to_string(name_pool) +
+                               " coverage=" + std::to_string(coverage),
+                           world);
 
   std::printf("\nname_pool=%zu (homonym pressure %s), ILFD coverage %.0f%%\n",
               name_pool, name_pool <= 120 ? "HIGH" : "low", 100 * coverage);

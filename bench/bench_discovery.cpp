@@ -39,11 +39,13 @@ int main() {
   gen.cuisines = 6;
   gen.ilfd_coverage = 1.0;
   GeneratedWorld world = GenerateWorld(gen).value();
+  bench::RequireCleanWorld("discovery sample", world);
 
   // A second sample drawn from the *same taxonomies* for confirmation.
   gen.resample_seed = 4242;
   GeneratedWorld witness = GenerateWorld(gen).value();
   gen.resample_seed = 0;
+  bench::RequireCleanWorld("discovery witness", witness);
 
   bench::Section("ILFD mining from the universe sample");
   std::printf("%-12s %8s %11s %16s %13s\n", "min_support", "mined",

@@ -28,6 +28,7 @@ int main() {
   config.correspondence = AttributeCorrespondence::Identity(r, s);
   config.extended_key = fixtures::Example2ExtendedKey();
   config.ilfds = fixtures::Example2Ilfds();
+  bench::RequireCleanRuleProgram("example2", r, s, config);
   std::cout << "\nextended key: " << config.extended_key->ToString()
             << "\nILFD: " << config.ilfds.ilfd(0).ToString() << "\n";
 

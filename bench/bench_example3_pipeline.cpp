@@ -36,6 +36,7 @@ int main() {
   config.correspondence = AttributeCorrespondence::Identity(r, s);
   config.extended_key = fixtures::Example3ExtendedKey();
   config.ilfds = ilfds;
+  bench::RequireCleanRuleProgram("example3", r, s, config);
   EntityIdentifier identifier(config);
   IdentificationResult result = identifier.Identify(r, s).value();
 

@@ -60,6 +60,8 @@ int main() {
     gen.cuisines = 6;
     gen.ilfd_coverage = coverage;
     GeneratedWorld world = GenerateWorld(gen).value();
+    bench::RequireCleanWorld(
+        "fig3 coverage=" + std::to_string(coverage), world);
     IdentifierConfig config;
     config.correspondence = world.correspondence;
     config.extended_key = world.extended_key;

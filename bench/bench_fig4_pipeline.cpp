@@ -33,6 +33,7 @@ int main() {
   bench::WallTimer t_gen;
   GeneratedWorld world = GenerateWorld(gen).value();
   double ms_gen = t_gen.ElapsedMs();
+  bench::RequireCleanWorld("fig4 pipeline", world);
   std::cout << "world: |R| = " << world.r.size() << ", |S| = "
             << world.s.size() << ", ILFDs = " << world.ilfds.size() << "\n\n";
 

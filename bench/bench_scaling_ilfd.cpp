@@ -176,6 +176,8 @@ void BM_ParallelExtension(benchmark::State& state) {
   gen.cuisines = 16;
   Result<GeneratedWorld> world = GenerateWorld(gen);
   EID_CHECK(world.ok());
+  bench::RequireCleanWorld(
+      "scaling_ilfd per_side=" + std::to_string(per_side), *world);
   ExtensionOptions options;
   options.threads = static_cast<int>(state.range(1));
   double total_ms = 0;

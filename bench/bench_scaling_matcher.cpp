@@ -34,6 +34,8 @@ GeneratedWorld MakeWorld(size_t per_side) {
   gen.ilfd_coverage = 1.0;
   Result<GeneratedWorld> world = GenerateWorld(gen);
   EID_CHECK(world.ok());
+  bench::RequireCleanWorld(
+      "scaling_matcher per_side=" + std::to_string(per_side), *world);
   return std::move(world).value();
 }
 

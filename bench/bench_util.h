@@ -1,7 +1,8 @@
-// Shared helpers for the bench harness: banner printing and wall-clock
-// timing. Each bench binary regenerates one table/figure of the paper (see
-// DESIGN.md's per-experiment index) and prints both the paper's expected
-// artefact and the value this implementation measures.
+// Shared helpers for the bench harness: banner printing, wall-clock
+// timing, and startup rule-program validation. Each bench binary
+// regenerates one table/figure of the paper (see DESIGN.md's
+// per-experiment index) and prints both the paper's expected artefact and
+// the value this implementation measures.
 
 #ifndef EID_BENCH_BENCH_UTIL_H_
 #define EID_BENCH_BENCH_UTIL_H_
@@ -11,12 +12,54 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
+#include "workload/generator.h"
+
 namespace eid {
 namespace bench {
+
+/// Lints the rule program at bench startup and aborts with the full
+/// diagnostic list when it has error-severity findings, so a synthetic
+/// workload bug fails fast instead of silently skewing BENCH_*.json.
+/// Warnings are printed but don't abort (degenerate study configs — e.g.
+/// zero ILFD coverage — warn legitimately). Closure checks stay bounded
+/// via the analyzer's closure_rule_limit for huge generated rule sets.
+inline void RequireCleanRuleProgram(const std::string& what,
+                                    const Relation& r, const Relation& s,
+                                    const IdentifierConfig& config) {
+  // Benchmark fixtures rebuild the same world once per registered
+  // benchmark instance; validating a given `what` once per process keeps
+  // startup linear in the number of distinct worlds.
+  static std::set<std::string> validated;
+  if (!validated.insert(what).second) return;
+  analysis::AnalysisReport report =
+      analysis::AnalyzeRuleProgram(r, s, config);
+  if (report.HasErrors()) {
+    std::cerr << "bench rule-program validation failed (" << what << "):\n"
+              << report.ToString();
+    std::abort();
+  }
+  if (report.WarningCount() > 0) {
+    std::cerr << "bench rule-program warnings (" << what << "):\n"
+              << report.ToString();
+  }
+}
+
+/// GeneratedWorld form: validates the generator's ILFDs, extended key and
+/// correspondence exactly as a matcher would consume them.
+inline void RequireCleanWorld(const std::string& what,
+                              const GeneratedWorld& world) {
+  IdentifierConfig config;
+  config.correspondence = world.correspondence;
+  config.extended_key = world.extended_key;
+  config.ilfds = world.ilfds;
+  RequireCleanRuleProgram(what, world.r, world.s, config);
+}
 
 inline void Banner(const std::string& experiment_id,
                    const std::string& title) {

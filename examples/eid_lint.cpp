@@ -1,0 +1,247 @@
+// eid-lint — static verification of ILFD rule programs.
+//
+// Checks a rule program (ILFDs, identity/distinctness rules, extended
+// key, attribute correspondence) against a schema pair without executing
+// it, and prints one diagnostic per line (see DESIGN.md §4b for the code
+// catalogue).
+//
+// Usage:
+//   eid-lint --r R.csv --s S.csv [--key a,b] [--ilfds FILE]
+//            [--identity FILE] [--distinct FILE] [options]
+//   eid-lint --fixture example1|example2|example3
+//
+// Options:
+//   --r FILE          left relation (CSV, header row = attribute names);
+//                     only the header is consulted — linting is static
+//   --s FILE          right relation
+//   --key a,b         extended key (world attribute names)
+//   --ilfds FILE      ILFDs, one per line:  street=Wash.Ave. -> city=Mpls
+//   --identity FILE   identity rules, one conjunction per line:
+//                       e1.name = e2.name & e1.cuisine = e2.cuisine
+//   --distinct FILE   distinctness rules, one conjunction per line
+//   --fixture NAME    lint a built-in paper fixture instead of files
+//   --no-schema / --no-closure / --no-order / --no-blocking
+//                     disable a check family
+//   --closure-limit N  skip closure checks above N ILFDs (default 2048)
+//   --quiet           suppress the summary line (diagnostics only)
+//
+// Exit codes (machine-readable):
+//   0  no diagnostics (notes allowed)
+//   1  warnings, no errors
+//   2  errors
+//   3  usage or input error
+//
+// Scripting example:
+//   eid-lint --r r.csv --s s.csv --ilfds rules.txt || echo "program dirty"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eid.h"
+#include "workload/fixtures.h"
+
+using namespace eid;
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitWarnings = 1;
+constexpr int kExitErrors = 2;
+constexpr int kExitUsage = 3;
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+Result<std::string> Slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int Fail(const Status& status) {
+  std::cerr << "eid-lint: " << status.ToString() << "\n";
+  return kExitUsage;
+}
+
+void Usage() {
+  std::cout <<
+      "usage: eid-lint --r R.csv --s S.csv [--key a,b] [--ilfds FILE]\n"
+      "                [--identity FILE] [--distinct FILE]\n"
+      "                [--no-schema] [--no-closure] [--no-order]\n"
+      "                [--no-blocking] [--closure-limit N] [--quiet]\n"
+      "       eid-lint --fixture example1|example2|example3\n"
+      "exit codes: 0 clean, 1 warnings, 2 errors, 3 usage/input error\n";
+}
+
+/// Non-empty lines of `text`, so rule files may use blank separators.
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+struct LintInput {
+  Relation r{"R", Schema(std::vector<Attribute>{})};
+  Relation s{"S", Schema(std::vector<Attribute>{})};
+  IdentifierConfig config;
+};
+
+Result<LintInput> FixtureInput(const std::string& name) {
+  LintInput in;
+  if (name == "example1") {
+    in.r = fixtures::Table1R();
+    in.s = fixtures::Table1S();
+    in.config.extended_key = fixtures::Example1ExtendedKey();
+    in.config.ilfds = fixtures::Example1Ilfds();
+  } else if (name == "example2") {
+    in.r = fixtures::Example2R();
+    in.s = fixtures::Example2S();
+    in.config.extended_key = fixtures::Example2ExtendedKey();
+    in.config.ilfds = fixtures::Example2Ilfds();
+  } else if (name == "example3") {
+    in.r = fixtures::Example3R();
+    in.s = fixtures::Example3S();
+    in.config.extended_key = fixtures::Example3ExtendedKey();
+    in.config.ilfds = fixtures::Example3Ilfds();
+  } else {
+    return Status::InvalidArgument("unknown fixture '" + name +
+                                   "' (try example1|example2|example3)");
+  }
+  in.config.correspondence = AttributeCorrespondence::Identity(in.r, in.s);
+  return in;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  std::vector<std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      Usage();
+      return kExitUsage;
+    }
+    if (arg == "--no-schema" || arg == "--no-closure" || arg == "--no-order" ||
+        arg == "--no-blocking" || arg == "--quiet") {
+      flags.push_back(arg);
+      continue;
+    }
+    if (i + 1 >= argc) {
+      Usage();
+      return kExitUsage;
+    }
+    args[arg] = argv[++i];
+  }
+  auto has_flag = [&](const std::string& f) {
+    return std::find(flags.begin(), flags.end(), f) != flags.end();
+  };
+  if (argc == 1) {
+    Usage();
+    return kExitUsage;
+  }
+
+  LintInput in;
+  if (args.count("--fixture")) {
+    Result<LintInput> fixture = FixtureInput(args["--fixture"]);
+    if (!fixture.ok()) return Fail(fixture.status());
+    in = std::move(fixture).value();
+  } else {
+    if (args.count("--r") == 0 || args.count("--s") == 0) {
+      Usage();
+      return kExitUsage;
+    }
+    Result<std::string> r_text = Slurp(args["--r"]);
+    if (!r_text.ok()) return Fail(r_text.status());
+    Result<Relation> r_parsed = ReadCsv(*r_text, "R");
+    if (!r_parsed.ok()) return Fail(r_parsed.status());
+    in.r = std::move(r_parsed).value();
+    Result<std::string> s_text = Slurp(args["--s"]);
+    if (!s_text.ok()) return Fail(s_text.status());
+    Result<Relation> s_parsed = ReadCsv(*s_text, "S");
+    if (!s_parsed.ok()) return Fail(s_parsed.status());
+    in.s = std::move(s_parsed).value();
+    in.config.correspondence = AttributeCorrespondence::Identity(in.r, in.s);
+    if (args.count("--key")) {
+      in.config.extended_key = ExtendedKey(SplitCommas(args["--key"]));
+    }
+    if (args.count("--ilfds")) {
+      Result<std::string> text = Slurp(args["--ilfds"]);
+      if (!text.ok()) return Fail(text.status());
+      Result<std::vector<Ilfd>> ilfds = ParseIlfdList(*text);
+      if (!ilfds.ok()) return Fail(ilfds.status());
+      in.config.ilfds = IlfdSet(std::move(ilfds).value());
+    }
+    if (args.count("--identity")) {
+      Result<std::string> text = Slurp(args["--identity"]);
+      if (!text.ok()) return Fail(text.status());
+      size_t n = 0;
+      for (const std::string& line : Lines(*text)) {
+        Result<IdentityRule> rule =
+            ParseIdentityRule("identity" + std::to_string(n++), line);
+        if (!rule.ok()) return Fail(rule.status());
+        in.config.identity_rules.push_back(std::move(rule).value());
+      }
+    }
+    if (args.count("--distinct")) {
+      Result<std::string> text = Slurp(args["--distinct"]);
+      if (!text.ok()) return Fail(text.status());
+      size_t n = 0;
+      for (const std::string& line : Lines(*text)) {
+        Result<DistinctnessRule> rule =
+            ParseDistinctnessRule("distinct" + std::to_string(n++), line);
+        if (!rule.ok()) return Fail(rule.status());
+        in.config.distinctness_rules.push_back(std::move(rule).value());
+      }
+    }
+  }
+
+  analysis::AnalyzerOptions options;
+  options.schema_checks = !has_flag("--no-schema");
+  options.closure_checks = !has_flag("--no-closure");
+  options.order_checks = !has_flag("--no-order");
+  options.blocking_checks = !has_flag("--no-blocking");
+  if (args.count("--closure-limit")) {
+    try {
+      options.closure_rule_limit = std::stoul(args["--closure-limit"]);
+    } catch (const std::exception&) {
+      return Fail(Status::InvalidArgument("--closure-limit expects a number"));
+    }
+  }
+
+  analysis::AnalysisReport report =
+      analysis::AnalyzeRuleProgram(in.r, in.s, in.config, options);
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    std::cout << d.ToString() << "\n";
+  }
+  if (!has_flag("--quiet")) {
+    std::cout << report.ErrorCount() << " error(s), " << report.WarningCount()
+              << " warning(s)\n";
+  }
+  if (report.ErrorCount() > 0) return kExitErrors;
+  if (report.WarningCount() > 0) return kExitWarnings;
+  return kExitClean;
+}

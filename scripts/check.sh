@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# The full verification gate: release build + tests, rule-program lint
+# over the shipped fixtures, clang-tidy (when installed), and the
+# tsan/asan/ubsan suites. Any new diagnostic fails the script.
+#
+# Usage:
+#   scripts/check.sh              # everything
+#   scripts/check.sh --fast       # release build + ctest + eid-lint only
+#   EID_CHECK_SANITIZER_TESTS=... # ctest -R filter for sanitizer runs
+#                                 # (default: the determinism/equivalence
+#                                 #  suites the sanitizers exist to guard)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+# Sanitizer runs cover the suites exercising the parallel exec layer and
+# the indexed-vs-exhaustive equivalence; a full suite under three
+# sanitizers is prohibitive on small machines. Override the filter (e.g.
+# '.' for everything) via EID_CHECK_SANITIZER_TESTS.
+# (gtest_discover_tests registers per-case names, so the filter matches
+# gtest suite names, not test binary names.)
+SANITIZER_TESTS="${EID_CHECK_SANITIZER_TESTS:-^(Determinism|Identifier|Analyzer.*|ThreadPool|ParallelForHelper|ResolveThreads|ColumnIndex|PlanBlocking|CollectTruePairs)Test\.}"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "release: configure + build"
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$(nproc)"
+
+step "release: ctest"
+ctest --preset release -j "$(nproc)"
+
+step "eid-lint: shipped fixtures must be clean"
+for fixture in example1 example2 example3; do
+  ./build/examples/eid-lint --fixture "$fixture" --quiet
+  echo "eid-lint --fixture $fixture: clean"
+done
+
+if [[ "$FAST" == "1" ]]; then
+  echo "--fast: skipping clang-tidy and sanitizer presets"
+  exit 0
+fi
+
+step "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --preset clang-tidy >/dev/null
+  cmake --build --preset clang-tidy -j "$(nproc)"
+else
+  echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+
+for preset in tsan asan ubsan; do
+  step "$preset: build + tests ($SANITIZER_TESTS)"
+  cmake --preset "$preset" >/dev/null
+  cmake --build --preset "$preset" -j "$(nproc)"
+  ctest --test-dir "build-$preset" -R "$SANITIZER_TESTS" \
+    --no-tests=error --output-on-failure -j "$(nproc)"
+done
+
+echo
+echo "all checks passed"

@@ -1,0 +1,88 @@
+#include "analysis/diagnostic.h"
+
+namespace eid {
+namespace analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+const char* RuleKindName(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kIlfd: return "ilfd";
+    case RuleKind::kIdentityRule: return "identity-rule";
+    case RuleKind::kDistinctnessRule: return "distinctness-rule";
+    case RuleKind::kExtendedKey: return "extended-key";
+    case RuleKind::kCorrespondence: return "correspondence";
+    case RuleKind::kProgram: return "program";
+  }
+  return "?";
+}
+
+std::string RuleRef::ToString() const {
+  std::string out = RuleKindName(kind);
+  if (kind == RuleKind::kIlfd || kind == RuleKind::kIdentityRule ||
+      kind == RuleKind::kDistinctnessRule || kind == RuleKind::kCorrespondence) {
+    out += "#" + std::to_string(index);
+  }
+  if (!display.empty()) out += " (" + display + ")";
+  return out;
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = code;
+  out += " ";
+  out += SeverityName(severity);
+  out += " ";
+  out += rule.ToString();
+  out += ": ";
+  out += message;
+  if (!hint.empty()) {
+    out += " [fix: " + hint + "]";
+  }
+  return out;
+}
+
+size_t AnalysisReport::ErrorCount() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+size_t AnalysisReport::WarningCount() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+std::vector<const Diagnostic*> AnalysisReport::WithCode(
+    const std::string& code) const {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == code) out.push_back(&d);
+  }
+  return out;
+}
+
+std::string AnalysisReport::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.ToString();
+    out += "\n";
+  }
+  out += std::to_string(ErrorCount()) + " error(s), " +
+         std::to_string(WarningCount()) + " warning(s)\n";
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace eid

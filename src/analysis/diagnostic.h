@@ -1,0 +1,86 @@
+// Diagnostics emitted by the static rule-program analyzer.
+//
+// Every finding carries a stable machine-readable code (EID-Exxx for
+// errors, EID-Wxxx for warnings, EID-Nxxx for notes), the provenance of
+// the offending rule (which collection, which index, its display form),
+// a human-readable message and — where one exists — a fix hint. The
+// catalogue of codes lives in DESIGN.md §4b; tests assert exact codes, so
+// codes are append-only: never renumber or reuse one.
+
+#ifndef EID_ANALYSIS_DIAGNOSTIC_H_
+#define EID_ANALYSIS_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eid {
+namespace analysis {
+
+/// How severe a diagnostic is. Errors make the rule program unusable
+/// (wrong or impossible semantics); warnings flag suspicious or slow
+/// constructs; notes report analysis limitations (e.g. a skipped check).
+enum class Severity { kError, kWarning, kNote };
+
+const char* SeverityName(Severity severity);  // "error", "warning", "note"
+
+/// Which collection of the rule program a diagnostic points into.
+enum class RuleKind {
+  kIlfd,              // IdentifierConfig::ilfds, by index
+  kIdentityRule,      // IdentifierConfig::identity_rules, by index
+  kDistinctnessRule,  // IdentifierConfig::distinctness_rules, by index
+  kExtendedKey,       // the extended key itself
+  kCorrespondence,    // an attribute mapping, by mapping index
+  kProgram,           // the rule program as a whole (no single rule)
+};
+
+const char* RuleKindName(RuleKind kind);  // "ilfd", "identity-rule", ...
+
+/// Provenance of a diagnostic: the rule (or program part) it is about.
+struct RuleRef {
+  RuleKind kind = RuleKind::kProgram;
+  /// Index within its collection (meaningless for kExtendedKey/kProgram).
+  size_t index = 0;
+  /// Display form of the rule: ILFD text, rule name, key attribute list.
+  std::string display;
+
+  /// "ilfd#2 (speciality=Mughalai -> cuisine=Indian)".
+  std::string ToString() const;
+};
+
+/// One analyzer finding.
+struct Diagnostic {
+  std::string code;  // "EID-E003"
+  Severity severity = Severity::kWarning;
+  RuleRef rule;
+  std::string message;
+  /// How to fix it; empty when no mechanical fix exists.
+  std::string hint;
+
+  /// "EID-E003 error ilfd#1 (...): message [fix: hint]".
+  std::string ToString() const;
+};
+
+/// The full outcome of analyzing one rule program.
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+
+  size_t ErrorCount() const;
+  size_t WarningCount() const;
+  bool HasErrors() const { return ErrorCount() > 0; }
+  bool Clean() const { return diagnostics.empty(); }
+
+  /// Diagnostics carrying `code`, in report order.
+  std::vector<const Diagnostic*> WithCode(const std::string& code) const;
+  bool HasCode(const std::string& code) const {
+    return !WithCode(code).empty();
+  }
+
+  /// One line per diagnostic plus a "N error(s), M warning(s)" summary.
+  std::string ToString() const;
+};
+
+}  // namespace analysis
+}  // namespace eid
+
+#endif  // EID_ANALYSIS_DIAGNOSTIC_H_

@@ -19,6 +19,8 @@
 #ifndef EID_EID_H_
 #define EID_EID_H_
 
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
 #include "discovery/ilfd_miner.h"
 #include "discovery/key_discovery.h"
 #include "eid/algebra_pipeline.h"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/analyzer.h"
 #include "exec/blocking_index.h"
 
 namespace eid {
@@ -37,6 +38,10 @@ Result<IdentificationResult> EntityIdentifier::Identify(
     const Relation& r, const Relation& s) const {
   IdentificationResult out;
   EID_RETURN_IF_ERROR(config_.correspondence.ValidateAgainst(r, s));
+  if (config_.matcher_options.analyze) {
+    EID_RETURN_IF_ERROR(
+        analysis::PreflightCheck(r.schema(), s.schema(), config_));
+  }
 
   const int threads = exec::ResolveThreads(config_.matcher_options.threads);
   exec::ThreadPool pool(threads);
@@ -49,6 +54,7 @@ Result<IdentificationResult> EntityIdentifier::Identify(
     // on the shared one.
     MatcherOptions options = config_.matcher_options;
     options.threads = threads;
+    options.analyze = false;  // the pre-flight above already ran
     EID_ASSIGN_OR_RETURN(
         MatcherResult matcher,
         BuildMatchingTable(r, s, config_.correspondence,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "analysis/analyzer.h"
+#include "eid/identifier.h"
+
 namespace eid {
 
 namespace {
@@ -114,6 +117,17 @@ Result<MatcherResult> BuildMatchingTable(const Relation& r, const Relation& s,
       return Status::NotFound("extended-key attribute '" + a +
                               "' unknown to the attribute correspondence");
     }
+  }
+
+  if (options.analyze) {
+    IdentifierConfig program;
+    program.correspondence = corr;
+    program.extended_key = ext_key;
+    program.ilfds = ilfds;
+    program.matcher_options = options;
+    program.matcher_options.analyze = false;
+    EID_RETURN_IF_ERROR(
+        analysis::PreflightCheck(r.schema(), s.schema(), program));
   }
 
   const int threads = exec::ResolveThreads(options.threads);

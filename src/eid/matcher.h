@@ -48,6 +48,13 @@ struct MatcherResult {
 /// Options for BuildMatchingTable.
 struct MatcherOptions {
   ExtensionOptions extension;
+  /// Pre-flight: statically analyze the rule program (correspondence,
+  /// extended key, ILFDs, identity/distinctness rules) against the input
+  /// schemas before touching any tuple, and fail with FailedPrecondition
+  /// carrying the diagnostic list when it has error-severity findings
+  /// (see analysis/analyzer.h). Warnings never fail the pre-flight. Off
+  /// by default: analysis costs a closure computation per ILFD.
+  bool analyze = false;
   /// When true, the first uniqueness violation fails the whole build. The
   /// default records the violation in MatcherResult::uniqueness, skips the
   /// violating pair, and still returns the table — mirroring the prototype,

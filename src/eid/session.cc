@@ -83,6 +83,7 @@ Result<std::string> PrototypeSession::SetupExtendedKey(
   config.correspondence = corr_;
   config.extended_key = key;
   config.ilfds = ilfds_;
+  config.matcher_options = matcher_options_;
   // Prototype fidelity: first-match (cut) derivation order.
   config.matcher_options.extension.derivation.mode =
       DerivationMode::kFirstMatch;

@@ -57,12 +57,19 @@ class PrototypeSession {
   /// The full identification result backing the printers.
   Result<const IdentificationResult*> result() const;
 
+  /// Engine options forwarded into every SetupExtendedKey run (e.g. set
+  /// `analyze` for the static rule-program pre-flight, or `threads`).
+  /// The session always forces kFirstMatch derivation on top of these.
+  MatcherOptions& matcher_options() { return matcher_options_; }
+  const MatcherOptions& matcher_options() const { return matcher_options_; }
+
  private:
   Relation r_;
   Relation s_;
   AttributeCorrespondence corr_;
   IlfdSet ilfds_;
   std::vector<std::string> candidates_;
+  MatcherOptions matcher_options_;
   std::optional<IdentificationResult> result_;
   std::optional<ExtendedKey> ext_key_;
 };

@@ -49,6 +49,11 @@ class Ilfd {
   /// Trivial: every consequent atom already appears in the antecedent.
   bool IsTrivial() const;
 
+  /// Unconditional: empty antecedent — the rule fires on every tuple, so
+  /// under first-applicable-wins derivation no later rule for the same
+  /// attribute (nor the §6.2 NULL default) can ever apply.
+  bool IsUnconditional() const { return antecedent_.empty(); }
+
   /// True iff the tuple's values satisfy every antecedent condition.
   /// A NULL or missing attribute satisfies nothing (prototype semantics).
   bool AntecedentHolds(const TupleView& tuple) const;
