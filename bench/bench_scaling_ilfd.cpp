@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "compile/derivation_program.h"
 #include "eid.h"
 #include "workload/generator.h"
 #include "workload/rng.h"
@@ -197,6 +198,154 @@ void BM_ParallelExtension(benchmark::State& state) {
                              total_ms * 1e6 / static_cast<double>(iterations));
 }
 BENCHMARK(BM_ParallelExtension)->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}});
+
+// --- Engine comparison: compiled + memo vs per-tuple interpreter --------
+// CPU time (CpuTimer), single-threaded, so the reported ratio survives
+// shared single-core CI runners (see README "Performance"). ns/op per
+// (engine, n) lands in the JSON via the custom main; EXPERIMENTS.md
+// records the n=4096 ratio.
+
+/// A taxonomy workload: street determines city, city determines county —
+/// bounded domains shared by many tuples, the shape of the paper's
+/// restaurant ILFDs. Projections repeat heavily, so the memo caches one
+/// derivation per distinct (street, city, county) projection.
+struct TaxonomyWorkload {
+  Schema schema{std::vector<Attribute>{}};
+  std::vector<Row> rows;
+  IlfdSet ilfds;
+};
+
+TaxonomyWorkload MakeTaxonomy(size_t rows) {
+  constexpr size_t kStreets = 128;
+  constexpr size_t kCities = 32;
+  TaxonomyWorkload w;
+  w.schema = Schema::OfStrings({"name", "street", "city", "county"});
+  for (size_t t = 0; t < kStreets; ++t) {
+    w.ilfds.Add(Ilfd::Implies(
+        {Atom{"street", Value::String("Street" + std::to_string(t))}},
+        Atom{"city", Value::String("City" + std::to_string(t % kCities))}));
+  }
+  for (size_t c = 0; c < kCities; ++c) {
+    w.ilfds.Add(Ilfd::Implies(
+        {Atom{"city", Value::String("City" + std::to_string(c))}},
+        Atom{"county", Value::String("County" + std::to_string(c % 8))}));
+  }
+  w.rows.reserve(rows);
+  Rng rng(77);
+  for (size_t i = 0; i < rows; ++i) {
+    std::string street = "Street" + std::to_string(rng.Below(kStreets));
+    w.rows.push_back(Row{Value::String("Name" + std::to_string(i)),
+                         Value::String(std::move(street)), Value::Null(),
+                         Value::Null()});
+  }
+  return w;
+}
+
+void RunDerivationEngine(benchmark::State& state, bool compile) {
+  TaxonomyWorkload w = MakeTaxonomy(static_cast<size_t>(state.range(0)));
+  DerivationOptions opts;  // kExhaustive, kError
+  // Target the attributes the extension stage actually fills, as
+  // ExtendRelation does — both engines filter to the same write set.
+  opts.target_attributes = {"city", "county"};
+  double total_ms = 0;
+  size_t iterations = 0;
+  size_t hits = 0, misses = 0;
+  for (auto _ : state) {
+    bench::CpuTimer timer;
+    size_t derived = 0;
+    if (compile) {
+      // Lowering happens inside the timed region: the compile cost is
+      // part of every session, exactly as in ExtendRelation (which also
+      // borrows the knowledge base — the IlfdSet outlives the call).
+      compile::DerivationProgram program =
+          compile::DerivationProgram::CompileBorrowed(w.schema, w.ilfds, opts);
+      ClosureEvaluator evaluator(&program.kb());
+      compile::DerivationMemo memo;
+      std::vector<compile::DerivationWrite> writes;
+      for (const Row& row : w.rows) {
+        Result<Derivation> d = program.Derive(row, &evaluator, &memo, &writes);
+        EID_CHECK(d.ok());
+        derived += d->derived.size();
+      }
+      hits = memo.hits();
+      misses = memo.misses();
+    } else {
+      ClosureEvaluator evaluator(&w.ilfds.kb());
+      for (const Row& row : w.rows) {
+        TupleView view(&w.schema, &row);
+        Result<Derivation> d = DeriveTuple(view, w.ilfds, opts, &evaluator);
+        EID_CHECK(d.ok());
+        derived += d->derived.size();
+      }
+    }
+    total_ms += timer.ElapsedMs();
+    ++iterations;
+    benchmark::DoNotOptimize(derived);
+  }
+  state.counters["memo_hits"] = static_cast<double>(hits);
+  state.counters["memo_misses"] = static_cast<double>(misses);
+  bench::GlobalJson().Record(
+      compile ? "derivation_compiled" : "derivation_interpreter",
+      static_cast<size_t>(state.range(0)), /*threads=*/1,
+      total_ms * 1e6 / static_cast<double>(iterations));
+}
+
+void BM_DerivationCompiled(benchmark::State& state) {
+  RunDerivationEngine(state, /*compile=*/true);
+}
+void BM_DerivationInterpreter(benchmark::State& state) {
+  RunDerivationEngine(state, /*compile=*/false);
+}
+BENCHMARK(BM_DerivationCompiled)->RangeMultiplier(4)->Range(256, 4096);
+BENCHMARK(BM_DerivationInterpreter)->RangeMultiplier(4)->Range(256, 4096);
+
+/// End-to-end extension on the generated world (per-entity ILFDs mention
+/// `name`, so memo projections are near-unique here: this isolates the
+/// gain from binding/compilation alone, without memo help).
+void RunExtensionEngine(benchmark::State& state, bool compile) {
+  size_t per_side = static_cast<size_t>(state.range(0));
+  GeneratorConfig gen;
+  gen.seed = 1234;
+  gen.overlap_entities = per_side / 2;
+  gen.r_only_entities = per_side / 2;
+  gen.s_only_entities = per_side / 2;
+  gen.name_pool = per_side * 2;
+  gen.street_pool = per_side * 3;
+  gen.cities = 32;
+  gen.speciality_pool = 128;
+  gen.cuisines = 16;
+  Result<GeneratedWorld> world = GenerateWorld(gen);
+  EID_CHECK(world.ok());
+  bench::RequireCleanWorld(
+      "scaling_ilfd per_side=" + std::to_string(per_side), *world);
+  ExtensionOptions options;
+  options.threads = 1;
+  options.compile = compile;
+  double total_ms = 0;
+  size_t iterations = 0;
+  for (auto _ : state) {
+    bench::CpuTimer timer;
+    Result<ExtensionResult> rx =
+        ExtendRelation(world->r, Side::kR, world->correspondence,
+                       world->extended_key, world->ilfds, options);
+    EID_CHECK(rx.ok());
+    total_ms += timer.ElapsedMs();
+    ++iterations;
+    benchmark::DoNotOptimize(rx->extended.size());
+  }
+  bench::GlobalJson().Record(
+      compile ? "extension_compiled" : "extension_interpreter", per_side,
+      /*threads=*/1, total_ms * 1e6 / static_cast<double>(iterations));
+}
+
+void BM_ExtensionCompiled(benchmark::State& state) {
+  RunExtensionEngine(state, /*compile=*/true);
+}
+void BM_ExtensionInterpreter(benchmark::State& state) {
+  RunExtensionEngine(state, /*compile=*/false);
+}
+BENCHMARK(BM_ExtensionCompiled)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_ExtensionInterpreter)->Arg(1024)->Arg(4096);
 
 }  // namespace
 }  // namespace eid

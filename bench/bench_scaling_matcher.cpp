@@ -200,6 +200,43 @@ BENCHMARK(BM_ParallelIdentify)
     ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 
+// --- Engine comparison: compiled path vs per-tuple interpreter ----------
+// Full matching-table build, single-threaded, CPU time (see README
+// "Performance"): derivation programs + memos in extension plus the
+// interned extended-key join, against the string-fingerprint interpreter.
+
+void RunMatcherEngine(benchmark::State& state, bool compile) {
+  GeneratedWorld world = MakeWorld(static_cast<size_t>(state.range(0)));
+  MatcherOptions options;
+  options.threads = 1;
+  options.compile = compile;
+  double total_ms = 0;
+  size_t iterations = 0;
+  for (auto _ : state) {
+    bench::CpuTimer timer;
+    Result<MatcherResult> result =
+        BuildMatchingTable(world.r, world.s, world.correspondence,
+                           world.extended_key, world.ilfds, options);
+    EID_CHECK(result.ok());
+    total_ms += timer.ElapsedMs();
+    ++iterations;
+    benchmark::DoNotOptimize(result->matching.size());
+  }
+  bench::GlobalJson().Record(
+      compile ? "matcher_compiled" : "matcher_interpreter",
+      static_cast<size_t>(state.range(0)), /*threads=*/1,
+      total_ms * 1e6 / static_cast<double>(iterations));
+}
+
+void BM_MatcherCompiled(benchmark::State& state) {
+  RunMatcherEngine(state, /*compile=*/true);
+}
+void BM_MatcherInterpreter(benchmark::State& state) {
+  RunMatcherEngine(state, /*compile=*/false);
+}
+BENCHMARK(BM_MatcherCompiled)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_MatcherInterpreter)->Arg(1024)->Arg(4096);
+
 }  // namespace
 }  // namespace eid
 

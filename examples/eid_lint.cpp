@@ -24,6 +24,8 @@
 //                     disable a check family
 //   --closure-limit N  skip closure checks above N ILFDs (default 2048)
 //   --quiet           suppress the summary line (diagnostics only)
+//   --json            emit one JSON object per diagnostic (JSON Lines) and
+//                     no summary; exit codes are unchanged
 //
 // Exit codes (machine-readable):
 //   0  no diagnostics (notes allowed)
@@ -88,8 +90,15 @@ void Usage() {
       "                [--identity FILE] [--distinct FILE]\n"
       "                [--no-schema] [--no-closure] [--no-order]\n"
       "                [--no-blocking] [--closure-limit N] [--quiet]\n"
+      "                [--json]\n"
       "       eid-lint --fixture example1|example2|example3\n"
-      "exit codes: 0 clean, 1 warnings, 2 errors, 3 usage/input error\n";
+      "--json prints one JSON object per diagnostic (JSON Lines), no\n"
+      "summary line; pipe to a JSONL consumer (e.g. jq -s).\n"
+      "exit codes (stable, machine-readable):\n"
+      "  0  no diagnostics (notes allowed)\n"
+      "  1  warnings, no errors\n"
+      "  2  errors\n"
+      "  3  usage or input error\n";
 }
 
 /// Non-empty lines of `text`, so rule files may use blank separators.
@@ -146,7 +155,7 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
     if (arg == "--no-schema" || arg == "--no-closure" || arg == "--no-order" ||
-        arg == "--no-blocking" || arg == "--quiet") {
+        arg == "--no-blocking" || arg == "--quiet" || arg == "--json") {
       flags.push_back(arg);
       continue;
     }
@@ -234,10 +243,11 @@ int main(int argc, char** argv) {
 
   analysis::AnalysisReport report =
       analysis::AnalyzeRuleProgram(in.r, in.s, in.config, options);
+  const bool json = has_flag("--json");
   for (const analysis::Diagnostic& d : report.diagnostics) {
-    std::cout << d.ToString() << "\n";
+    std::cout << (json ? d.ToJson() : d.ToString()) << "\n";
   }
-  if (!has_flag("--quiet")) {
+  if (!json && !has_flag("--quiet")) {
     std::cout << report.ErrorCount() << " error(s), " << report.WarningCount()
               << " warning(s)\n";
   }

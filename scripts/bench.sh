@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Engine-comparison benchmarks: compiled + memo vs per-tuple interpreter.
+#
+# Smoke mode (default) runs the comparison at small n so CI can prove the
+# benches still build, run, and emit JSON in a few seconds. --full sweeps
+# up to n=4096 — the configuration whose numbers EXPERIMENTS.md records.
+#
+# Output: BENCH_derivation.json (bench_scaling_ilfd) and
+# BENCH_matcher.json (bench_scaling_matcher) at the repo root. The
+# emitter merges per (name, n, threads) key, so a smoke run refreshes
+# the small-n records without disturbing committed n=4096 ones.
+#
+# Usage:
+#   scripts/bench.sh          # smoke: small n, fast
+#   scripts/bench.sh --full   # full sweep, n up to 4096
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FULL=0
+[[ "${1:-}" == "--full" ]] && FULL=1
+
+if [[ ! -x build/bench/bench_scaling_ilfd ]]; then
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$(nproc)" \
+    --target bench_scaling_ilfd bench_scaling_matcher
+fi
+
+if [[ "$FULL" == "1" ]]; then
+  DERIVATION_FILTER='BM_(Derivation|Extension)(Compiled|Interpreter)'
+  MATCHER_FILTER='BM_Matcher(Compiled|Interpreter)'
+  MIN_TIME=0.2
+else
+  DERIVATION_FILTER='BM_Derivation(Compiled|Interpreter)/256$|BM_Extension(Compiled|Interpreter)/1024$'
+  MATCHER_FILTER='BM_Matcher(Compiled|Interpreter)/1024$'
+  MIN_TIME=0.05
+fi
+
+echo "=== bench_scaling_ilfd -> BENCH_derivation.json ==="
+EID_BENCH_JSON=BENCH_derivation.json ./build/bench/bench_scaling_ilfd \
+  --benchmark_filter="$DERIVATION_FILTER" \
+  --benchmark_min_time="$MIN_TIME"
+
+echo "=== bench_scaling_matcher -> BENCH_matcher.json ==="
+EID_BENCH_JSON=BENCH_matcher.json ./build/bench/bench_scaling_matcher \
+  --benchmark_filter="$MATCHER_FILTER" \
+  --benchmark_min_time="$MIN_TIME"
+
+echo
+echo "wrote BENCH_derivation.json and BENCH_matcher.json"

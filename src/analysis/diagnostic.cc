@@ -48,6 +48,54 @@ std::string Diagnostic::ToString() const {
   return out;
 }
 
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Diagnostic::ToJson() const {
+  std::string out = "{\"code\": \"" + JsonEscape(code) + "\"";
+  out += ", \"severity\": \"";
+  out += SeverityName(severity);
+  out += "\", \"rule_kind\": \"";
+  out += RuleKindName(rule.kind);
+  out += "\"";
+  if (rule.kind == RuleKind::kIlfd || rule.kind == RuleKind::kIdentityRule ||
+      rule.kind == RuleKind::kDistinctnessRule ||
+      rule.kind == RuleKind::kCorrespondence) {
+    out += ", \"rule_index\": " + std::to_string(rule.index);
+  }
+  out += ", \"rule\": \"" + JsonEscape(rule.display) + "\"";
+  out += ", \"message\": \"" + JsonEscape(message) + "\"";
+  if (!hint.empty()) out += ", \"hint\": \"" + JsonEscape(hint) + "\"";
+  out += "}";
+  return out;
+}
+
 size_t AnalysisReport::ErrorCount() const {
   size_t n = 0;
   for (const Diagnostic& d : diagnostics) {

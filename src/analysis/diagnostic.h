@@ -59,6 +59,13 @@ struct Diagnostic {
 
   /// "EID-E003 error ilfd#1 (...): message [fix: hint]".
   std::string ToString() const;
+
+  /// One JSON object on one line, all strings escaped:
+  /// {"code": "...", "severity": "...", "rule_kind": "...",
+  ///  "rule_index": N, "rule": "...", "message": "...", "hint": "..."}.
+  /// `rule_index` is omitted for kinds where it is meaningless
+  /// (extended-key, program); `hint` is omitted when empty.
+  std::string ToJson() const;
 };
 
 /// The full outcome of analyzing one rule program.

@@ -1,0 +1,348 @@
+#include "compile/derivation_program.h"
+
+#include <algorithm>
+#include <set>
+
+namespace eid {
+namespace compile {
+
+DerivationProgram DerivationProgram::Compile(const Schema& schema,
+                                             const IlfdSet& ilfds,
+                                             const DerivationOptions& options) {
+  return CompileImpl(schema, ilfds, options, /*borrow_kb=*/false);
+}
+
+DerivationProgram DerivationProgram::CompileBorrowed(
+    const Schema& schema, const IlfdSet& ilfds,
+    const DerivationOptions& options) {
+  return CompileImpl(schema, ilfds, options, /*borrow_kb=*/true);
+}
+
+DerivationProgram DerivationProgram::CompileImpl(
+    const Schema& schema, const IlfdSet& ilfds,
+    const DerivationOptions& options, bool borrow_kb) {
+  DerivationProgram p;
+  p.schema_ = schema;
+  p.mode_ = options.mode;
+  p.conflict_policy_ = options.conflict_policy;
+
+  if (options.mode == DerivationMode::kExhaustive) {
+    const AtomTable& atoms = ilfds.atoms();
+    if (borrow_kb) {
+      p.kb_view_ = &ilfds.kb();
+    } else {
+      p.kb_ = ilfds.kb();
+    }
+    p.value_of_atom_.reserve(atoms.size());
+    for (size_t id = 0; id < atoms.size(); ++id) {
+      p.value_of_atom_.push_back(atoms.atom(static_cast<AtomId>(id)).value);
+    }
+    p.slot_of_atom_.assign(atoms.size(), kNoSlot);
+    // Seed columns in ascending schema order — the interpreter's seed
+    // scan order.
+    for (size_t c = 0; c < schema.size(); ++c) {
+      std::vector<AtomId> ids =
+          atoms.AtomsForAttribute(schema.attribute(c).name);
+      if (ids.empty()) continue;
+      SeedColumn sc;
+      sc.column = c;
+      sc.atoms.reserve(ids.size() * 2);
+      for (AtomId id : ids) sc.atoms.emplace(atoms.atom(id).value, id);
+      p.seed_columns_.push_back(std::move(sc));
+      // Every attribute the exhaustive run can read is interned (the
+      // consequent atoms are, too), so the seed columns are exactly the
+      // memo key projection.
+      p.memo_columns_.push_back(c);
+    }
+    // One slot per clause-head attribute, first-appearance order.
+    std::unordered_map<std::string, uint32_t> slot_of_attr;
+    for (const Implication& clause : p.kb().clauses()) {
+      for (AtomId h : clause.head.ids()) {
+        const Atom& atom = atoms.atom(h);
+        auto [it, inserted] = slot_of_attr.emplace(
+            atom.attribute, static_cast<uint32_t>(p.cons_slots_.size()));
+        if (inserted) {
+          ConsSlot slot;
+          slot.attribute = atom.attribute;
+          slot.column = schema.IndexOf(atom.attribute);
+          slot.wanted =
+              options.target_attributes.empty() ||
+              std::find(options.target_attributes.begin(),
+                        options.target_attributes.end(),
+                        atom.attribute) != options.target_attributes.end();
+          p.cons_slots_.push_back(std::move(slot));
+        }
+        p.slot_of_atom_[h] = it->second;
+      }
+    }
+    return p;
+  }
+
+  // kFirstMatch. The attribute universe is every antecedent, consequent
+  // and target attribute; slots are assigned on first appearance.
+  std::unordered_map<std::string, uint32_t> slot_index;
+  auto intern_attr = [&](const std::string& name) {
+    auto [it, inserted] =
+        slot_index.emplace(name, static_cast<uint32_t>(p.fm_attrs_.size()));
+    if (inserted) {
+      FmAttr attr;
+      attr.name = name;
+      attr.column = p.schema_.IndexOf(name);
+      p.fm_attrs_.push_back(std::move(attr));
+    }
+    return it->second;
+  };
+  p.fm_rules_.reserve(ilfds.size());
+  for (size_t fi = 0; fi < ilfds.size(); ++fi) {
+    const Ilfd& f = ilfds.ilfd(fi);
+    FmRule rule;
+    rule.antecedent.reserve(f.antecedent().size());
+    for (const Atom& a : f.antecedent()) {
+      rule.antecedent.push_back(FmCond{intern_attr(a.attribute), a.value});
+    }
+    rule.consequent.reserve(f.consequent().size());
+    for (const Atom& c : f.consequent()) {
+      rule.consequent.push_back(FmCond{intern_attr(c.attribute), c.value});
+    }
+    p.fm_rules_.push_back(std::move(rule));
+  }
+  // Per-attribute rule lists in declaration order; the head value is the
+  // first consequent atom for the attribute (the interpreter's scan).
+  for (size_t fi = 0; fi < p.fm_rules_.size(); ++fi) {
+    const std::vector<FmCond>& consequent = p.fm_rules_[fi].consequent;
+    for (size_t i = 0; i < consequent.size(); ++i) {
+      bool first = true;
+      for (size_t j = 0; j < i; ++j) {
+        if (consequent[j].slot == consequent[i].slot) {
+          first = false;
+          break;
+        }
+      }
+      if (!first) continue;
+      p.fm_attrs_[consequent[i].slot].rules.push_back(
+          FmAttrRule{static_cast<uint32_t>(fi), consequent[i].value});
+    }
+  }
+  std::vector<std::string> targets = options.target_attributes;
+  if (targets.empty()) {
+    std::set<std::string> all;
+    for (const Ilfd& f : ilfds.ilfds()) {
+      for (const std::string& a : f.ConsequentAttributes()) all.insert(a);
+    }
+    targets.assign(all.begin(), all.end());
+  }
+  p.fm_targets_.reserve(targets.size());
+  for (const std::string& t : targets) p.fm_targets_.push_back(intern_attr(t));
+  for (const FmAttr& attr : p.fm_attrs_) {
+    if (attr.column.has_value()) p.memo_columns_.push_back(*attr.column);
+  }
+  std::sort(p.memo_columns_.begin(), p.memo_columns_.end());
+  return p;
+}
+
+Result<Derivation> DerivationProgram::Derive(
+    const Row& row, ClosureEvaluator* evaluator, DerivationMemo* memo,
+    std::vector<DerivationWrite>* writes) const {
+  EID_CHECK(row.size() == schema_.size());
+  writes->clear();
+  if (memo == nullptr || memo->abandoned_) {
+    return RunUncached(row, evaluator, writes);
+  }
+  std::vector<uint32_t>& key = memo->key_scratch_;
+  key.clear();
+  for (size_t c : memo_columns_) {
+    key.push_back(memo->interner_.GetOrIntern(row[c]));
+  }
+  auto it = memo->entries_.find(key);
+  if (it != memo->entries_.end()) {
+    ++memo->hits_;
+    *writes = it->second.writes;
+    return it->second.trace;
+  }
+  Result<Derivation> derived = RunUncached(row, evaluator, writes);
+  // Errors are not cached: the kError message cites the whole tuple,
+  // which the key projection does not cover.
+  if (!derived.ok()) return derived;
+  ++memo->misses_;
+  if (memo->misses_ >= DerivationMemo::kAbandonMissLimit &&
+      memo->hits_ < memo->misses_ / 8) {
+    memo->abandoned_ = true;
+    memo->entries_ = {};  // free, not just clear
+    return derived;
+  }
+  memo->entries_.emplace(key, DerivationMemo::Entry{*derived, *writes});
+  return derived;
+}
+
+Result<Derivation> DerivationProgram::RunUncached(
+    const Row& row, ClosureEvaluator* evaluator,
+    std::vector<DerivationWrite>* writes) const {
+  switch (mode_) {
+    case DerivationMode::kExhaustive:
+      return RunExhaustive(row, evaluator, writes);
+    case DerivationMode::kFirstMatch:
+      return RunFirstMatch(row, writes);
+  }
+  return Status::Internal("unknown derivation mode");
+}
+
+Result<Derivation> DerivationProgram::RunExhaustive(
+    const Row& row, ClosureEvaluator* evaluator,
+    std::vector<DerivationWrite>* writes) const {
+  Derivation out;
+  std::vector<AtomId> seed;
+  seed.reserve(seed_columns_.size());
+  for (const SeedColumn& sc : seed_columns_) {
+    const Value& v = row[sc.column];
+    if (v.is_null()) continue;
+    auto it = sc.atoms.find(v);
+    if (it != sc.atoms.end()) seed.push_back(it->second);
+  }
+  AtomSet seed_set(std::move(seed));
+  ClosureResult closure = evaluator != nullptr
+                              ? evaluator->Run(seed_set)
+                              : kb().ForwardClosure(seed_set);
+
+  // Dense mirror of the interpreter's bound/conflicted maps: a slot is
+  // bound while `value` is non-null.
+  struct SlotState {
+    const Value* value = nullptr;
+    size_t source = kDerivationBaseProvenance;
+    bool conflicted = false;
+  };
+  std::vector<SlotState> state(cons_slots_.size());
+
+  for (size_t clause_index : closure.firing_order) {
+    const Implication& clause = kb().clause(clause_index);
+    for (AtomId h : clause.head.ids()) {
+      auto prov = closure.provenance.find(h);
+      if (prov == closure.provenance.end() ||
+          prov->second != clause_index) {
+        continue;  // atom was in the seed or derived by an earlier clause
+      }
+      const uint32_t slot = slot_of_atom_[h];
+      const ConsSlot& cs = cons_slots_[slot];
+      const Value& atom_value = value_of_atom_[h];
+      const size_t fi = clause_index;  // clause index == ILFD index
+
+      const Value* first_value = nullptr;
+      size_t first_source = kDerivationBaseProvenance;
+      if (cs.column.has_value() && !row[*cs.column].is_null()) {
+        first_value = &row[*cs.column];
+      } else if (state[slot].value != nullptr) {
+        first_value = state[slot].value;
+        first_source = state[slot].source;
+      }
+      if (first_value == nullptr) {
+        if (state[slot].conflicted) continue;
+        state[slot].value = &atom_value;
+        state[slot].source = fi;
+        out.steps.push_back(DerivationStep{cs.attribute, atom_value, fi});
+        continue;
+      }
+      if (*first_value == atom_value) continue;
+      DerivationConflict conflict{cs.attribute, *first_value, atom_value,
+                                  first_source, fi};
+      if (conflict_policy_ == ConflictPolicy::kError) {
+        return DerivationConflictError(
+            conflict, TupleView(&schema_, &row).ToString());
+      }
+      out.conflicts.push_back(conflict);
+      if (conflict_policy_ == ConflictPolicy::kNullOut &&
+          first_source != kDerivationBaseProvenance) {
+        state[slot].value = nullptr;
+        state[slot].conflicted = true;
+      }
+      // kKeepFirst (and conflicts against base values): first value stands.
+    }
+  }
+
+  for (size_t slot = 0; slot < state.size(); ++slot) {
+    if (state[slot].value == nullptr || !cons_slots_[slot].wanted) continue;
+    const ConsSlot& cs = cons_slots_[slot];
+    out.derived[cs.attribute] = *state[slot].value;
+    if (cs.column.has_value()) {
+      writes->push_back(DerivationWrite{*cs.column, *state[slot].value});
+    }
+  }
+  return out;
+}
+
+struct DerivationProgram::FmState {
+  std::vector<Value> memo;
+  std::vector<uint8_t> memo_set;
+  std::vector<uint8_t> in_progress;
+};
+
+Value DerivationProgram::ResolveFirstMatch(uint32_t slot, const Row& row,
+                                           FmState* state,
+                                           Derivation* out) const {
+  const FmAttr& attr = fm_attrs_[slot];
+  if (attr.column.has_value()) {
+    const Value& base = row[*attr.column];
+    if (!base.is_null()) return base;
+  }
+  if (state->memo_set[slot] != 0) return state->memo[slot];
+  if (state->in_progress[slot] != 0) {
+    return Value::Null();  // cycle: fail the subgoal, as the interpreter does
+  }
+  state->in_progress[slot] = 1;
+  Value result = Value::Null();
+  for (const FmAttrRule& candidate : attr.rules) {
+    if (!result.is_null()) break;
+    const FmRule& rule = fm_rules_[candidate.rule];
+    bool holds = true;
+    for (const FmCond& a : rule.antecedent) {
+      if (!NonNullEq(ResolveFirstMatch(a.slot, row, state, out), a.value)) {
+        holds = false;
+        break;
+      }
+    }
+    if (!holds) continue;
+    // Cut: commit this rule's conclusions.
+    result = candidate.head_value;
+    out->steps.push_back(
+        DerivationStep{attr.name, candidate.head_value, candidate.rule});
+    for (const FmCond& c : rule.consequent) {
+      if (c.slot == slot) continue;
+      const FmAttr& cattr = fm_attrs_[c.slot];
+      if (cattr.column.has_value() && !row[*cattr.column].is_null()) continue;
+      if (state->memo_set[c.slot] != 0 && !state->memo[c.slot].is_null()) {
+        continue;
+      }
+      state->memo[c.slot] = c.value;
+      state->memo_set[c.slot] = 1;
+      out->steps.push_back(DerivationStep{cattr.name, c.value,
+                                          candidate.rule});
+    }
+  }
+  state->memo[slot] = result;
+  state->memo_set[slot] = 1;
+  state->in_progress[slot] = 0;
+  return result;
+}
+
+Result<Derivation> DerivationProgram::RunFirstMatch(
+    const Row& row, std::vector<DerivationWrite>* writes) const {
+  Derivation out;
+  FmState state;
+  state.memo.resize(fm_attrs_.size());
+  state.memo_set.assign(fm_attrs_.size(), 0);
+  state.in_progress.assign(fm_attrs_.size(), 0);
+  for (uint32_t t : fm_targets_) {
+    const FmAttr& attr = fm_attrs_[t];
+    if (attr.column.has_value() && !row[*attr.column].is_null()) {
+      continue;  // base value stands
+    }
+    Value v = ResolveFirstMatch(t, row, &state, &out);
+    if (v.is_null()) continue;
+    out.derived[attr.name] = v;
+    if (attr.column.has_value()) {
+      writes->push_back(DerivationWrite{*attr.column, v});
+    }
+  }
+  return out;
+}
+
+}  // namespace compile
+}  // namespace eid

@@ -1,0 +1,70 @@
+// Dense value interning for the compiled execution path.
+//
+// The interpreter compares string payloads wherever values meet — rule
+// conditions, extended-key joins, derivation memo keys. A ValueInterner
+// maps each distinct Value (under storage equality, so NULL is a regular
+// internable value) to a dense uint32_t id once; from then on equality on
+// the hot path is an integer compare and composite keys are small id
+// vectors instead of re-serialised strings.
+
+#ifndef EID_COMPILE_INTERNER_H_
+#define EID_COMPILE_INTERNER_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace eid {
+namespace compile {
+
+/// Append-only Value -> dense id map. GetOrIntern mutates; Find does not,
+/// so a fully built interner may be probed from many threads concurrently
+/// (the pattern the interned key join uses: serial build side, parallel
+/// probe side).
+class ValueInterner {
+ public:
+  /// Returned by Find for values never interned. A probe-side value that
+  /// was never interned cannot equal any build-side value.
+  static constexpr uint32_t kNotInterned =
+      std::numeric_limits<uint32_t>::max();
+
+  /// Id of `v`, interning it on first use.
+  uint32_t GetOrIntern(const Value& v) {
+    auto [it, inserted] =
+        ids_.emplace(v, static_cast<uint32_t>(ids_.size()));
+    return it->second;
+  }
+
+  /// Id of `v` if already interned, else kNotInterned.
+  uint32_t Find(const Value& v) const {
+    auto it = ids_.find(v);
+    return it == ids_.end() ? kNotInterned : it->second;
+  }
+
+  /// Number of distinct values interned.
+  size_t size() const { return ids_.size(); }
+
+ private:
+  std::unordered_map<Value, uint32_t, ValueHash> ids_;
+};
+
+/// FNV-1a over a dense-id vector — the hash for interned composite keys
+/// (extended keys, derivation memo keys).
+struct InternedKeyHash {
+  size_t operator()(const std::vector<uint32_t>& key) const {
+    size_t h = 1469598103934665603ull;
+    for (uint32_t id : key) {
+      h ^= id;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace compile
+}  // namespace eid
+
+#endif  // EID_COMPILE_INTERNER_H_

@@ -1,0 +1,55 @@
+#include "compile/pair_program.h"
+
+namespace eid {
+namespace compile {
+
+CompiledConjunction CompiledConjunction::Compile(
+    const std::vector<Predicate>& predicates, const Schema& r_schema,
+    const Schema& s_schema, bool flipped) {
+  CompiledConjunction out;
+  out.ops_.reserve(predicates.size());
+  auto bind = [&](const Operand& o) {
+    Slot slot;
+    if (o.kind == Operand::Kind::kConstant) {
+      slot.src = Src::kConstant;
+      slot.constant = o.constant;
+      return slot;
+    }
+    const bool r_side = (o.entity == 1) != flipped;
+    const Schema& schema = r_side ? r_schema : s_schema;
+    std::optional<size_t> column = schema.IndexOf(o.attribute);
+    if (!column.has_value()) return slot;  // kAbsent: resolves to NULL
+    slot.src = r_side ? Src::kRColumn : Src::kSColumn;
+    slot.column = *column;
+    return slot;
+  };
+  for (const Predicate& p : predicates) {
+    out.ops_.push_back(Op{bind(p.lhs), p.op, bind(p.rhs)});
+  }
+  return out;
+}
+
+Truth CompiledConjunction::Evaluate(const Row& r_row,
+                                    const Row& s_row) const {
+  static const Value kNullValue;
+  auto resolve = [&](const Slot& slot) -> const Value& {
+    switch (slot.src) {
+      case Src::kRColumn: return r_row[slot.column];
+      case Src::kSColumn: return s_row[slot.column];
+      case Src::kConstant: return slot.constant;
+      case Src::kAbsent: return kNullValue;
+    }
+    return kNullValue;
+  };
+  // Mirrors EvaluateConjunction: Kleene And with an early kFalse exit.
+  Truth result = Truth::kTrue;
+  for (const Op& op : ops_) {
+    result = And(result, CompareValues(resolve(op.lhs), op.op,
+                                       resolve(op.rhs)));
+    if (result == Truth::kFalse) return result;
+  }
+  return result;
+}
+
+}  // namespace compile
+}  // namespace eid

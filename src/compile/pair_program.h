@@ -1,0 +1,71 @@
+// Compiled pairwise rule antecedents.
+//
+// Identity and distinctness rules are conjunctions of predicates over an
+// entity pair (rules/predicate.h). The interpreter resolves each operand's
+// attribute name through Schema::IndexOf on every evaluation; a
+// CompiledConjunction binds every operand once per (rule, orientation) to
+// one of {r-side column, s-side column, constant, absent}, so evaluating a
+// candidate pair is a flat pass over the two rows with no map lookups.
+//
+// Binding is total: an attribute absent from its bound schema becomes an
+// operand that resolves to NULL — exactly TupleView::GetOrNull — so
+// compilation cannot fail anywhere eid-lint passes (it only warns/errors;
+// it never changes evaluation semantics). The compiled truth value equals
+// the interpreter's for every pair (tests/compile/ enforces this).
+
+#ifndef EID_COMPILE_PAIR_PROGRAM_H_
+#define EID_COMPILE_PAIR_PROGRAM_H_
+
+#include <vector>
+
+#include "exec/pair_evaluator.h"
+#include "relational/schema.h"
+#include "rules/predicate.h"
+
+namespace eid {
+namespace compile {
+
+/// One rule antecedent compiled for one orientation. Self-contained (owns
+/// its opcode list and constants): safe to move and to share, read-only,
+/// across threads.
+class CompiledConjunction final : public exec::PairEvaluator {
+ public:
+  /// Binds `predicates` against the two extended schemas. Entity 1 reads
+  /// the r-side row and entity 2 the s-side row, unless `flipped` — the
+  /// same orientation convention as exec::PlanBlocking and
+  /// CollectTruePairs.
+  static CompiledConjunction Compile(const std::vector<Predicate>& predicates,
+                                     const Schema& r_schema,
+                                     const Schema& s_schema, bool flipped);
+
+  /// Kleene conjunction over the pair; bit-identical to
+  /// EvaluateConjunction(predicates, e1, e2) with the bound orientation.
+  Truth Evaluate(const Row& r_row, const Row& s_row) const override;
+
+  size_t size() const { return ops_.size(); }
+
+ private:
+  enum class Src : uint8_t {
+    kRColumn,   // read r_row[column]
+    kSColumn,   // read s_row[column]
+    kConstant,  // read the stored constant
+    kAbsent,    // attribute not in its schema: always NULL
+  };
+  struct Slot {
+    Src src = Src::kAbsent;
+    size_t column = 0;
+    Value constant;
+  };
+  struct Op {
+    Slot lhs;
+    CompareOp op = CompareOp::kEq;
+    Slot rhs;
+  };
+
+  std::vector<Op> ops_;
+};
+
+}  // namespace compile
+}  // namespace eid
+
+#endif  // EID_COMPILE_PAIR_PROGRAM_H_

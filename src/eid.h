@@ -21,6 +21,9 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/diagnostic.h"
+#include "compile/derivation_program.h"
+#include "compile/interner.h"
+#include "compile/pair_program.h"
 #include "discovery/ilfd_miner.h"
 #include "discovery/key_discovery.h"
 #include "eid/algebra_pipeline.h"

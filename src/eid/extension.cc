@@ -1,8 +1,10 @@
 #include "eid/extension.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
+#include "compile/derivation_program.h"
 #include "relational/algebra.h"
 
 namespace eid {
@@ -98,20 +100,54 @@ Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
   // so the assembled relation is identical for any thread count.
   const size_t n = world.size();
   const int workers = (pool != nullptr ? pool->threads() : 1);
+  const Schema& ext_schema = extended.schema();
+
+  // Compiled path: lower the ILFD program once for this schema/options
+  // pair; each worker gets its own derivation memo alongside its closure
+  // evaluator. The interpreter path below stays as the oracle. Borrowing
+  // is safe: `ilfds` outlives this call, and the program does not escape.
+  std::optional<compile::DerivationProgram> program;
+  std::vector<compile::DerivationMemo> memos;
+  double compile_ms = 0.0;
+  if (options.compile) {
+    exec::StageTimer compile_timer;
+    program.emplace(compile::DerivationProgram::CompileBorrowed(
+        ext_schema, ilfds, derivation));
+    compile_ms = compile_timer.ElapsedMs();
+    memos.resize(static_cast<size_t>(workers));
+  }
   std::vector<ClosureEvaluator> evaluators;
   evaluators.reserve(static_cast<size_t>(workers));
-  for (int w = 0; w < workers; ++w) evaluators.emplace_back(&ilfds.kb());
+  for (int w = 0; w < workers; ++w) {
+    evaluators.emplace_back(program.has_value() ? &program->kb()
+                                                : &ilfds.kb());
+  }
 
   std::vector<Row> rows(n);
   std::vector<Derivation> traces(n);
   std::vector<Status> row_status(n);
-  const Schema& ext_schema = extended.schema();
   exec::ParallelFor(pool, n, /*grain=*/0,
                     [&](size_t begin, size_t end, int worker) {
     ClosureEvaluator& evaluator = evaluators[static_cast<size_t>(worker)];
+    std::vector<compile::DerivationWrite> writes;
     for (size_t r = begin; r < end; ++r) {
       Row row = world.row(r);
       row.resize(row.size() + added.size(), Value::Null());
+      if (program.has_value()) {
+        Result<Derivation> derived =
+            program->Derive(row, &evaluator,
+                            &memos[static_cast<size_t>(worker)], &writes);
+        if (!derived.ok()) {
+          row_status[r] = derived.status();
+          continue;
+        }
+        for (const compile::DerivationWrite& w : writes) {
+          if (row[w.column].is_null()) row[w.column] = w.value;
+        }
+        rows[r] = std::move(row);
+        traces[r] = std::move(derived).value();
+        continue;
+      }
       TupleView view(&ext_schema, &row);
       Result<Derivation> derived =
           DeriveTuple(view, ilfds, derivation, &evaluator);
@@ -145,6 +181,12 @@ Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
     stats->items = n;
     stats->values_derived = values_derived;
     stats->wall_ms = timer.ElapsedMs();
+    stats->compile_ms = compile_ms;
+    for (const compile::DerivationMemo& memo : memos) {
+      stats->memo_hits += memo.hits();
+      stats->memo_misses += memo.misses();
+      stats->interner_values += memo.interner_size();
+    }
   }
   return out;
 }

@@ -47,6 +47,11 @@ struct ExtensionOptions {
   /// EID_THREADS, then hardware concurrency (exec::ResolveThreads); 1 is
   /// the serial engine. Results are identical for every value.
   int threads = 0;
+  /// Lower the ILFD program once per call (compile::DerivationProgram)
+  /// and run every tuple through the compiled form with a per-worker
+  /// derivation memo. Off runs the per-tuple interpreter, which is kept
+  /// as a differential-testing oracle; results are bit-identical.
+  bool compile = true;
 };
 
 /// Builds R' from `relation` (one side of the match).

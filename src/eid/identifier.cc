@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/analyzer.h"
+#include "compile/pair_program.h"
 #include "exec/blocking_index.h"
 
 namespace eid {
@@ -71,6 +72,7 @@ Result<IdentificationResult> EntityIdentifier::Identify(
     // explicit rules see the richest tuples.
     ExtensionOptions ext = config_.matcher_options.extension;
     ext.derive_all = true;
+    ext.compile = config_.matcher_options.compile;
     exec::StageStats extend_r, extend_s;
     EID_ASSIGN_OR_RETURN(ExtensionResult rx,
                          ExtendRelation(r, Side::kR, config_.correspondence,
@@ -108,13 +110,30 @@ Result<IdentificationResult> EntityIdentifier::Identify(
     // index-bounded parallel scans, then insert the deduplicated union in
     // row-major order — the exact serial insertion sequence, which the
     // order-sensitive uniqueness verdict depends on.
+    const bool compile = config_.matcher_options.compile;
+    std::vector<compile::CompiledConjunction> programs;
+    if (compile) {
+      exec::StageTimer compile_timer;
+      programs.reserve(config_.identity_rules.size() * 2);
+      for (const IdentityRule& rule : config_.identity_rules) {
+        for (bool flipped : {false, true}) {
+          programs.push_back(compile::CompiledConjunction::Compile(
+              rule.predicates(), out.r_extended.schema(),
+              out.s_extended.schema(), flipped));
+        }
+      }
+      identity.compile_ms = compile_timer.ElapsedMs();
+    }
     std::vector<TuplePair> fired;
-    for (const IdentityRule& rule : config_.identity_rules) {
+    for (size_t k = 0; k < config_.identity_rules.size(); ++k) {
+      const IdentityRule& rule = config_.identity_rules[k];
       for (bool flipped : {false, true}) {
         exec::PairScanStats scan;
+        const exec::PairEvaluator* evaluator =
+            compile ? &programs[k * 2 + (flipped ? 1 : 0)] : nullptr;
         std::vector<TuplePair> pairs = exec::CollectTruePairs(
             out.r_extended, out.s_extended, rule.predicates(), flipped,
-            r_index, s_index, pool_ptr, &scan);
+            r_index, s_index, pool_ptr, &scan, evaluator);
         identity.candidate_pairs += scan.candidate_pairs;
         identity.rule_evals += scan.rule_evals;
         fired.insert(fired.end(), pairs.begin(), pairs.end());
@@ -156,7 +175,7 @@ Result<IdentificationResult> EntityIdentifier::Identify(
   EID_ASSIGN_OR_RETURN(
       out.negative,
       BuildNegativeMatchingTable(out.r_extended, out.s_extended, rules,
-                                 pool_ptr));
+                                 pool_ptr, config_.matcher_options.compile));
   out.stats.Add(out.negative.stats);
 
   // --- Constraint verification ------------------------------------------

@@ -10,15 +10,20 @@ namespace {
 std::string Fingerprint(const Row& row, const std::vector<size_t>& idx,
                         bool* has_null) {
   std::string fp;
+  std::string v;
   *has_null = false;
   for (size_t i : idx) {
     if (row[i].is_null()) {
       *has_null = true;
       return std::string();
     }
-    std::string v = row[i].ToString();
-    fp += std::to_string(v.size()) + ":" + v + "|" +
-          static_cast<char>('0' + static_cast<int>(row[i].type()));
+    v.clear();
+    row[i].AppendTo(&v);
+    fp += std::to_string(v.size());
+    fp += ':';
+    fp += v;
+    fp += '|';
+    fp += static_cast<char>('0' + static_cast<int>(row[i].type()));
   }
   return fp;
 }
@@ -48,6 +53,7 @@ Result<IncrementalIdentifier> IncrementalIdentifier::Create(
                         : ExtendedKey(std::vector<std::string>{});
   ExtensionOptions ext = config.matcher_options.extension;
   if (!config.extended_key.has_value()) ext.derive_all = true;
+  ext.compile = false;  // schema-only run over empty relations
   EID_ASSIGN_OR_RETURN(
       ExtensionResult rx,
       ExtendRelation(empty_r, Side::kR, config.correspondence, key,
@@ -80,6 +86,42 @@ Result<IncrementalIdentifier> IncrementalIdentifier::Create(
   out.r_proto_ = std::move(empty_r);
   out.s_proto_ = std::move(empty_s);
   out.config_ = std::move(config);
+
+  // Lower the session's programs once: derivation per side (the memo
+  // caches persist across inserts, so repeated projections derive once
+  // per session) and every rule antecedent per orientation.
+  if (out.config_.matcher_options.compile) {
+    DerivationOptions derivation =
+        out.config_.matcher_options.extension.derivation;
+    if (out.config_.extended_key.has_value() &&
+        derivation.target_attributes.empty()) {
+      derivation.target_attributes = out.config_.extended_key->attributes();
+    }
+    out.r_derive_ = std::make_unique<compile::DerivationProgram>(
+        compile::DerivationProgram::Compile(out.r_ext_schema_,
+                                            out.config_.ilfds, derivation));
+    out.s_derive_ = std::make_unique<compile::DerivationProgram>(
+        compile::DerivationProgram::Compile(out.s_ext_schema_,
+                                            out.config_.ilfds, derivation));
+    out.r_eval_ = std::make_unique<ClosureEvaluator>(&out.r_derive_->kb());
+    out.s_eval_ = std::make_unique<ClosureEvaluator>(&out.s_derive_->kb());
+    out.identity_programs_.reserve(out.config_.identity_rules.size() * 2);
+    for (const IdentityRule& rule : out.config_.identity_rules) {
+      for (bool flipped : {false, true}) {
+        out.identity_programs_.push_back(compile::CompiledConjunction::Compile(
+            rule.predicates(), out.r_ext_schema_, out.s_ext_schema_,
+            flipped));
+      }
+    }
+    out.distinct_programs_.reserve(out.all_distinctness_.size() * 2);
+    for (const DistinctnessRule& rule : out.all_distinctness_) {
+      for (bool flipped : {false, true}) {
+        out.distinct_programs_.push_back(compile::CompiledConjunction::Compile(
+            rule.predicates(), out.r_ext_schema_, out.s_ext_schema_,
+            flipped));
+      }
+    }
+  }
   return out;
 }
 
@@ -105,14 +147,25 @@ Result<size_t> IncrementalIdentifier::Insert(Side side, Row row) {
   entry.extended = std::move(row);
   entry.extended.resize(ext_schema.size(), Value::Null());
   {
-    DerivationOptions derivation =
-        config_.matcher_options.extension.derivation;
-    if (config_.extended_key.has_value() &&
-        derivation.target_attributes.empty()) {
-      derivation.target_attributes = config_.extended_key->attributes();
-    }
-    TupleView view(&ext_schema, &entry.extended);
-    Result<Derivation> derived = DeriveTuple(view, config_.ilfds, derivation);
+    const bool compiled = (is_r ? r_derive_ : s_derive_) != nullptr;
+    std::vector<compile::DerivationWrite> writes;
+    Result<Derivation> derived = [&]() -> Result<Derivation> {
+      if (compiled) {
+        compile::DerivationProgram* program =
+            (is_r ? r_derive_ : s_derive_).get();
+        ClosureEvaluator* evaluator = (is_r ? r_eval_ : s_eval_).get();
+        return program->Derive(entry.extended, evaluator,
+                               is_r ? &r_memo_ : &s_memo_, &writes);
+      }
+      DerivationOptions derivation =
+          config_.matcher_options.extension.derivation;
+      if (config_.extended_key.has_value() &&
+          derivation.target_attributes.empty()) {
+        derivation.target_attributes = config_.extended_key->attributes();
+      }
+      TupleView view(&ext_schema, &entry.extended);
+      return DeriveTuple(view, config_.ilfds, derivation);
+    }();
     if (!derived.ok()) {
       // Roll the proto insertion back by rebuilding it without the row.
       Relation rebuilt(proto.name(), proto.schema());
@@ -129,10 +182,18 @@ Result<size_t> IncrementalIdentifier::Insert(Side side, Row row) {
       proto = std::move(rebuilt);
       return derived.status();
     }
-    for (const auto& [attr, value] : derived->derived) {
-      std::optional<size_t> idx = ext_schema.IndexOf(attr);
-      if (idx.has_value() && entry.extended[*idx].is_null()) {
-        entry.extended[*idx] = value;
+    if (compiled) {
+      for (const compile::DerivationWrite& w : writes) {
+        if (entry.extended[w.column].is_null()) {
+          entry.extended[w.column] = w.value;
+        }
+      }
+    } else {
+      for (const auto& [attr, value] : derived->derived) {
+        std::optional<size_t> idx = ext_schema.IndexOf(attr);
+        if (idx.has_value() && entry.extended[*idx].is_null()) {
+          entry.extended[*idx] = value;
+        }
       }
     }
   }
@@ -177,15 +238,31 @@ Result<size_t> IncrementalIdentifier::Insert(Side side, Row row) {
       }
     }
   }
+  // Compiled programs take the pair in relation space (r-row, s-row) with
+  // both orientations pre-bound; program 2k is rule k direct, 2k+1 flipped.
+  const bool compiled_rules = (is_r ? r_derive_ : s_derive_) != nullptr;
   if (!config_.identity_rules.empty()) {
     for (size_t other_id = 0; other_id < others.size(); ++other_id) {
       if (!others[other_id].alive) continue;
+      const Row& r_row =
+          is_r ? stored.extended : others[other_id].extended;
+      const Row& s_row =
+          is_r ? others[other_id].extended : stored.extended;
       TupleView other_view(&other_schema, &others[other_id].extended);
       const TupleView& e1 = is_r ? self : other_view;
       const TupleView& e2 = is_r ? other_view : self;
-      for (const IdentityRule& rule : config_.identity_rules) {
-        if (rule.Matches(e1, e2) == Truth::kTrue ||
-            rule.Matches(e2, e1) == Truth::kTrue) {
+      for (size_t k = 0; k < config_.identity_rules.size(); ++k) {
+        const bool fired =
+            compiled_rules
+                ? (identity_programs_[k * 2].Evaluate(r_row, s_row) ==
+                       Truth::kTrue ||
+                   identity_programs_[k * 2 + 1].Evaluate(r_row, s_row) ==
+                       Truth::kTrue)
+                : (config_.identity_rules[k].Matches(e1, e2) ==
+                       Truth::kTrue ||
+                   config_.identity_rules[k].Matches(e2, e1) ==
+                       Truth::kTrue);
+        if (fired) {
           add_candidate(other_id);
           break;
         }
@@ -196,12 +273,21 @@ Result<size_t> IncrementalIdentifier::Insert(Side side, Row row) {
   // Negative pairs via distinctness rules (both orientations).
   for (size_t other_id = 0; other_id < others.size(); ++other_id) {
     if (!others[other_id].alive) continue;
+    const Row& r_row = is_r ? stored.extended : others[other_id].extended;
+    const Row& s_row = is_r ? others[other_id].extended : stored.extended;
     TupleView other_view(&other_schema, &others[other_id].extended);
     const TupleView& e1 = is_r ? self : other_view;
     const TupleView& e2 = is_r ? other_view : self;
-    for (const DistinctnessRule& rule : all_distinctness_) {
-      if (rule.Applies(e1, e2) == Truth::kTrue ||
-          rule.Applies(e2, e1) == Truth::kTrue) {
+    for (size_t k = 0; k < all_distinctness_.size(); ++k) {
+      const bool fired =
+          compiled_rules
+              ? (distinct_programs_[k * 2].Evaluate(r_row, s_row) ==
+                     Truth::kTrue ||
+                 distinct_programs_[k * 2 + 1].Evaluate(r_row, s_row) ==
+                     Truth::kTrue)
+              : (all_distinctness_[k].Applies(e1, e2) == Truth::kTrue ||
+                 all_distinctness_[k].Applies(e2, e1) == Truth::kTrue);
+      if (fired) {
         negative_pairs_.push_back(CandidatePair{is_r ? id : other_id,
                                                 is_r ? other_id : id});
         break;

@@ -26,10 +26,13 @@
 #ifndef EID_EID_INCREMENTAL_H_
 #define EID_EID_INCREMENTAL_H_
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "compile/derivation_program.h"
+#include "compile/pair_program.h"
 #include "eid/identifier.h"
 
 namespace eid {
@@ -109,6 +112,17 @@ class IncrementalIdentifier {
   Schema r_ext_schema_, s_ext_schema_;
   std::vector<std::string> r_added_, s_added_;  // K_ext−R / K_ext−S
   std::vector<DistinctnessRule> all_distinctness_;
+
+  // Compiled execution state, built once in Create when
+  // matcher_options.compile (null/empty otherwise). The derivation
+  // programs live on the heap so the evaluators' knowledge-base pointers
+  // survive moves of the identifier. Rule programs are rule-major, direct
+  // orientation before flipped — the interpreter's evaluation order.
+  std::unique_ptr<compile::DerivationProgram> r_derive_, s_derive_;
+  std::unique_ptr<ClosureEvaluator> r_eval_, s_eval_;
+  compile::DerivationMemo r_memo_, s_memo_;
+  std::vector<compile::CompiledConjunction> identity_programs_;
+  std::vector<compile::CompiledConjunction> distinct_programs_;
 
   std::vector<Entry> r_entries_, s_entries_;
   size_t r_live_ = 0, s_live_ = 0;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "analysis/analyzer.h"
+#include "compile/interner.h"
 #include "eid/identifier.h"
 
 namespace eid {
@@ -41,7 +42,8 @@ Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
                                                  const Relation& s_extended,
                                                  const ExtendedKey& ext_key,
                                                  exec::ThreadPool* pool,
-                                                 exec::StageStats* stats) {
+                                                 exec::StageStats* stats,
+                                                 bool compiled) {
   exec::StageTimer timer;
   std::vector<size_t> r_idx, s_idx;
   for (const std::string& a : ext_key.attributes()) {
@@ -49,15 +51,6 @@ Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
     EID_ASSIGN_OR_RETURN(size_t si, s_extended.schema().RequireIndex(a));
     r_idx.push_back(ri);
     s_idx.push_back(si);
-  }
-
-  std::unordered_map<std::string, std::vector<size_t>> build;
-  build.reserve(s_extended.size() * 2);
-  for (size_t s = 0; s < s_extended.size(); ++s) {
-    bool has_null = false;
-    std::string fp = KeyFingerprint(s_extended.row(s), s_idx, &has_null);
-    if (has_null) continue;  // non_null_eq: NULL keys never match
-    build[fp].push_back(s);
   }
 
   // Probe R in parallel chunks; buckets hold ascending s indices and
@@ -69,19 +62,84 @@ Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
       std::max<size_t>(1, n / (static_cast<size_t>(threads) * 4));
   const size_t num_chunks = n == 0 ? 0 : (n + grain - 1) / grain;
   std::vector<std::vector<TuplePair>> found(num_chunks);
-  exec::ParallelFor(pool, n, grain, [&](size_t begin, size_t end, int) {
-    const size_t chunk = begin / grain;
-    for (size_t r = begin; r < end; ++r) {
+  size_t interner_values = 0;
+
+  if (compiled) {
+    // Interned join: the build side interns each key value once; probing
+    // is read-only (ValueInterner::Find), so the parallel probe never
+    // serialises a value or grows the map. A probe value that was never
+    // interned cannot match any build row.
+    compile::ValueInterner interner;
+    std::unordered_map<std::vector<uint32_t>, std::vector<size_t>,
+                       compile::InternedKeyHash>
+        build;
+    build.reserve(s_extended.size() * 2);
+    std::vector<uint32_t> key;
+    key.reserve(s_idx.size());
+    for (size_t s = 0; s < s_extended.size(); ++s) {
+      const Row& row = s_extended.row(s);
+      key.clear();
       bool has_null = false;
-      std::string fp = KeyFingerprint(r_extended.row(r), r_idx, &has_null);
-      if (has_null) continue;
-      auto it = build.find(fp);
-      if (it == build.end()) continue;
-      for (size_t s : it->second) {
-        found[chunk].push_back(TuplePair{r, s});
+      for (size_t i : s_idx) {
+        if (row[i].is_null()) {  // non_null_eq: NULL keys never match
+          has_null = true;
+          break;
+        }
+        key.push_back(interner.GetOrIntern(row[i]));
       }
+      if (has_null) continue;
+      build[key].push_back(s);
     }
-  });
+    interner_values = interner.size();
+    exec::ParallelFor(pool, n, grain, [&](size_t begin, size_t end, int) {
+      const size_t chunk = begin / grain;
+      std::vector<uint32_t> probe;
+      probe.reserve(r_idx.size());
+      for (size_t r = begin; r < end; ++r) {
+        const Row& row = r_extended.row(r);
+        probe.clear();
+        bool skip = false;
+        for (size_t i : r_idx) {
+          uint32_t id = row[i].is_null()
+                            ? compile::ValueInterner::kNotInterned
+                            : interner.Find(row[i]);
+          if (id == compile::ValueInterner::kNotInterned) {
+            skip = true;
+            break;
+          }
+          probe.push_back(id);
+        }
+        if (skip) continue;
+        auto it = build.find(probe);
+        if (it == build.end()) continue;
+        for (size_t s : it->second) {
+          found[chunk].push_back(TuplePair{r, s});
+        }
+      }
+    });
+  } else {
+    std::unordered_map<std::string, std::vector<size_t>> build;
+    build.reserve(s_extended.size() * 2);
+    for (size_t s = 0; s < s_extended.size(); ++s) {
+      bool has_null = false;
+      std::string fp = KeyFingerprint(s_extended.row(s), s_idx, &has_null);
+      if (has_null) continue;  // non_null_eq: NULL keys never match
+      build[fp].push_back(s);
+    }
+    exec::ParallelFor(pool, n, grain, [&](size_t begin, size_t end, int) {
+      const size_t chunk = begin / grain;
+      for (size_t r = begin; r < end; ++r) {
+        bool has_null = false;
+        std::string fp = KeyFingerprint(r_extended.row(r), r_idx, &has_null);
+        if (has_null) continue;
+        auto it = build.find(fp);
+        if (it == build.end()) continue;
+        for (size_t s : it->second) {
+          found[chunk].push_back(TuplePair{r, s});
+        }
+      }
+    });
+  }
 
   std::vector<TuplePair> pairs;
   size_t total = 0;
@@ -96,6 +154,7 @@ Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
     stats->candidate_pairs = pairs.size();
     stats->cross_product = r_extended.size() * s_extended.size();
     stats->wall_ms = timer.ElapsedMs();
+    stats->interner_values = interner_values;
   }
   return pairs;
 }
@@ -136,20 +195,22 @@ Result<MatcherResult> BuildMatchingTable(const Relation& r, const Relation& s,
 
   MatcherResult result;
   exec::StageStats extend_r, extend_s, key_join;
+  ExtensionOptions ext = options.extension;
+  ext.compile = options.compile;  // the matcher-level switch wins
   EID_ASSIGN_OR_RETURN(
       result.r_extension,
-      ExtendRelation(r, Side::kR, corr, ext_key, ilfds, options.extension,
-                     pool_ptr, &extend_r));
+      ExtendRelation(r, Side::kR, corr, ext_key, ilfds, ext, pool_ptr,
+                     &extend_r));
   EID_ASSIGN_OR_RETURN(
       result.s_extension,
-      ExtendRelation(s, Side::kS, corr, ext_key, ilfds, options.extension,
-                     pool_ptr, &extend_s));
+      ExtendRelation(s, Side::kS, corr, ext_key, ilfds, ext, pool_ptr,
+                     &extend_s));
 
   EID_ASSIGN_OR_RETURN(
       std::vector<TuplePair> pairs,
       JoinOnExtendedKey(result.r_extension.extended,
                         result.s_extension.extended, ext_key, pool_ptr,
-                        &key_join));
+                        &key_join, options.compile));
 
   result.uniqueness = Status::Ok();
   for (const TuplePair& p : pairs) {

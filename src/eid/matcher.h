@@ -65,6 +65,12 @@ struct MatcherOptions {
   /// EID_THREADS, then hardware concurrency; 1 is the serial engine.
   /// Output is identical for every value (see src/exec/thread_pool.h).
   int threads = 0;
+  /// Master switch for the compiled execution path (src/compile/):
+  /// derivation programs with per-worker memo caches, the interned
+  /// extended-key join, and compiled rule antecedents. Overrides
+  /// `extension.compile`. Off runs the per-tuple interpreter everywhere,
+  /// kept as a differential-testing oracle; results are bit-identical.
+  bool compile = true;
 };
 
 /// Builds MT_RS for `r` and `s` under the given extended key and ILFDs.
@@ -85,12 +91,15 @@ Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
 /// Pool-sharing form: the probe side is sharded over `pool` (null = serial)
 /// with per-chunk pair buffers merged in index order, so the pair sequence
 /// equals the serial probe's for any thread count. Stage counters land in
-/// `stats` when non-null.
+/// `stats` when non-null. `compiled` selects the interned-id join (build
+/// side interns key values serially, probe side does read-only lookups);
+/// off hashes re-serialised string fingerprints per row.
 Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
                                                  const Relation& s_extended,
                                                  const ExtendedKey& ext_key,
                                                  exec::ThreadPool* pool,
-                                                 exec::StageStats* stats);
+                                                 exec::StageStats* stats,
+                                                 bool compiled = true);
 
 }  // namespace eid
 

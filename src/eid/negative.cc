@@ -3,6 +3,7 @@
 #include <map>
 #include <utility>
 
+#include "compile/pair_program.h"
 #include "exec/blocking_index.h"
 
 namespace eid {
@@ -16,7 +17,8 @@ Result<NegativeResult> BuildNegativeMatchingTable(
 
 Result<NegativeResult> BuildNegativeMatchingTable(
     const Relation& r_extended, const Relation& s_extended,
-    const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool) {
+    const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool,
+    bool compile) {
   exec::StageTimer timer;
   for (const DistinctnessRule& rule : rules) {
     EID_RETURN_IF_ERROR(rule.Validate());
@@ -33,14 +35,33 @@ Result<NegativeResult> BuildNegativeMatchingTable(
   // priority order with first-insert-wins, and emit sorted row-major.
   exec::ColumnIndexCache r_index(&r_extended);
   exec::ColumnIndexCache s_index(&s_extended);
+
+  // Bind every rule antecedent to the two schemas once per orientation;
+  // the sweep then evaluates candidates without name lookups.
+  std::vector<compile::CompiledConjunction> programs;
+  if (compile) {
+    exec::StageTimer compile_timer;
+    programs.reserve(rules.size() * 2);
+    for (const DistinctnessRule& rule : rules) {
+      for (bool flipped : {false, true}) {
+        programs.push_back(compile::CompiledConjunction::Compile(
+            rule.predicates(), r_extended.schema(), s_extended.schema(),
+            flipped));
+      }
+    }
+    out.stats.compile_ms = compile_timer.ElapsedMs();
+  }
+
   std::map<TuplePair, std::pair<size_t, bool>> best;  // pair -> (rule, flipped)
   for (size_t k = 0; k < rules.size(); ++k) {
     const std::vector<Predicate>& preds = rules[k].predicates();
     for (bool flipped : {false, true}) {
       exec::PairScanStats scan;
+      const exec::PairEvaluator* evaluator =
+          compile ? &programs[k * 2 + (flipped ? 1 : 0)] : nullptr;
       std::vector<TuplePair> fired =
           exec::CollectTruePairs(r_extended, s_extended, preds, flipped,
-                                 r_index, s_index, pool, &scan);
+                                 r_index, s_index, pool, &scan, evaluator);
       out.stats.candidate_pairs += scan.candidate_pairs;
       out.stats.rule_evals += scan.rule_evals;
       for (const TuplePair& p : fired) {

@@ -51,9 +51,13 @@ Result<NegativeResult> BuildNegativeMatchingTable(
     const std::vector<DistinctnessRule>& rules);
 
 /// Pool-sharing form used by the engine (null pool = serial sweep).
+/// `compile` lowers each rule antecedent to a CompiledConjunction per
+/// orientation before the sweep (src/compile/pair_program.h); off
+/// re-resolves attribute names per pair. The fired pairs are identical.
 Result<NegativeResult> BuildNegativeMatchingTable(
     const Relation& r_extended, const Relation& s_extended,
-    const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool);
+    const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool,
+    bool compile = true);
 
 }  // namespace eid
 

@@ -145,7 +145,7 @@ std::vector<TuplePair> CollectTruePairs(
     const Relation& r_ext, const Relation& s_ext,
     const std::vector<Predicate>& predicates, bool flipped,
     ColumnIndexCache& r_index, ColumnIndexCache& s_index, ThreadPool* pool,
-    PairScanStats* stats) {
+    PairScanStats* stats, const PairEvaluator* compiled) {
   PairScanStats local;
   std::vector<TuplePair> out;
   BlockingPlan plan =
@@ -159,8 +159,12 @@ std::vector<TuplePair> CollectTruePairs(
   std::vector<size_t> r_rows = FilteredRows(r_index, plan.r_const_eq);
 
   // Evaluate the *full* conjunction on a candidate — blocking only
-  // bounds the candidate set, it never decides a pair.
+  // bounds the candidate set, it never decides a pair. The compiled
+  // evaluator takes rows in relation space; orientation is baked in.
   auto evaluate = [&](size_t i, size_t j) {
+    if (compiled != nullptr) {
+      return compiled->Evaluate(r_ext.row(i), s_ext.row(j));
+    }
     TupleView rv = r_ext.tuple(i);
     TupleView sv = s_ext.tuple(j);
     return flipped ? EvaluateConjunction(predicates, sv, rv)

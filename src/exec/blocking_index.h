@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "eid/match_tables.h"
+#include "exec/pair_evaluator.h"
 #include "exec/thread_pool.h"
 #include "relational/relation.h"
 #include "rules/predicate.h"
@@ -115,11 +116,16 @@ struct PairScanStats {
 /// (s_j, r_i) when `flipped`. Returned in row-major (i, then j) order —
 /// exactly the visit order of the serial nested loop — for any pool
 /// size. `r_index`/`s_index` must cache the respective relations.
+///
+/// When `compiled` is non-null it must be `predicates` compiled for the
+/// same schemas/orientation; candidates are then evaluated through it
+/// instead of the interpreter (same Truth for every pair — the compiled
+/// engine's contract, enforced by tests/compile/).
 std::vector<TuplePair> CollectTruePairs(
     const Relation& r_ext, const Relation& s_ext,
     const std::vector<Predicate>& predicates, bool flipped,
     ColumnIndexCache& r_index, ColumnIndexCache& s_index, ThreadPool* pool,
-    PairScanStats* stats);
+    PairScanStats* stats, const PairEvaluator* compiled = nullptr);
 
 }  // namespace exec
 }  // namespace eid

@@ -1,0 +1,36 @@
+// Column-resolved pair-rule execution interface.
+//
+// CollectTruePairs re-evaluates every candidate pair with the full
+// three-valued conjunction. The interpreted form (rules/predicate.h)
+// resolves operand attribute names through Schema::IndexOf for every
+// pair; a PairEvaluator is the compiled alternative — operands are bound
+// to column indices once per rule/orientation (src/compile/pair_program.h)
+// and evaluation is a flat pass over the two rows. The exec layer only
+// sees this interface, so it never depends on the compile subsystem.
+
+#ifndef EID_EXEC_PAIR_EVALUATOR_H_
+#define EID_EXEC_PAIR_EVALUATOR_H_
+
+#include "relational/tuple.h"
+#include "rules/predicate.h"
+
+namespace eid {
+namespace exec {
+
+/// One rule-antecedent conjunction bound to a fixed (R schema, S schema,
+/// orientation) triple. Evaluate always takes rows in relation space —
+/// the r-side row first — the orientation (which entity each side binds
+/// to) is baked in when the conjunction is compiled.
+class PairEvaluator {
+ public:
+  virtual ~PairEvaluator() = default;
+
+  /// Truth of the conjunction for the pair; identical to
+  /// EvaluateConjunction over the bound orientation.
+  virtual Truth Evaluate(const Row& r_row, const Row& s_row) const = 0;
+};
+
+}  // namespace exec
+}  // namespace eid
+
+#endif  // EID_EXEC_PAIR_EVALUATOR_H_

@@ -27,6 +27,14 @@ std::string StageStats::ToString() const {
            std::to_string(cross_product);
   }
   if (rule_evals > 0) out += ", rule_evals=" + std::to_string(rule_evals);
+  if (compile_ms > 0.0) out += ", compile_ms=" + FormatMs(compile_ms);
+  if (memo_hits > 0 || memo_misses > 0) {
+    out += ", memo=" + std::to_string(memo_hits) + "/" +
+           std::to_string(memo_hits + memo_misses);
+  }
+  if (interner_values > 0) {
+    out += ", interner_values=" + std::to_string(interner_values);
+  }
   return out;
 }
 
@@ -39,6 +47,10 @@ std::string StageStats::ToJson() const {
   out += ",\"candidate_pairs\":" + std::to_string(candidate_pairs);
   out += ",\"cross_product\":" + std::to_string(cross_product);
   out += ",\"rule_evals\":" + std::to_string(rule_evals);
+  out += ",\"compile_ms\":" + FormatMs(compile_ms);
+  out += ",\"memo_hits\":" + std::to_string(memo_hits);
+  out += ",\"memo_misses\":" + std::to_string(memo_misses);
+  out += ",\"interner_values\":" + std::to_string(interner_values);
   out += "}";
   return out;
 }

@@ -10,7 +10,9 @@
 // just how fast it was.
 //
 // Counters are aggregated per index chunk and summed, so every count is
-// deterministic across thread counts; only wall_ms varies run to run.
+// deterministic across thread counts; only wall_ms (and compile_ms) vary
+// run to run, and the memo hit/miss split depends on how rows shard
+// across the per-worker caches (their sum per worker chunk does not).
 
 #ifndef EID_EXEC_STAGE_STATS_H_
 #define EID_EXEC_STAGE_STATS_H_
@@ -34,6 +36,12 @@ struct StageStats {
   size_t candidate_pairs = 0;  // pairs actually evaluated
   size_t cross_product = 0;    // |R'| * |S'| baseline for candidate_pairs
   size_t rule_evals = 0;       // antecedent-conjunction evaluations
+
+  // Compiled-execution counters (src/compile/), zero on interpreted runs.
+  double compile_ms = 0.0;     // rule-program compilation time (in wall_ms)
+  size_t memo_hits = 0;        // derivation memo cache hits
+  size_t memo_misses = 0;      // derivation memo cache misses
+  size_t interner_values = 0;  // distinct values interned by the stage
 
   /// One-line human-readable form.
   std::string ToString() const;

@@ -4,10 +4,23 @@
 #include <unordered_set>
 
 namespace eid {
+
+Status DerivationConflictError(const DerivationConflict& conflict,
+                               const std::string& tuple_display) {
+  return Status::ConstraintViolation(
+      "ILFD derivation conflict on attribute '" + conflict.attribute +
+      "': '" + conflict.first_value.ToString() + "' (from " +
+      (conflict.first_ilfd == kDerivationBaseProvenance
+           ? std::string("base tuple")
+           : "ILFD " + std::to_string(conflict.first_ilfd)) +
+      ") vs '" + conflict.second_value.ToString() + "' (from ILFD " +
+      std::to_string(conflict.second_ilfd) + ") for tuple " + tuple_display);
+}
+
 namespace {
 
 /// Provenance sentinel for values present in the base tuple.
-constexpr size_t kBaseProvenance = static_cast<size_t>(-1);
+constexpr size_t kBaseProvenance = kDerivationBaseProvenance;
 
 struct Binding {
   Value value;
@@ -79,15 +92,7 @@ Result<Derivation> DeriveExhaustive(const TupleView& tuple,
       DerivationConflict conflict{atom.attribute, *first_value, atom.value,
                                   first_source, fi};
       if (options.conflict_policy == ConflictPolicy::kError) {
-        return Status::ConstraintViolation(
-            "ILFD derivation conflict on attribute '" + atom.attribute +
-            "': '" + conflict.first_value.ToString() + "' (from " +
-            (conflict.first_ilfd == kBaseProvenance
-                 ? std::string("base tuple")
-                 : "ILFD " + std::to_string(conflict.first_ilfd)) +
-            ") vs '" + conflict.second_value.ToString() + "' (from ILFD " +
-            std::to_string(conflict.second_ilfd) + ") for tuple " +
-            tuple.ToString());
+        return DerivationConflictError(conflict, tuple.ToString());
       }
       out.conflicts.push_back(conflict);
       if (options.conflict_policy == ConflictPolicy::kNullOut &&

@@ -52,6 +52,10 @@ struct DerivationStep {
   size_t ilfd_index = 0;  // index into the IlfdSet
 };
 
+/// Provenance sentinel used in DerivationConflict: the first value came
+/// from the base tuple, not from an ILFD.
+inline constexpr size_t kDerivationBaseProvenance = static_cast<size_t>(-1);
+
 /// A conflicting second derivation for an already-derived attribute.
 struct DerivationConflict {
   std::string attribute;
@@ -60,6 +64,13 @@ struct DerivationConflict {
   size_t first_ilfd = 0;
   size_t second_ilfd = 0;
 };
+
+/// The ConstraintViolation status reported for an exhaustive-mode conflict
+/// under ConflictPolicy::kError. `tuple_display` is the derived tuple's
+/// TupleView::ToString() form. Shared between the interpreter and the
+/// compiled engine (src/compile/) so their error text is byte-identical.
+Status DerivationConflictError(const DerivationConflict& conflict,
+                               const std::string& tuple_display);
 
 /// Result of deriving one tuple's missing values.
 struct Derivation {

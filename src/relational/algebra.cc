@@ -186,11 +186,13 @@ Result<Relation> ProjectBag(const Relation& input,
                             const std::vector<std::string>& attributes) {
   EID_ASSIGN_OR_RETURN(Schema schema, input.schema().Project(attributes));
   std::vector<size_t> idx;
+  idx.reserve(attributes.size());
   for (const std::string& a : attributes) {
     EID_ASSIGN_OR_RETURN(size_t i, input.schema().RequireIndex(a));
     idx.push_back(i);
   }
   Relation out(input.name(), schema);
+  out.Reserve(input.size());
   for (const Row& row : input.rows()) {
     EID_RETURN_IF_ERROR(out.Insert(ProjectRow(row, idx)));
   }

@@ -58,6 +58,9 @@ class Relation {
   /// Positions of the primary candidate key.
   std::vector<size_t> PrimaryKeyIndices() const;
 
+  /// Pre-allocates storage for `n` rows (bulk loads, projection loops).
+  void Reserve(size_t n) { rows_.reserve(n); }
+
   /// Inserts a row. Errors: arity/type mismatch, NULL in a key attribute,
   /// or candidate-key uniqueness violation.
   Status Insert(Row row);

@@ -57,14 +57,18 @@ class TupleView {
     return (*row_)[*i];
   }
 
-  /// "(a, b, c)" display form.
+  /// "(a, b, c)" display form. Renders into one buffer: each value
+  /// appends in place (Value::AppendTo), so wide rows cost one
+  /// amortised-linear build instead of a temporary string per column.
   std::string ToString() const {
-    std::string out = "(";
+    std::string out;
+    out.reserve(2 + row_->size() * 8);
+    out += '(';
     for (size_t i = 0; i < row_->size(); ++i) {
       if (i > 0) out += ", ";
-      out += (*row_)[i].ToString();
+      (*row_)[i].AppendTo(&out);
     }
-    out += ")";
+    out += ')';
     return out;
   }
 

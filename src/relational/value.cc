@@ -104,18 +104,37 @@ size_t Value::Hash() const {
 }
 
 std::string Value::ToString() const {
+  if (type() == ValueType::kString) return AsString();
+  std::string out;
+  AppendTo(&out);
+  return out;
+}
+
+void Value::AppendTo(std::string* out) const {
   switch (type()) {
-    case ValueType::kNull: return "null";
-    case ValueType::kBool: return AsBool() ? "true" : "false";
-    case ValueType::kInt: return std::to_string(AsInt());
+    case ValueType::kNull:
+      out->append("null");
+      return;
+    case ValueType::kBool:
+      out->append(AsBool() ? "true" : "false");
+      return;
+    case ValueType::kInt: {
+      char buf[24];
+      auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), AsInt());
+      out->append(buf, static_cast<size_t>(ptr - buf));
+      return;
+    }
     case ValueType::kDouble: {
       char buf[64];
-      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
-      return std::string(buf);
+      int n = std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      out->append(buf, static_cast<size_t>(n));
+      return;
     }
-    case ValueType::kString: return AsString();
+    case ValueType::kString:
+      out->append(AsString());
+      return;
   }
-  return "?";
+  out->append("?");
 }
 
 Result<Value> Value::Parse(const std::string& text, ValueType type) {

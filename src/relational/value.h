@@ -80,6 +80,11 @@ class Value {
   /// strings print verbatim (no quotes).
   std::string ToString() const;
 
+  /// Appends the display form to `out` without materialising a temporary
+  /// string per value — use when rendering many values into one buffer
+  /// (TupleView::ToString, fingerprints).
+  void AppendTo(std::string* out) const;
+
   /// Parses a display-form string back into a Value of the requested type.
   static Result<Value> Parse(const std::string& text, ValueType type);
 

@@ -1,0 +1,302 @@
+// Unit tests for the compiled execution layer (src/compile/): compiled
+// pair programs against the predicate interpreter, compiled derivation
+// programs against DeriveTuple, and the derivation memo cache (hit/miss
+// accounting, provenance identity of cached traces, error non-caching,
+// and isolation between relations).
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "compile/derivation_program.h"
+#include "compile/pair_program.h"
+#include "workload/fixtures.h"
+
+namespace eid {
+namespace {
+
+Schema TwoColumnSchema(const std::string& a, const std::string& b) {
+  return Schema(std::vector<Attribute>{Attribute{a, ValueType::kString},
+                                       Attribute{b, ValueType::kString}});
+}
+
+TEST(CompiledConjunctionTest, MatchesInterpreterIncludingNullsAndAbsent) {
+  Schema r_schema = TwoColumnSchema("name", "street");
+  Schema s_schema = TwoColumnSchema("name", "city");
+  std::vector<Predicate> preds;
+  preds.push_back(Predicate{Operand::Attr(1, "name"), CompareOp::kEq,
+                            Operand::Attr(2, "name")});
+  preds.push_back(Predicate{Operand::Attr(1, "street"), CompareOp::kNe,
+                            Operand::Const(Value::String("Main St."))});
+  // "city" is absent from the R schema: resolves to NULL in the direct
+  // orientation, exactly as TupleView::GetOrNull does.
+  preds.push_back(Predicate{Operand::Attr(1, "city"), CompareOp::kEq,
+                            Operand::Attr(2, "city")});
+
+  std::vector<Row> r_rows = {
+      {Value::String("Kwan's"), Value::String("Wash. Ave.")},
+      {Value::String("Kwan's"), Value::String("Main St.")},
+      {Value::Null(), Value::String("Wash. Ave.")},
+      {Value::String("Hunan"), Value::Null()},
+  };
+  std::vector<Row> s_rows = {
+      {Value::String("Kwan's"), Value::String("Mpls.")},
+      {Value::String("Hunan"), Value::Null()},
+      {Value::Null(), Value::Null()},
+  };
+
+  for (bool flipped : {false, true}) {
+    SCOPED_TRACE(flipped ? "flipped" : "direct");
+    compile::CompiledConjunction program = compile::CompiledConjunction::
+        Compile(preds, r_schema, s_schema, flipped);
+    EXPECT_EQ(program.size(), preds.size());
+    for (const Row& r_row : r_rows) {
+      for (const Row& s_row : s_rows) {
+        TupleView r_view(&r_schema, &r_row);
+        TupleView s_view(&s_schema, &s_row);
+        const TupleView& e1 = flipped ? s_view : r_view;
+        const TupleView& e2 = flipped ? r_view : s_view;
+        EXPECT_EQ(program.Evaluate(r_row, s_row),
+                  EvaluateConjunction(preds, e1, e2));
+      }
+    }
+  }
+}
+
+/// A small program with a derivation chain: street determines city,
+/// city+name determines speciality (so kExhaustive has a two-step
+/// closure and kFirstMatch has a recursive subgoal).
+IlfdSet ChainIlfds() {
+  IlfdSet ilfds;
+  ilfds.Add(Ilfd::Implies({Atom{"street", Value::String("Wash. Ave.")}},
+                          Atom{"city", Value::String("Mpls.")}));
+  ilfds.Add(Ilfd::Implies({Atom{"city", Value::String("Mpls.")},
+                           Atom{"name", Value::String("Kwan's")}},
+                          Atom{"speciality", Value::String("Mughalai")}));
+  return ilfds;
+}
+
+Schema ChainSchema() {
+  return Schema(std::vector<Attribute>{
+      Attribute{"name", ValueType::kString},
+      Attribute{"street", ValueType::kString},
+      Attribute{"city", ValueType::kString},
+      Attribute{"speciality", ValueType::kString}});
+}
+
+TEST(DerivationProgramTest, MatchesDeriveTupleBothModes) {
+  Schema schema = ChainSchema();
+  IlfdSet ilfds = ChainIlfds();
+  std::vector<Row> rows = {
+      {Value::String("Kwan's"), Value::String("Wash. Ave."), Value::Null(),
+       Value::Null()},
+      {Value::String("Hunan"), Value::String("Wash. Ave."), Value::Null(),
+       Value::Null()},
+      {Value::String("Kwan's"), Value::Null(), Value::String("Mpls."),
+       Value::Null()},
+      {Value::Null(), Value::Null(), Value::Null(), Value::Null()},
+      // Base value present: never overwritten, never a conflict source.
+      {Value::String("Kwan's"), Value::String("Wash. Ave."),
+       Value::String("St. Paul"), Value::Null()},
+  };
+  for (DerivationMode mode :
+       {DerivationMode::kExhaustive, DerivationMode::kFirstMatch}) {
+    SCOPED_TRACE(mode == DerivationMode::kExhaustive ? "exhaustive"
+                                                     : "first_match");
+    DerivationOptions options;
+    options.mode = mode;
+    compile::DerivationProgram program =
+        compile::DerivationProgram::Compile(schema, ilfds, options);
+    ClosureEvaluator evaluator(&program.kb());
+    compile::DerivationMemo memo;
+    std::vector<compile::DerivationWrite> writes;
+    for (const Row& row : rows) {
+      Result<Derivation> compiled_result =
+          program.Derive(row, &evaluator, &memo, &writes);
+      TupleView view(&schema, &row);
+      Result<Derivation> interpreted_result = DeriveTuple(view, ilfds, options);
+      // The last row's base city conflicts with ILFD 0 under kExhaustive +
+      // kError: both engines must report the identical error.
+      ASSERT_EQ(compiled_result.ok(), interpreted_result.ok());
+      if (!interpreted_result.ok()) {
+        EXPECT_EQ(compiled_result.status().ToString(),
+                  interpreted_result.status().ToString());
+        continue;
+      }
+      Derivation compiled = std::move(compiled_result).value();
+      Derivation interpreted = std::move(interpreted_result).value();
+      EXPECT_EQ(compiled.derived, interpreted.derived);
+      ASSERT_EQ(compiled.steps.size(), interpreted.steps.size());
+      for (size_t i = 0; i < compiled.steps.size(); ++i) {
+        EXPECT_EQ(compiled.steps[i].attribute, interpreted.steps[i].attribute);
+        EXPECT_EQ(compiled.steps[i].value, interpreted.steps[i].value);
+        EXPECT_EQ(compiled.steps[i].ilfd_index,
+                  interpreted.steps[i].ilfd_index);
+      }
+      // Writes land exactly where the interpreter's by-name application
+      // would put them.
+      for (const compile::DerivationWrite& w : writes) {
+        auto it = interpreted.derived.find(schema.attribute(w.column).name);
+        ASSERT_NE(it, interpreted.derived.end());
+        EXPECT_EQ(it->second, w.value);
+      }
+    }
+  }
+}
+
+TEST(DerivationMemoTest, HitAndMissCounts) {
+  Schema schema = ChainSchema();
+  IlfdSet ilfds = ChainIlfds();
+  compile::DerivationProgram program =
+      compile::DerivationProgram::Compile(schema, ilfds, DerivationOptions{});
+  ClosureEvaluator evaluator(&program.kb());
+  compile::DerivationMemo memo;
+  std::vector<compile::DerivationWrite> writes;
+
+  Row row_a = {Value::String("Kwan's"), Value::String("Wash. Ave."),
+               Value::Null(), Value::Null()};
+  EID_ASSERT_OK_AND_ASSIGN(Derivation first,
+                           program.Derive(row_a, &evaluator, &memo, &writes));
+  EXPECT_EQ(memo.hits(), 0u);
+  EXPECT_EQ(memo.misses(), 1u);
+  EXPECT_EQ(memo.size(), 1u);
+  std::vector<compile::DerivationWrite> first_writes = writes;
+
+  // Same projection: a hit returning the identical trace and writes —
+  // provenance (step ILFD indices) included.
+  EID_ASSERT_OK_AND_ASSIGN(Derivation again,
+                           program.Derive(row_a, &evaluator, &memo, &writes));
+  EXPECT_EQ(memo.hits(), 1u);
+  EXPECT_EQ(memo.misses(), 1u);
+  EXPECT_EQ(again.derived, first.derived);
+  ASSERT_EQ(again.steps.size(), first.steps.size());
+  for (size_t i = 0; i < again.steps.size(); ++i) {
+    EXPECT_EQ(again.steps[i].ilfd_index, first.steps[i].ilfd_index);
+    EXPECT_EQ(again.steps[i].attribute, first.steps[i].attribute);
+    EXPECT_EQ(again.steps[i].value, first.steps[i].value);
+  }
+  ASSERT_EQ(writes.size(), first_writes.size());
+  for (size_t i = 0; i < writes.size(); ++i) {
+    EXPECT_EQ(writes[i].column, first_writes[i].column);
+    EXPECT_EQ(writes[i].value, first_writes[i].value);
+  }
+
+  // Different projection: a fresh miss.
+  Row row_b = {Value::String("Hunan"), Value::String("Wash. Ave."),
+               Value::Null(), Value::Null()};
+  EID_EXPECT_OK(program.Derive(row_b, &evaluator, &memo, &writes).status());
+  EXPECT_EQ(memo.hits(), 1u);
+  EXPECT_EQ(memo.misses(), 2u);
+  EXPECT_EQ(memo.size(), 2u);
+  EXPECT_GT(memo.interner_size(), 0u);
+}
+
+TEST(DerivationMemoTest, ErrorsAreNeverCached) {
+  Schema schema = ChainSchema();
+  IlfdSet ilfds = ChainIlfds();
+  // Conflicting second rule for city under the same antecedent.
+  ilfds.Add(Ilfd::Implies({Atom{"street", Value::String("Wash. Ave.")}},
+                          Atom{"city", Value::String("St. Paul")}));
+  DerivationOptions options;  // kExhaustive + kError
+  compile::DerivationProgram program =
+      compile::DerivationProgram::Compile(schema, ilfds, options);
+  ClosureEvaluator evaluator(&program.kb());
+  compile::DerivationMemo memo;
+  std::vector<compile::DerivationWrite> writes;
+
+  Row row = {Value::String("Kwan's"), Value::String("Wash. Ave."),
+             Value::Null(), Value::Null()};
+  Result<Derivation> first = program.Derive(row, &evaluator, &memo, &writes);
+  ASSERT_FALSE(first.ok());
+  Result<Derivation> second = program.Derive(row, &evaluator, &memo, &writes);
+  ASSERT_FALSE(second.ok());
+  // Identical error (the interpreter's message, full tuple display
+  // included) and no cache pollution.
+  EXPECT_EQ(first.status().ToString(), second.status().ToString());
+  TupleView view(&schema, &row);
+  Result<Derivation> oracle = DeriveTuple(view, ilfds, options);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_EQ(first.status().ToString(), oracle.status().ToString());
+  EXPECT_EQ(memo.hits(), 0u);
+  EXPECT_EQ(memo.misses(), 0u);
+  EXPECT_EQ(memo.size(), 0u);
+}
+
+TEST(DerivationMemoTest, NoCrossRelationLeakage) {
+  // Two programs over different schemas (as the engine builds per side),
+  // each with its own memo: deriving through one never changes the
+  // other's cache, even for rows agreeing on the shared projection.
+  IlfdSet ilfds = ChainIlfds();
+  Schema r_schema = ChainSchema();
+  Schema s_schema = Schema(std::vector<Attribute>{
+      Attribute{"name", ValueType::kString},
+      Attribute{"city", ValueType::kString},
+      Attribute{"speciality", ValueType::kString}});
+  compile::DerivationProgram r_program =
+      compile::DerivationProgram::Compile(r_schema, ilfds,
+                                          DerivationOptions{});
+  compile::DerivationProgram s_program =
+      compile::DerivationProgram::Compile(s_schema, ilfds,
+                                          DerivationOptions{});
+  ClosureEvaluator r_eval(&r_program.kb());
+  ClosureEvaluator s_eval(&s_program.kb());
+  compile::DerivationMemo r_memo, s_memo;
+  std::vector<compile::DerivationWrite> writes;
+
+  Row r_row = {Value::String("Kwan's"), Value::String("Wash. Ave."),
+               Value::Null(), Value::Null()};
+  EID_EXPECT_OK(
+      r_program.Derive(r_row, &r_eval, &r_memo, &writes).status());
+  EXPECT_EQ(r_memo.size(), 1u);
+  EXPECT_EQ(s_memo.size(), 0u);
+  EXPECT_EQ(s_memo.hits(), 0u);
+  EXPECT_EQ(s_memo.interner_size(), 0u);
+
+  Row s_row = {Value::String("Kwan's"), Value::String("Mpls."),
+               Value::Null()};
+  EID_EXPECT_OK(
+      s_program.Derive(s_row, &s_eval, &s_memo, &writes).status());
+  EXPECT_EQ(s_memo.misses(), 1u);
+  EXPECT_EQ(r_memo.size(), 1u);
+  EXPECT_EQ(r_memo.hits(), 0u);
+}
+
+TEST(DerivationProgramTest, MemoColumnsCoverReadSet) {
+  // The memo key projects onto every column the program can read; for the
+  // chain program over the R schema that is street (antecedent), city
+  // (antecedent + consequent), name (antecedent) and speciality
+  // (consequent).
+  Schema schema = ChainSchema();
+  compile::DerivationProgram program = compile::DerivationProgram::Compile(
+      schema, ChainIlfds(), DerivationOptions{});
+  EXPECT_EQ(program.memo_columns(),
+            (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(DerivationProgramTest, FixtureRelationsDeriveIdentically) {
+  // Paper Example 3: every tuple of both fixture relations, both modes,
+  // memo on — compiled output equals the interpreter tuple for tuple.
+  IlfdSet ilfds = fixtures::Example3Ilfds();
+  for (const Relation& rel : {fixtures::Example3R(), fixtures::Example3S()}) {
+    for (DerivationMode mode :
+         {DerivationMode::kExhaustive, DerivationMode::kFirstMatch}) {
+      DerivationOptions options;
+      options.mode = mode;
+      compile::DerivationProgram program =
+          compile::DerivationProgram::Compile(rel.schema(), ilfds, options);
+      ClosureEvaluator evaluator(&program.kb());
+      compile::DerivationMemo memo;
+      std::vector<compile::DerivationWrite> writes;
+      for (size_t i = 0; i < rel.size(); ++i) {
+        EID_ASSERT_OK_AND_ASSIGN(
+            Derivation compiled,
+            program.Derive(rel.row(i), &evaluator, &memo, &writes));
+        EID_ASSERT_OK_AND_ASSIGN(Derivation interpreted,
+                                 DeriveTuple(rel.tuple(i), ilfds, options));
+        EXPECT_EQ(compiled.derived, interpreted.derived) << rel.name() << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eid
