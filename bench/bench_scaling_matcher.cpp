@@ -168,6 +168,21 @@ void BM_ParallelMatcher(benchmark::State& state) {
 BENCHMARK(BM_ParallelMatcher)
     ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}});
 
+/// Sums the pair-sweep counters (identity + distinctness stages) of one
+/// identification run.
+void SumPairSweep(const IdentificationResult& result, size_t* candidate_pairs,
+                  size_t* cross_product) {
+  *candidate_pairs = 0;
+  *cross_product = 0;
+  for (const exec::StageStats& stage : result.stats.stages()) {
+    if (stage.stage == "identity_rules" ||
+        stage.stage == "distinctness_rules") {
+      *candidate_pairs += stage.candidate_pairs;
+      *cross_product += stage.cross_product;
+    }
+  }
+}
+
 void BM_ParallelIdentify(benchmark::State& state) {
   GeneratedWorld world = MakeWorld(static_cast<size_t>(state.range(0)));
   IdentifierConfig config;
@@ -179,6 +194,7 @@ void BM_ParallelIdentify(benchmark::State& state) {
   EntityIdentifier identifier(config);
   double total_ms = 0;
   size_t iterations = 0;
+  size_t candidate_pairs = 0, cross_product = 0;
   for (auto _ : state) {
     bench::WallTimer timer;
     Result<IdentificationResult> result = identifier.Identify(world.r,
@@ -186,18 +202,73 @@ void BM_ParallelIdentify(benchmark::State& state) {
     EID_CHECK(result.ok());
     total_ms += timer.ElapsedMs();
     ++iterations;
+    SumPairSweep(*result, &candidate_pairs, &cross_product);
     benchmark::DoNotOptimize(result->partition.undetermined);
   }
   state.counters["threads"] =
       static_cast<double>(config.matcher_options.threads);
+  state.counters["candidate_pairs"] = static_cast<double>(candidate_pairs);
   bench::GlobalJson().Record("identify", static_cast<size_t>(state.range(0)),
                              config.matcher_options.threads,
-                             total_ms * 1e6 / static_cast<double>(iterations));
+                             total_ms * 1e6 / static_cast<double>(iterations),
+                             candidate_pairs, cross_product);
 }
 // Identify sweeps the full Prop-1 distinctness rule set (one rule per
-// covered entity) and materialises the complete NMT.
+// covered entity) and materialises the complete NMT — the NMT itself is
+// Θ(n²) output, which caps this fixture's n.
 BENCHMARK(BM_ParallelIdentify)
     ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelIdentifyBlocked(benchmark::State& state) {
+  // Selective join rules instead of the Θ(n²)-output Prop-1 NMT: every
+  // rule blocks on a near-unique name, so both output and — through the
+  // staged candidate generator — work stay near-linear, which is what
+  // lets n reach 65536. CPU time (not wall) is recorded; see CpuTimer.
+  GeneratedWorld world = MakeWorld(static_cast<size_t>(state.range(0)));
+  IdentifierConfig config;
+  config.correspondence = world.correspondence;
+  config.extended_key = world.extended_key;
+  config.ilfds = world.ilfds;
+  Result<IdentityRule> identity = ParseIdentityRule(
+      "name_spec_eq", "e1.name = e2.name & e1.speciality = e2.speciality");
+  EID_CHECK(identity.ok());
+  config.identity_rules.push_back(*identity);
+  Result<DistinctnessRule> distinct = ParseDistinctnessRule(
+      "same_name_other_spec",
+      "e1.name = e2.name & e1.speciality != e2.speciality");
+  EID_CHECK(distinct.ok());
+  config.distinctness_rules.push_back(*distinct);
+  config.distinctness_from_ilfds = false;
+  config.matcher_options.threads = static_cast<int>(state.range(1));
+  EntityIdentifier identifier(config);
+  double total_ms = 0;
+  size_t iterations = 0;
+  size_t candidate_pairs = 0, cross_product = 0;
+  for (auto _ : state) {
+    bench::CpuTimer timer;
+    Result<IdentificationResult> result = identifier.Identify(world.r,
+                                                              world.s);
+    EID_CHECK(result.ok());
+    total_ms += timer.ElapsedMs();
+    ++iterations;
+    SumPairSweep(*result, &candidate_pairs, &cross_product);
+    // Quadratic-fallback guard: if blocking collapses, the bench itself
+    // fails loudly instead of quietly recording a quadratic sweep.
+    EID_CHECK(candidate_pairs < cross_product);
+    benchmark::DoNotOptimize(result->partition.undetermined);
+  }
+  state.counters["threads"] =
+      static_cast<double>(config.matcher_options.threads);
+  state.counters["candidate_pairs"] = static_cast<double>(candidate_pairs);
+  bench::GlobalJson().Record("identify_blocked",
+                             static_cast<size_t>(state.range(0)),
+                             config.matcher_options.threads,
+                             total_ms * 1e6 / static_cast<double>(iterations),
+                             candidate_pairs, cross_product);
+}
+BENCHMARK(BM_ParallelIdentifyBlocked)
+    ->ArgsProduct({{4096, 16384, 65536}, {1, 8}})
     ->Unit(benchmark::kMillisecond);
 
 // --- Engine comparison: compiled path vs per-tuple interpreter ----------

@@ -112,12 +112,18 @@ class CpuTimer {
 };
 
 /// One scaling measurement: benchmark case, input size, thread count,
-/// nanoseconds per operation.
+/// nanoseconds per operation — plus, for pair-sweep benches, how many
+/// candidate pairs the staged generator actually evaluated against the
+/// |R'|·|S'| cross product it replaced (the blocking-effectiveness
+/// signal CI guards; see scripts/bench.sh).
 struct JsonRecord {
   std::string name;
   size_t n = 0;
   int threads = 1;
   double ns_op = 0.0;
+  bool has_pairs = false;
+  size_t candidate_pairs = 0;
+  size_t cross_product = 0;
 };
 
 /// Accumulates JsonRecords and writes them as a JSON array, one record per
@@ -131,11 +137,24 @@ class JsonEmitter {
     records_.push_back(JsonRecord{name, n, threads, ns_op});
   }
 
+  /// Pair-sweep form: also emits candidate_pairs / cross_product. The
+  /// extra keys land after ns_op so the (name, n, threads) merge key —
+  /// the line prefix up to "ns_op" — is unchanged.
+  void Record(const std::string& name, size_t n, int threads, double ns_op,
+              size_t candidate_pairs, size_t cross_product) {
+    records_.push_back(JsonRecord{name, n, threads, ns_op, /*has_pairs=*/true,
+                                  candidate_pairs, cross_product});
+  }
+
   static std::string ToLine(const JsonRecord& r) {
     std::ostringstream out;
     out << "  {\"name\": \"" << r.name << "\", \"n\": " << r.n
-        << ", \"threads\": " << r.threads << ", \"ns_op\": " << r.ns_op
-        << "}";
+        << ", \"threads\": " << r.threads << ", \"ns_op\": " << r.ns_op;
+    if (r.has_pairs) {
+      out << ", \"candidate_pairs\": " << r.candidate_pairs
+          << ", \"cross_product\": " << r.cross_product;
+    }
+    out << "}";
     return out.str();
   }
 

@@ -5,14 +5,19 @@
 # benches still build, run, and emit JSON in a few seconds. --full sweeps
 # up to n=4096 — the configuration whose numbers EXPERIMENTS.md records.
 #
-# Output: BENCH_derivation.json (bench_scaling_ilfd) and
-# BENCH_matcher.json (bench_scaling_matcher) at the repo root. The
+# Output: BENCH_derivation.json (bench_scaling_ilfd), BENCH_matcher.json
+# and BENCH_scaling.json (bench_scaling_matcher) at the repo root. The
 # emitter merges per (name, n, threads) key, so a smoke run refreshes
-# the small-n records without disturbing committed n=4096 ones.
+# the small-n records without disturbing committed large-n ones.
+#
+# After the runs, the quadratic-fallback guard fails the script when any
+# blocked-fixture record evaluated as many candidate pairs as the full
+# cross product — i.e. the staged generator silently degenerated into
+# the all-pairs sweep it exists to replace.
 #
 # Usage:
 #   scripts/bench.sh          # smoke: small n, fast
-#   scripts/bench.sh --full   # full sweep, n up to 4096
+#   scripts/bench.sh --full   # full sweep, identify up to n=65536
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,10 +34,12 @@ fi
 if [[ "$FULL" == "1" ]]; then
   DERIVATION_FILTER='BM_(Derivation|Extension)(Compiled|Interpreter)'
   MATCHER_FILTER='BM_Matcher(Compiled|Interpreter)'
+  SCALING_FILTER='BM_ParallelIdentifyBlocked'
   MIN_TIME=0.2
 else
   DERIVATION_FILTER='BM_Derivation(Compiled|Interpreter)/256$|BM_Extension(Compiled|Interpreter)/1024$'
   MATCHER_FILTER='BM_Matcher(Compiled|Interpreter)/1024$'
+  SCALING_FILTER='BM_ParallelIdentifyBlocked/4096/'
   MIN_TIME=0.05
 fi
 
@@ -46,5 +53,24 @@ EID_BENCH_JSON=BENCH_matcher.json ./build/bench/bench_scaling_matcher \
   --benchmark_filter="$MATCHER_FILTER" \
   --benchmark_min_time="$MIN_TIME"
 
+echo "=== bench_scaling_matcher (blocked identify) -> BENCH_scaling.json ==="
+EID_BENCH_JSON=BENCH_scaling.json ./build/bench/bench_scaling_matcher \
+  --benchmark_filter="$SCALING_FILTER" \
+  --benchmark_min_time="$MIN_TIME"
+
+echo "=== quadratic-fallback guard (BENCH_scaling.json) ==="
+awk '/"name": "identify_blocked"/ {
+  seen = 1
+  cp = $0; sub(/.*"candidate_pairs": /, "", cp); sub(/[,}].*/, "", cp)
+  xp = $0; sub(/.*"cross_product": /, "", xp); sub(/[,}].*/, "", xp)
+  if (cp + 0 >= xp + 0) { print "QUADRATIC FALLBACK: " $0; bad = 1 }
+}
+END {
+  if (!seen) { print "no identify_blocked records in BENCH_scaling.json"
+               exit 1 }
+  if (bad) exit 1
+  print "blocked fixtures stayed below the cross product"
+}' BENCH_scaling.json
+
 echo
-echo "wrote BENCH_derivation.json and BENCH_matcher.json"
+echo "wrote BENCH_derivation.json, BENCH_matcher.json and BENCH_scaling.json"

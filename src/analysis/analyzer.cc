@@ -512,6 +512,21 @@ class Analysis {
       RuleRef ref{RuleKind::kDistinctnessRule, i, rule.name()};
       RulePlanChecks(rule.predicates(), ref, r_ext, s_ext);
     }
+    if (!unindexable_rules_.empty()) {
+      std::string names;
+      for (const std::string& name : unindexable_rules_) {
+        if (!names.empty()) names += ", ";
+        names += name;
+      }
+      Emit("EID-W009", Severity::kWarning, RuleRef{RuleKind::kProgram, 0, ""},
+           "empty blocking plan: " + names +
+               (unindexable_rules_.size() == 1 ? " has" : " have") +
+               " no join or constant-equality conjunct in any satisfiable "
+               "orientation, forcing the staged candidate generator into a "
+               "quadratic scan over |R'|x|S'| pairs",
+           "add an equality conjunct (e1.A = e2.B, or e.A = constant) to "
+           "each listed rule so its candidates can be index-bounded");
+    }
   }
 
   Schema ExtSchema(const std::map<std::string, ValueType>& side_world,
@@ -560,6 +575,22 @@ class Analysis {
            "add an equality conjunct (e1.A = e2.B) if the rule's "
            "semantics allow one");
     }
+    // An orientation with no join *and* no const filter has an empty
+    // blocking plan — the staged generator can prune nothing for it.
+    auto plan_empty = [](const exec::BlockingPlan& plan) {
+      return !plan.impossible && !plan.has_join && plan.r_const_eq.empty() &&
+             plan.s_const_eq.empty();
+    };
+    const bool any_live = !direct.impossible || !flipped.impossible;
+    const bool all_live_empty =
+        (direct.impossible || plan_empty(direct)) &&
+        (flipped.impossible || plan_empty(flipped));
+    if (any_live && all_live_empty) {
+      std::string name = std::string(RuleKindName(ref.kind)) + "#" +
+                         std::to_string(ref.index);
+      if (!ref.display.empty()) name += " ('" + ref.display + "')";
+      unindexable_rules_.push_back(std::move(name));
+    }
   }
 
   const Schema& r_schema_;
@@ -580,6 +611,10 @@ class Analysis {
   // Attributes materialized in R'/S' under the configured options.
   std::set<std::string> r_ext_;
   std::set<std::string> s_ext_;
+
+  // Rules whose every satisfiable orientation has an empty blocking plan
+  // (collected by RulePlanChecks, reported once as EID-W009).
+  std::vector<std::string> unindexable_rules_;
 
   bool limit_note_emitted_ = false;
   AnalysisReport report_;

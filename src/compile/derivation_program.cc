@@ -29,25 +29,35 @@ DerivationProgram DerivationProgram::CompileImpl(
   if (options.mode == DerivationMode::kExhaustive) {
     const AtomTable& atoms = ilfds.atoms();
     if (borrow_kb) {
+      // Borrow everything the AtomTable already maintains: the knowledge
+      // base, the per-atom values and the per-attribute seed maps. This
+      // drops the dominant lowering cost (hashing thousands of atom
+      // values per call) for the batch engine, which re-lowers per sweep.
       p.kb_view_ = &ilfds.kb();
+      p.atoms_view_ = &atoms;
     } else {
       p.kb_ = ilfds.kb();
-    }
-    p.value_of_atom_.reserve(atoms.size());
-    for (size_t id = 0; id < atoms.size(); ++id) {
-      p.value_of_atom_.push_back(atoms.atom(static_cast<AtomId>(id)).value);
+      p.value_of_atom_.reserve(atoms.size());
+      for (size_t id = 0; id < atoms.size(); ++id) {
+        p.value_of_atom_.push_back(atoms.atom(static_cast<AtomId>(id)).value);
+      }
     }
     p.slot_of_atom_.assign(atoms.size(), kNoSlot);
     // Seed columns in ascending schema order — the interpreter's seed
     // scan order.
     for (size_t c = 0; c < schema.size(); ++c) {
-      std::vector<AtomId> ids =
-          atoms.AtomsForAttribute(schema.attribute(c).name);
-      if (ids.empty()) continue;
+      const AtomTable::AttributeAtoms* attr =
+          atoms.AttributeIndex(schema.attribute(c).name);
+      if (attr == nullptr || attr->ids.empty()) continue;
       SeedColumn sc;
       sc.column = c;
-      sc.atoms.reserve(ids.size() * 2);
-      for (AtomId id : ids) sc.atoms.emplace(atoms.atom(id).value, id);
+      if (borrow_kb) {
+        sc.atoms = &attr->by_value;
+      } else {
+        sc.owned = std::make_shared<
+            std::unordered_map<Value, AtomId, ValueHash>>(attr->by_value);
+        sc.atoms = sc.owned.get();
+      }
       p.seed_columns_.push_back(std::move(sc));
       // Every attribute the exhaustive run can read is interned (the
       // consequent atoms are, too), so the seed columns are exactly the
@@ -164,8 +174,11 @@ Result<Derivation> DerivationProgram::Derive(
   // which the key projection does not cover.
   if (!derived.ok()) return derived;
   ++memo->misses_;
-  if (memo->misses_ >= DerivationMemo::kAbandonMissLimit &&
-      memo->hits_ < memo->misses_ / 8) {
+  const bool hopeless =
+      memo->misses_ >= DerivationMemo::kEarlyAbandonMissLimit &&
+      memo->hits_ == 0;
+  if (hopeless || (memo->misses_ >= DerivationMemo::kAbandonMissLimit &&
+                   memo->hits_ < memo->misses_ / 8)) {
     memo->abandoned_ = true;
     memo->entries_ = {};  // free, not just clear
     return derived;
@@ -195,8 +208,8 @@ Result<Derivation> DerivationProgram::RunExhaustive(
   for (const SeedColumn& sc : seed_columns_) {
     const Value& v = row[sc.column];
     if (v.is_null()) continue;
-    auto it = sc.atoms.find(v);
-    if (it != sc.atoms.end()) seed.push_back(it->second);
+    auto it = sc.atoms->find(v);
+    if (it != sc.atoms->end()) seed.push_back(it->second);
   }
   AtomSet seed_set(std::move(seed));
   ClosureResult closure = evaluator != nullptr
@@ -222,7 +235,7 @@ Result<Derivation> DerivationProgram::RunExhaustive(
       }
       const uint32_t slot = slot_of_atom_[h];
       const ConsSlot& cs = cons_slots_[slot];
-      const Value& atom_value = value_of_atom_[h];
+      const Value& atom_value = AtomValue(h);
       const size_t fi = clause_index;  // clause index == ILFD index
 
       const Value* first_value = nullptr;

@@ -36,6 +36,7 @@
 #ifndef EID_COMPILE_DERIVATION_PROGRAM_H_
 #define EID_COMPILE_DERIVATION_PROGRAM_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -64,9 +65,10 @@ struct DerivationWrite {
 /// as large as the input (e.g. rule sets carrying per-entity ILFDs, where
 /// every row projects uniquely), key building and entry insertion are
 /// pure overhead — so after kAbandonMissLimit misses with a hit rate
-/// below 1/8 the memo switches itself off, frees its entries, and every
-/// later Derive runs uncached. Derivation results are identical either
-/// way; only the hit/miss counters stop advancing.
+/// below 1/8 (or kEarlyAbandonMissLimit consecutive misses without a
+/// single hit) the memo switches itself off, frees its entries, and
+/// every later Derive runs uncached. Derivation results are identical
+/// either way; only the hit/miss counters stop advancing.
 class DerivationMemo {
  public:
   size_t hits() const { return hits_; }
@@ -82,6 +84,7 @@ class DerivationMemo {
     std::vector<DerivationWrite> writes;
   };
   static constexpr size_t kAbandonMissLimit = 512;
+  static constexpr size_t kEarlyAbandonMissLimit = 128;
 
   ValueInterner interner_;
   std::unordered_map<std::vector<uint32_t>, Entry, InternedKeyHash> entries_;
@@ -134,10 +137,14 @@ class DerivationProgram {
 
  private:
   /// A schema column whose attribute has interned atoms, with the
-  /// value -> atom map used to seed the closure.
+  /// value -> atom map used to seed the closure. CompileBorrowed points
+  /// `atoms` straight at the AtomTable's per-attribute index; Compile
+  /// keeps a private copy alive via `owned` (shared_ptr so the program
+  /// stays copyable and the pointer survives moves).
   struct SeedColumn {
     size_t column = 0;
-    std::unordered_map<Value, AtomId, ValueHash> atoms;
+    const std::unordered_map<Value, AtomId, ValueHash>* atoms = nullptr;
+    std::shared_ptr<const std::unordered_map<Value, AtomId, ValueHash>> owned;
   };
   /// One consequent attribute (kExhaustive).
   struct ConsSlot {
@@ -177,6 +184,11 @@ class DerivationProgram {
                                        const DerivationOptions& options,
                                        bool borrow_kb);
 
+  const Value& AtomValue(AtomId id) const {
+    return atoms_view_ != nullptr ? atoms_view_->atom(id).value
+                                  : value_of_atom_[id];
+  }
+
   Result<Derivation> RunUncached(const Row& row, ClosureEvaluator* evaluator,
                                  std::vector<DerivationWrite>* writes) const;
   Result<Derivation> RunExhaustive(const Row& row,
@@ -193,12 +205,14 @@ class DerivationProgram {
   std::vector<size_t> memo_columns_;
 
   // kExhaustive state. Exactly one of kb_ / kb_view_ is live: Compile
-  // fills kb_; CompileBorrowed points kb_view_ at the caller's base.
+  // fills kb_; CompileBorrowed points kb_view_ at the caller's base and
+  // atoms_view_ at its atom table (skipping the per-atom value copy).
   KnowledgeBase kb_;
   const KnowledgeBase* kb_view_ = nullptr;
+  const AtomTable* atoms_view_ = nullptr;
   std::vector<SeedColumn> seed_columns_;       // ascending columns
   std::vector<uint32_t> slot_of_atom_;         // AtomId -> slot / kNoSlot
-  std::vector<Value> value_of_atom_;           // AtomId -> value
+  std::vector<Value> value_of_atom_;           // AtomId -> value (owned mode)
   std::vector<ConsSlot> cons_slots_;
 
   // kFirstMatch state.

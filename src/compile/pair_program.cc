@@ -1,5 +1,8 @@
 #include "compile/pair_program.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace eid {
 namespace compile {
 
@@ -49,6 +52,248 @@ Truth CompiledConjunction::Evaluate(const Row& r_row,
     if (result == Truth::kFalse) return result;
   }
   return result;
+}
+
+const std::vector<uint32_t>& PairFeatureCache::RColumn(size_t column) {
+  auto it = r_columns_.find(column);
+  if (it != r_columns_.end()) return it->second;
+  return r_columns_.emplace(column, BuildColumn(*r_, column)).first->second;
+}
+
+const std::vector<uint32_t>& PairFeatureCache::SColumn(size_t column) {
+  auto it = s_columns_.find(column);
+  if (it != s_columns_.end()) return it->second;
+  return s_columns_.emplace(column, BuildColumn(*s_, column)).first->second;
+}
+
+uint32_t PairFeatureCache::InternConstant(const Value& v) {
+  if (v.is_null()) return kNullId;
+  return interner_.GetOrIntern(v);
+}
+
+std::vector<uint32_t> PairFeatureCache::BuildColumn(const Relation& rel,
+                                                    size_t column) {
+  std::vector<uint32_t> ids(rel.size(), kNullId);
+  for (size_t i = 0; i < rel.size(); ++i) {
+    const Value& v = rel.row(i)[column];
+    if (!v.is_null()) ids[i] = interner_.GetOrIntern(v);
+  }
+  return ids;
+}
+
+StagedConjunction StagedConjunction::Compile(
+    const std::vector<Predicate>& predicates,
+    const std::vector<exec::PredicateCoverage>& coverage,
+    const Relation& r_ext, const Relation& s_ext, bool flipped,
+    PairFeatureCache* features) {
+  StagedConjunction out;
+  out.r_ = &r_ext;
+  out.s_ = &s_ext;
+  EID_CHECK(coverage.size() == predicates.size());
+  EID_CHECK(features != nullptr);
+  auto bind = [&](const Operand& o) {
+    Slot slot;
+    if (o.kind == Operand::Kind::kConstant) {
+      slot.src = Src::kConstant;
+      slot.constant = o.constant;
+      slot.const_id = features->InternConstant(o.constant);
+      return slot;
+    }
+    const bool r_side = (o.entity == 1) != flipped;
+    const Schema& schema = r_side ? r_ext.schema() : s_ext.schema();
+    std::optional<size_t> column = schema.IndexOf(o.attribute);
+    if (!column.has_value()) return slot;  // kAbsent: resolves to NULL
+    slot.src = r_side ? Src::kRColumn : Src::kSColumn;
+    slot.column = *column;
+    return slot;
+  };
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (coverage[i] == exec::PredicateCoverage::kCovered) continue;
+    const Predicate& p = predicates[i];
+    Op op;
+    op.lhs = bind(p.lhs);
+    op.op = p.op;
+    op.rhs = bind(p.rhs);
+    // kEq/kNe are exactly storage (in)equality on non-NULL operands, so
+    // they run on the cached id slices; ordering ops need the Values.
+    op.id_fast = p.op == CompareOp::kEq || p.op == CompareOp::kNe;
+    if (op.id_fast) {
+      for (Slot* slot : {&op.lhs, &op.rhs}) {
+        if (slot->src == Src::kRColumn) {
+          slot->ids = &features->RColumn(slot->column);
+        } else if (slot->src == Src::kSColumn) {
+          slot->ids = &features->SColumn(slot->column);
+        }
+      }
+    }
+    const bool row_only =
+        coverage[i] == exec::PredicateCoverage::kResidualRow;
+    (row_only ? out.row_ops_ : out.pair_ops_).push_back(std::move(op));
+  }
+  return out;
+}
+
+Truth StagedConjunction::EvaluateOps(const std::vector<Op>& ops,
+                                     size_t r_row, size_t s_row) const {
+  static const Value kNullValue;
+  Truth result = Truth::kTrue;
+  for (const Op& op : ops) {
+    Truth t;
+    if (op.id_fast) {
+      auto id_of = [&](const Slot& slot) -> uint32_t {
+        switch (slot.src) {
+          case Src::kRColumn: return (*slot.ids)[r_row];
+          case Src::kSColumn: return (*slot.ids)[s_row];
+          case Src::kConstant: return slot.const_id;
+          case Src::kAbsent: return PairFeatureCache::kNullId;
+        }
+        return PairFeatureCache::kNullId;
+      };
+      const uint32_t lhs = id_of(op.lhs);
+      const uint32_t rhs = id_of(op.rhs);
+      if (lhs == PairFeatureCache::kNullId ||
+          rhs == PairFeatureCache::kNullId) {
+        t = Truth::kUnknown;  // NULL operand
+      } else if (op.op == CompareOp::kEq) {
+        t = lhs == rhs ? Truth::kTrue : Truth::kFalse;
+      } else {
+        t = lhs == rhs ? Truth::kFalse : Truth::kTrue;
+      }
+    } else {
+      auto resolve = [&](const Slot& slot) -> const Value& {
+        switch (slot.src) {
+          case Src::kRColumn: return r_->row(r_row)[slot.column];
+          case Src::kSColumn: return s_->row(s_row)[slot.column];
+          case Src::kConstant: return slot.constant;
+          case Src::kAbsent: return kNullValue;
+        }
+        return kNullValue;
+      };
+      t = CompareValues(resolve(op.lhs), op.op, resolve(op.rhs));
+    }
+    result = And(result, t);
+    if (result == Truth::kFalse) return result;
+  }
+  return result;
+}
+
+Truth StagedConjunction::RowTruth(size_t r_row) const {
+  // Row ops never carry an s-side slot (PredicateCoverage::kResidualRow
+  // requires every entity operand to bind the r side), so the s row
+  // index is irrelevant.
+  return EvaluateOps(row_ops_, r_row, r_row);
+}
+
+Truth StagedConjunction::PairTruth(size_t r_row, size_t s_row) const {
+  return EvaluateOps(pair_ops_, r_row, s_row);
+}
+
+std::vector<TuplePair> InternedKeyJoin(const Relation& r_ext,
+                                       const Relation& s_ext,
+                                       const std::vector<size_t>& r_idx,
+                                       const std::vector<size_t>& s_idx,
+                                       exec::ThreadPool* pool,
+                                       size_t* interner_values) {
+  const size_t k = r_idx.size();
+  EID_CHECK(s_idx.size() == k);
+  PairFeatureCache features(&r_ext, &s_ext);
+  // Columnar id projections, built serially: per-row NULL checks and
+  // Value hashing happen here once, never in the probe loop.
+  std::vector<const std::vector<uint32_t>*> r_cols, s_cols;
+  r_cols.reserve(k);
+  s_cols.reserve(k);
+  for (size_t i : r_idx) r_cols.push_back(&features.RColumn(i));
+  for (size_t i : s_idx) s_cols.push_back(&features.SColumn(i));
+
+  const size_t n = r_ext.size();
+  const int threads = pool != nullptr ? pool->threads() : 1;
+  const size_t grain =
+      std::max<size_t>(1, n / (static_cast<size_t>(threads) * 4));
+  const size_t num_chunks = n == 0 ? 0 : (n + grain - 1) / grain;
+  std::vector<std::vector<TuplePair>> found(num_chunks);
+
+  if (k <= 2) {
+    // Narrow keys (the common case: extended keys of one or two
+    // attributes) pack into one uint64_t — a probe is a single integer
+    // hash, no vector hashing, no per-column map lookups.
+    auto key_of = [&](const std::vector<const std::vector<uint32_t>*>& cols,
+                      size_t row, bool* has_null) -> uint64_t {
+      uint64_t key = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const uint32_t id = (*cols[c])[row];
+        if (id == PairFeatureCache::kNullId) {
+          *has_null = true;  // non_null_eq: NULL keys never match
+          return 0;
+        }
+        key = (key << 32) | id;
+      }
+      *has_null = false;
+      return key;
+    };
+    std::unordered_map<uint64_t, std::vector<size_t>> build;
+    build.reserve(s_ext.size() * 2);
+    for (size_t s = 0; s < s_ext.size(); ++s) {
+      bool has_null = false;
+      const uint64_t key = key_of(s_cols, s, &has_null);
+      if (!has_null) build[key].push_back(s);
+    }
+    exec::ParallelFor(pool, n, grain, [&](size_t begin, size_t end, int) {
+      const size_t chunk = begin / grain;
+      for (size_t r = begin; r < end; ++r) {
+        bool has_null = false;
+        const uint64_t key = key_of(r_cols, r, &has_null);
+        if (has_null) continue;
+        auto it = build.find(key);
+        if (it == build.end()) continue;
+        for (size_t s : it->second) {
+          found[chunk].push_back(TuplePair{r, s});
+        }
+      }
+    });
+  } else {
+    auto key_of = [&](const std::vector<const std::vector<uint32_t>*>& cols,
+                      size_t row, std::vector<uint32_t>* key) {
+      key->clear();
+      for (size_t c = 0; c < k; ++c) {
+        const uint32_t id = (*cols[c])[row];
+        if (id == PairFeatureCache::kNullId) return false;
+        key->push_back(id);
+      }
+      return true;
+    };
+    std::unordered_map<std::vector<uint32_t>, std::vector<size_t>,
+                       InternedKeyHash>
+        build;
+    build.reserve(s_ext.size() * 2);
+    std::vector<uint32_t> key;
+    key.reserve(k);
+    for (size_t s = 0; s < s_ext.size(); ++s) {
+      if (key_of(s_cols, s, &key)) build[key].push_back(s);
+    }
+    exec::ParallelFor(pool, n, grain, [&](size_t begin, size_t end, int) {
+      const size_t chunk = begin / grain;
+      std::vector<uint32_t> probe;
+      probe.reserve(k);
+      for (size_t r = begin; r < end; ++r) {
+        if (!key_of(r_cols, r, &probe)) continue;
+        auto it = build.find(probe);
+        if (it == build.end()) continue;
+        for (size_t s : it->second) {
+          found[chunk].push_back(TuplePair{r, s});
+        }
+      }
+    });
+  }
+
+  std::vector<TuplePair> pairs;
+  size_t total = 0;
+  for (const std::vector<TuplePair>& f : found) total += f.size();
+  pairs.reserve(total);
+  for (std::vector<TuplePair>& f : found) {
+    pairs.insert(pairs.end(), f.begin(), f.end());
+  }
+  if (interner_values != nullptr) *interner_values = features.distinct_values();
+  return pairs;
 }
 
 }  // namespace compile

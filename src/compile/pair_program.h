@@ -16,9 +16,15 @@
 #ifndef EID_COMPILE_PAIR_PROGRAM_H_
 #define EID_COMPILE_PAIR_PROGRAM_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
+#include "compile/interner.h"
+#include "eid/match_tables.h"
+#include "exec/candidate_generator.h"
 #include "exec/pair_evaluator.h"
+#include "exec/thread_pool.h"
 #include "relational/schema.h"
 #include "rules/predicate.h"
 
@@ -64,6 +70,107 @@ class CompiledConjunction final : public exec::PairEvaluator {
 
   std::vector<Op> ops_;
 };
+
+/// Per-tuple rule-feature projections shared across one engine stage: the
+/// columns rule conjuncts touch, re-encoded once as dense interned-id
+/// vectors (one shared ValueInterner for both relations, so id equality
+/// is storage equality across sides). NULL cells become kNullId and are
+/// never interned — non_null_eq semantics stay explicit at the id layer.
+///
+/// Build is serial and lazy (first rule touching a column pays for it);
+/// reads after build are const and safe from every worker. The point: a
+/// sweep over millions of candidate pairs re-projects no tuple and hashes
+/// no Value — equality is one uint32_t compare against a cached slice.
+class PairFeatureCache {
+ public:
+  static constexpr uint32_t kNullId = ValueInterner::kNotInterned;
+
+  PairFeatureCache(const Relation* r_ext, const Relation* s_ext)
+      : r_(r_ext), s_(s_ext) {}
+
+  /// Interned-id projection of one column (index per that relation's
+  /// schema); built on first request.
+  const std::vector<uint32_t>& RColumn(size_t column);
+  const std::vector<uint32_t>& SColumn(size_t column);
+
+  /// Id of a rule constant under the same interner; kNullId for NULL.
+  uint32_t InternConstant(const Value& v);
+
+  /// Distinct non-NULL values interned so far (stats).
+  size_t distinct_values() const { return interner_.size(); }
+
+ private:
+  std::vector<uint32_t> BuildColumn(const Relation& rel, size_t column);
+
+  const Relation* r_;
+  const Relation* s_;
+  ValueInterner interner_;
+  std::unordered_map<size_t, std::vector<uint32_t>> r_columns_;
+  std::unordered_map<size_t, std::vector<uint32_t>> s_columns_;
+};
+
+/// One rule antecedent compiled for the staged candidate generator: the
+/// covered conjuncts are dropped (the enumeration enforces them), the
+/// rest split into a row part (every operand binds the r side — hoisted
+/// out of the pair loop by the generator) and a pair part. kEq/kNe
+/// conjuncts run on cached interned-id slices (exact: id equality is
+/// storage equality, which is precisely CompareValues-kEq/kNe on
+/// non-NULL operands; either side NULL yields kUnknown); ordering
+/// conjuncts fall back to CompareValues on the raw rows, which compares
+/// numerics cross-type.
+class StagedConjunction final : public exec::StagedEvaluator {
+ public:
+  static StagedConjunction Compile(
+      const std::vector<Predicate>& predicates,
+      const std::vector<exec::PredicateCoverage>& coverage,
+      const Relation& r_ext, const Relation& s_ext, bool flipped,
+      PairFeatureCache* features);
+
+  bool has_row_part() const override { return !row_ops_.empty(); }
+  Truth RowTruth(size_t r_row) const override;
+  Truth PairTruth(size_t r_row, size_t s_row) const override;
+
+ private:
+  enum class Src : uint8_t { kRColumn, kSColumn, kConstant, kAbsent };
+  struct Slot {
+    Src src = Src::kAbsent;
+    size_t column = 0;
+    Value constant;
+    // Interned fast path: the column's id slice (kRColumn/kSColumn) or
+    // the constant's id; unused for value-fallback ops.
+    const std::vector<uint32_t>* ids = nullptr;
+    uint32_t const_id = PairFeatureCache::kNullId;
+  };
+  struct Op {
+    Slot lhs;
+    CompareOp op = CompareOp::kEq;
+    Slot rhs;
+    bool id_fast = false;  // kEq/kNe over interned ids
+  };
+
+  Truth EvaluateOps(const std::vector<Op>& ops, size_t r_row,
+                    size_t s_row) const;
+
+  std::vector<Op> row_ops_;
+  std::vector<Op> pair_ops_;
+  const Relation* r_ = nullptr;
+  const Relation* s_ = nullptr;
+};
+
+/// Hash-joins two extended relations on parallel key-column lists using
+/// columnar interned ids: both sides are batch-interned once per column
+/// (NULL checks hoisted out of the probe loop into the column encoding),
+/// build keys of width <= 2 pack into one uint64_t so a probe is a single
+/// integer-hash lookup. Returns pairs in the serial probe's row-major
+/// order for any pool size; `interner_values` (when non-null) receives
+/// the distinct-value count. Pair semantics are identical to the
+/// fingerprint join: rows agree non-NULL on every key column.
+std::vector<TuplePair> InternedKeyJoin(const Relation& r_ext,
+                                       const Relation& s_ext,
+                                       const std::vector<size_t>& r_idx,
+                                       const std::vector<size_t>& s_idx,
+                                       exec::ThreadPool* pool,
+                                       size_t* interner_values);
 
 }  // namespace compile
 }  // namespace eid

@@ -1,10 +1,12 @@
 #include "eid/identifier.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "analysis/analyzer.h"
 #include "compile/pair_program.h"
 #include "exec/blocking_index.h"
+#include "exec/candidate_generator.h"
 
 namespace eid {
 
@@ -111,36 +113,96 @@ Result<IdentificationResult> EntityIdentifier::Identify(
     // row-major order — the exact serial insertion sequence, which the
     // order-sensitive uniqueness verdict depends on.
     const bool compile = config_.matcher_options.compile;
-    std::vector<compile::CompiledConjunction> programs;
-    if (compile) {
-      exec::StageTimer compile_timer;
-      programs.reserve(config_.identity_rules.size() * 2);
+    std::vector<TuplePair> fired;
+    if (config_.matcher_options.staged) {
+      // Staged sweep: one pass over all rule orientations; the stamped
+      // emission already yields the deduplicated union in row-major
+      // order, so no sort/unique pass is needed.
+      std::vector<exec::BlockingPlan> plans;
+      plans.reserve(config_.identity_rules.size() * 2);
       for (const IdentityRule& rule : config_.identity_rules) {
         for (bool flipped : {false, true}) {
-          programs.push_back(compile::CompiledConjunction::Compile(
-              rule.predicates(), out.r_extended.schema(),
-              out.s_extended.schema(), flipped));
+          plans.push_back(exec::PlanBlocking(rule.predicates(),
+                                             out.r_extended.schema(),
+                                             out.s_extended.schema(),
+                                             flipped));
         }
       }
-      identity.compile_ms = compile_timer.ElapsedMs();
-    }
-    std::vector<TuplePair> fired;
-    for (size_t k = 0; k < config_.identity_rules.size(); ++k) {
-      const IdentityRule& rule = config_.identity_rules[k];
-      for (bool flipped : {false, true}) {
-        exec::PairScanStats scan;
-        const exec::PairEvaluator* evaluator =
-            compile ? &programs[k * 2 + (flipped ? 1 : 0)] : nullptr;
-        std::vector<TuplePair> pairs = exec::CollectTruePairs(
-            out.r_extended, out.s_extended, rule.predicates(), flipped,
-            r_index, s_index, pool_ptr, &scan, evaluator);
-        identity.candidate_pairs += scan.candidate_pairs;
-        identity.rule_evals += scan.rule_evals;
-        fired.insert(fired.end(), pairs.begin(), pairs.end());
+      std::vector<std::unique_ptr<exec::StagedEvaluator>> evaluators(
+          plans.size());
+      std::unique_ptr<compile::PairFeatureCache> features;
+      if (compile) {
+        exec::StageTimer compile_timer;
+        features = std::make_unique<compile::PairFeatureCache>(
+            &out.r_extended, &out.s_extended);
+        for (size_t k = 0; k < config_.identity_rules.size(); ++k) {
+          for (bool flipped : {false, true}) {
+            const size_t i = k * 2 + (flipped ? 1 : 0);
+            if (plans[i].impossible) continue;
+            evaluators[i] = std::make_unique<compile::StagedConjunction>(
+                compile::StagedConjunction::Compile(
+                    config_.identity_rules[k].predicates(),
+                    plans[i].coverage, out.r_extended, out.s_extended,
+                    flipped, features.get()));
+          }
+        }
+        identity.compile_ms = compile_timer.ElapsedMs();
+        identity.interner_values = features->distinct_values();
+      } else {
+        for (size_t k = 0; k < config_.identity_rules.size(); ++k) {
+          for (bool flipped : {false, true}) {
+            const size_t i = k * 2 + (flipped ? 1 : 0);
+            if (plans[i].impossible) continue;
+            evaluators[i] = std::make_unique<exec::InterpretedResidual>(
+                config_.identity_rules[k].predicates(), plans[i].coverage,
+                &out.r_extended, &out.s_extended, flipped);
+          }
+        }
       }
+      exec::CandidateGenerator gen(&out.r_extended, &out.s_extended,
+                                   &r_index, &s_index);
+      for (size_t i = 0; i < plans.size(); ++i) {
+        gen.AddRule(plans[i], evaluators[i].get());
+      }
+      exec::StagedScanStats scan;
+      std::vector<exec::FiredPair> staged_fired = gen.Run(pool_ptr, &scan);
+      identity.candidate_pairs = scan.candidate_pairs;
+      identity.rule_evals = scan.rule_evals;
+      identity.amq_rejects = scan.amq_rejects;
+      identity.feature_cache_hits = scan.feature_cache_hits;
+      fired.reserve(staged_fired.size());
+      for (const exec::FiredPair& f : staged_fired) fired.push_back(f.pair);
+    } else {
+      std::vector<compile::CompiledConjunction> programs;
+      if (compile) {
+        exec::StageTimer compile_timer;
+        programs.reserve(config_.identity_rules.size() * 2);
+        for (const IdentityRule& rule : config_.identity_rules) {
+          for (bool flipped : {false, true}) {
+            programs.push_back(compile::CompiledConjunction::Compile(
+                rule.predicates(), out.r_extended.schema(),
+                out.s_extended.schema(), flipped));
+          }
+        }
+        identity.compile_ms = compile_timer.ElapsedMs();
+      }
+      for (size_t k = 0; k < config_.identity_rules.size(); ++k) {
+        const IdentityRule& rule = config_.identity_rules[k];
+        for (bool flipped : {false, true}) {
+          exec::PairScanStats scan;
+          const exec::PairEvaluator* evaluator =
+              compile ? &programs[k * 2 + (flipped ? 1 : 0)] : nullptr;
+          std::vector<TuplePair> pairs = exec::CollectTruePairs(
+              out.r_extended, out.s_extended, rule.predicates(), flipped,
+              r_index, s_index, pool_ptr, &scan, evaluator);
+          identity.candidate_pairs += scan.candidate_pairs;
+          identity.rule_evals += scan.rule_evals;
+          fired.insert(fired.end(), pairs.begin(), pairs.end());
+        }
+      }
+      std::sort(fired.begin(), fired.end());
+      fired.erase(std::unique(fired.begin(), fired.end()), fired.end());
     }
-    std::sort(fired.begin(), fired.end());
-    fired.erase(std::unique(fired.begin(), fired.end()), fired.end());
     for (const TuplePair& pair : fired) {
       Status st = out.matching.Add(pair);
       if (!st.ok()) {
@@ -175,7 +237,8 @@ Result<IdentificationResult> EntityIdentifier::Identify(
   EID_ASSIGN_OR_RETURN(
       out.negative,
       BuildNegativeMatchingTable(out.r_extended, out.s_extended, rules,
-                                 pool_ptr, config_.matcher_options.compile));
+                                 pool_ptr, config_.matcher_options.compile,
+                                 config_.matcher_options.staged));
   out.stats.Add(out.negative.stats);
 
   // --- Constraint verification ------------------------------------------

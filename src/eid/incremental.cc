@@ -87,6 +87,53 @@ Result<IncrementalIdentifier> IncrementalIdentifier::Create(
   out.s_proto_ = std::move(empty_s);
   out.config_ = std::move(config);
 
+  // Staged per-insert acceleration: blocking plans per (rule,
+  // orientation) against the extended schemas, and the union of columns
+  // those plans bucket on (maintained by the dynamic value indexes and
+  // AMQ filters on every insert/delete).
+  if (out.config_.matcher_options.staged) {
+    out.identity_plans_.reserve(out.config_.identity_rules.size() * 2);
+    for (const IdentityRule& rule : out.config_.identity_rules) {
+      for (bool flipped : {false, true}) {
+        out.identity_plans_.push_back(
+            exec::PlanBlocking(rule.predicates(), out.r_ext_schema_,
+                               out.s_ext_schema_, flipped));
+      }
+    }
+    out.distinct_plans_.reserve(out.all_distinctness_.size() * 2);
+    for (const DistinctnessRule& rule : out.all_distinctness_) {
+      for (bool flipped : {false, true}) {
+        out.distinct_plans_.push_back(
+            exec::PlanBlocking(rule.predicates(), out.r_ext_schema_,
+                               out.s_ext_schema_, flipped));
+      }
+    }
+    auto track = [](const Schema& schema, const std::string& attr,
+                    std::vector<size_t>* cols) {
+      std::optional<size_t> c = schema.IndexOf(attr);
+      if (c.has_value() &&
+          std::find(cols->begin(), cols->end(), *c) == cols->end()) {
+        cols->push_back(*c);
+      }
+    };
+    for (const std::vector<exec::BlockingPlan>* plans :
+         {&out.identity_plans_, &out.distinct_plans_}) {
+      for (const exec::BlockingPlan& p : *plans) {
+        if (p.impossible) continue;
+        if (p.has_join) {
+          track(out.r_ext_schema_, p.r_attr, &out.r_tracked_cols_);
+          track(out.s_ext_schema_, p.s_attr, &out.s_tracked_cols_);
+        }
+        for (const auto& [attr, v] : p.r_const_eq) {
+          track(out.r_ext_schema_, attr, &out.r_tracked_cols_);
+        }
+        for (const auto& [attr, v] : p.s_const_eq) {
+          track(out.s_ext_schema_, attr, &out.s_tracked_cols_);
+        }
+      }
+    }
+  }
+
   // Lower the session's programs once: derivation per side (the memo
   // caches persist across inserts, so repeated projections derive once
   // per session) and every rule antecedent per orientation.
@@ -220,6 +267,22 @@ Result<size_t> IncrementalIdentifier::Insert(Side side, Row row) {
     index[stored.ext_key_fingerprint].push_back(id);
   }
 
+  // Dynamic value indexes + AMQ fingerprints over the columns the
+  // blocking plans bucket on — one AMQ copy per row occurrence so Delete
+  // can erase exactly this row's copies.
+  const std::vector<size_t>& tracked =
+      is_r ? r_tracked_cols_ : s_tracked_cols_;
+  {
+    auto& value_index = is_r ? r_value_index_ : s_value_index_;
+    exec::AmqFilter& value_amq = is_r ? r_value_amq_ : s_value_amq_;
+    for (size_t col : tracked) {
+      const Value& v = stored.extended[col];
+      if (v.is_null()) continue;
+      value_index[col][v].push_back(id);
+      value_amq.Insert(exec::FingerprintKey(col, ValueHash{}(v)));
+    }
+  }
+
   // Candidate matches: extended-key hash probe + identity rules.
   TupleView self(&ext_schema, &stored.extended);
   auto add_candidate = [&](size_t other_id) {
@@ -241,56 +304,166 @@ Result<size_t> IncrementalIdentifier::Insert(Side side, Row row) {
   // Compiled programs take the pair in relation space (r-row, s-row) with
   // both orientations pre-bound; program 2k is rule k direct, 2k+1 flipped.
   const bool compiled_rules = (is_r ? r_derive_ : s_derive_) != nullptr;
+  const bool staged = config_.matcher_options.staged;
+
+  // Staged sweep over one rule family: per (rule, orientation), kill the
+  // orientation via the inserted row's own-side const conjuncts, then
+  // pull candidates from the other side's join/const bucket (AMQ probe
+  // first) instead of every live tuple. `fires` evaluates the *full*
+  // antecedent for that orientation, so over-approximate buckets stay
+  // harmless; the fired bitmap, appended ascending, reproduces the
+  // exhaustive other-major break loop's content and order (each other id
+  // contributes at most one entry per family).
+  auto staged_sweep = [&](const std::vector<exec::BlockingPlan>& plans,
+                          size_t rule_count, const auto& fires,
+                          std::vector<char>* fired_bitmap) {
+    fired_bitmap->assign(others.size(), 0);
+    auto& other_value_index = is_r ? s_value_index_ : r_value_index_;
+    exec::AmqFilter& other_amq = is_r ? s_value_amq_ : r_value_amq_;
+    for (size_t k = 0; k < rule_count; ++k) {
+      for (bool flipped : {false, true}) {
+        const exec::BlockingPlan& plan = plans[k * 2 + (flipped ? 1 : 0)];
+        if (plan.impossible) continue;
+        const auto& own_consts = is_r ? plan.r_const_eq : plan.s_const_eq;
+        const auto& other_consts = is_r ? plan.s_const_eq : plan.r_const_eq;
+        // Exact kill: an own-side const conjunct failing on the inserted
+        // row (NULL or not storage-equal) can never be kTrue.
+        bool dead = false;
+        for (const auto& [attr, constant] : own_consts) {
+          std::optional<size_t> col = ext_schema.IndexOf(attr);
+          if (!col.has_value()) {
+            dead = true;
+            break;
+          }
+          const Value& v = stored.extended[*col];
+          if (v.is_null() || !(v == constant)) {
+            dead = true;
+            break;
+          }
+        }
+        if (dead) continue;
+        const std::vector<size_t>* bucket = nullptr;
+        bool use_all = false;
+        if (plan.has_join) {
+          const std::string& own_attr = is_r ? plan.r_attr : plan.s_attr;
+          const std::string& other_attr = is_r ? plan.s_attr : plan.r_attr;
+          std::optional<size_t> own_col = ext_schema.IndexOf(own_attr);
+          std::optional<size_t> other_col = other_schema.IndexOf(other_attr);
+          if (!own_col.has_value() || !other_col.has_value()) continue;
+          const Value& v = stored.extended[*own_col];
+          if (v.is_null()) continue;  // non_null_eq: never joins
+          if (!other_amq.Contains(
+                  exec::FingerprintKey(*other_col, ValueHash{}(v)))) {
+            continue;
+          }
+          auto ci = other_value_index.find(*other_col);
+          if (ci == other_value_index.end()) continue;
+          auto bi = ci->second.find(v);
+          if (bi == ci->second.end()) continue;
+          bucket = &bi->second;
+        } else if (!other_consts.empty()) {
+          // Seed candidates from the first const filter's bucket; the
+          // full evaluation re-checks every conjunct.
+          const auto& [attr, constant] = other_consts.front();
+          std::optional<size_t> col = other_schema.IndexOf(attr);
+          if (!col.has_value()) continue;
+          if (!other_amq.Contains(
+                  exec::FingerprintKey(*col, ValueHash{}(constant)))) {
+            continue;
+          }
+          auto ci = other_value_index.find(*col);
+          if (ci == other_value_index.end()) continue;
+          auto bi = ci->second.find(constant);
+          if (bi == ci->second.end()) continue;
+          bucket = &bi->second;
+        } else {
+          use_all = true;  // no indexable conjunct: scan the live side
+        }
+        auto probe = [&](size_t other_id) {
+          if ((*fired_bitmap)[other_id] || !others[other_id].alive) return;
+          if (fires(k, flipped, other_id)) (*fired_bitmap)[other_id] = 1;
+        };
+        if (use_all) {
+          for (size_t other_id = 0; other_id < others.size(); ++other_id) {
+            probe(other_id);
+          }
+        } else {
+          for (size_t other_id : *bucket) probe(other_id);
+        }
+      }
+    }
+  };
+  auto identity_fires = [&](size_t k, bool flipped, size_t other_id) {
+    if (compiled_rules) {
+      const Row& r_row = is_r ? stored.extended : others[other_id].extended;
+      const Row& s_row = is_r ? others[other_id].extended : stored.extended;
+      return identity_programs_[k * 2 + (flipped ? 1 : 0)].Evaluate(
+                 r_row, s_row) == Truth::kTrue;
+    }
+    TupleView other_view(&other_schema, &others[other_id].extended);
+    const TupleView& e1 = is_r ? self : other_view;
+    const TupleView& e2 = is_r ? other_view : self;
+    return (flipped ? config_.identity_rules[k].Matches(e2, e1)
+                    : config_.identity_rules[k].Matches(e1, e2)) ==
+           Truth::kTrue;
+  };
+  auto distinct_fires = [&](size_t k, bool flipped, size_t other_id) {
+    if (compiled_rules) {
+      const Row& r_row = is_r ? stored.extended : others[other_id].extended;
+      const Row& s_row = is_r ? others[other_id].extended : stored.extended;
+      return distinct_programs_[k * 2 + (flipped ? 1 : 0)].Evaluate(
+                 r_row, s_row) == Truth::kTrue;
+    }
+    TupleView other_view(&other_schema, &others[other_id].extended);
+    const TupleView& e1 = is_r ? self : other_view;
+    const TupleView& e2 = is_r ? other_view : self;
+    return (flipped ? all_distinctness_[k].Applies(e2, e1)
+                    : all_distinctness_[k].Applies(e1, e2)) == Truth::kTrue;
+  };
+
   if (!config_.identity_rules.empty()) {
-    for (size_t other_id = 0; other_id < others.size(); ++other_id) {
-      if (!others[other_id].alive) continue;
-      const Row& r_row =
-          is_r ? stored.extended : others[other_id].extended;
-      const Row& s_row =
-          is_r ? others[other_id].extended : stored.extended;
-      TupleView other_view(&other_schema, &others[other_id].extended);
-      const TupleView& e1 = is_r ? self : other_view;
-      const TupleView& e2 = is_r ? other_view : self;
-      for (size_t k = 0; k < config_.identity_rules.size(); ++k) {
-        const bool fired =
-            compiled_rules
-                ? (identity_programs_[k * 2].Evaluate(r_row, s_row) ==
-                       Truth::kTrue ||
-                   identity_programs_[k * 2 + 1].Evaluate(r_row, s_row) ==
-                       Truth::kTrue)
-                : (config_.identity_rules[k].Matches(e1, e2) ==
-                       Truth::kTrue ||
-                   config_.identity_rules[k].Matches(e2, e1) ==
-                       Truth::kTrue);
-        if (fired) {
-          add_candidate(other_id);
-          break;
+    if (staged) {
+      std::vector<char> fired;
+      staged_sweep(identity_plans_, config_.identity_rules.size(),
+                   identity_fires, &fired);
+      for (size_t other_id = 0; other_id < others.size(); ++other_id) {
+        if (fired[other_id]) add_candidate(other_id);
+      }
+    } else {
+      for (size_t other_id = 0; other_id < others.size(); ++other_id) {
+        if (!others[other_id].alive) continue;
+        for (size_t k = 0; k < config_.identity_rules.size(); ++k) {
+          if (identity_fires(k, false, other_id) ||
+              identity_fires(k, true, other_id)) {
+            add_candidate(other_id);
+            break;
+          }
         }
       }
     }
   }
 
   // Negative pairs via distinctness rules (both orientations).
-  for (size_t other_id = 0; other_id < others.size(); ++other_id) {
-    if (!others[other_id].alive) continue;
-    const Row& r_row = is_r ? stored.extended : others[other_id].extended;
-    const Row& s_row = is_r ? others[other_id].extended : stored.extended;
-    TupleView other_view(&other_schema, &others[other_id].extended);
-    const TupleView& e1 = is_r ? self : other_view;
-    const TupleView& e2 = is_r ? other_view : self;
-    for (size_t k = 0; k < all_distinctness_.size(); ++k) {
-      const bool fired =
-          compiled_rules
-              ? (distinct_programs_[k * 2].Evaluate(r_row, s_row) ==
-                     Truth::kTrue ||
-                 distinct_programs_[k * 2 + 1].Evaluate(r_row, s_row) ==
-                     Truth::kTrue)
-              : (all_distinctness_[k].Applies(e1, e2) == Truth::kTrue ||
-                 all_distinctness_[k].Applies(e2, e1) == Truth::kTrue);
-      if (fired) {
-        negative_pairs_.push_back(CandidatePair{is_r ? id : other_id,
-                                                is_r ? other_id : id});
-        break;
+  if (staged) {
+    std::vector<char> fired;
+    staged_sweep(distinct_plans_, all_distinctness_.size(), distinct_fires,
+                 &fired);
+    for (size_t other_id = 0; other_id < others.size(); ++other_id) {
+      if (fired[other_id]) {
+        negative_pairs_.push_back(
+            CandidatePair{is_r ? id : other_id, is_r ? other_id : id});
+      }
+    }
+  } else {
+    for (size_t other_id = 0; other_id < others.size(); ++other_id) {
+      if (!others[other_id].alive) continue;
+      for (size_t k = 0; k < all_distinctness_.size(); ++k) {
+        if (distinct_fires(k, false, other_id) ||
+            distinct_fires(k, true, other_id)) {
+          negative_pairs_.push_back(CandidatePair{is_r ? id : other_id,
+                                                  is_r ? other_id : id});
+          break;
+        }
       }
     }
   }
@@ -325,6 +498,29 @@ Status IncrementalIdentifier::Delete(Side side, size_t id) {
       auto& ids = it->second;
       ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
       if (ids.empty()) index.erase(it);
+    }
+  }
+
+  // Retract this row's value-index entries and its AMQ fingerprint
+  // copies (one copy was inserted per tracked non-NULL cell).
+  {
+    const std::vector<size_t>& tracked =
+        is_r ? r_tracked_cols_ : s_tracked_cols_;
+    auto& value_index = is_r ? r_value_index_ : s_value_index_;
+    exec::AmqFilter& value_amq = is_r ? r_value_amq_ : s_value_amq_;
+    for (size_t col : tracked) {
+      const Value& v = entries[id].extended[col];
+      if (v.is_null()) continue;
+      auto ci = value_index.find(col);
+      if (ci != value_index.end()) {
+        auto bi = ci->second.find(v);
+        if (bi != ci->second.end()) {
+          auto& ids = bi->second;
+          ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+          if (ids.empty()) ci->second.erase(bi);
+        }
+      }
+      value_amq.Erase(exec::FingerprintKey(col, ValueHash{}(v)));
     }
   }
 

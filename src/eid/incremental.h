@@ -34,6 +34,8 @@
 #include "compile/derivation_program.h"
 #include "compile/pair_program.h"
 #include "eid/identifier.h"
+#include "exec/amq_filter.h"
+#include "exec/blocking_index.h"
 
 namespace eid {
 
@@ -123,6 +125,22 @@ class IncrementalIdentifier {
   compile::DerivationMemo r_memo_, s_memo_;
   std::vector<compile::CompiledConjunction> identity_programs_;
   std::vector<compile::CompiledConjunction> distinct_programs_;
+
+  // Staged per-insert acceleration (matcher_options.staged), built in
+  // Create: one BlockingPlan per (rule, orientation) against the
+  // extended schemas, the union of columns those plans bucket on, and —
+  // maintained per live tuple — dynamic per-column value indexes plus an
+  // AMQ filter per side (one fingerprint copy per row so Delete can
+  // erase its copy). An insert then consults only the other side's
+  // join/const bucket per orientation instead of every live tuple; the
+  // full antecedent is still evaluated on every candidate, so the fired
+  // sets are identical to the exhaustive sweep.
+  std::vector<exec::BlockingPlan> identity_plans_, distinct_plans_;
+  std::vector<size_t> r_tracked_cols_, s_tracked_cols_;
+  std::unordered_map<size_t,
+                     std::unordered_map<Value, std::vector<size_t>, ValueHash>>
+      r_value_index_, s_value_index_;
+  exec::AmqFilter r_value_amq_, s_value_amq_;
 
   std::vector<Entry> r_entries_, s_entries_;
   size_t r_live_ = 0, s_live_ = 0;

@@ -30,6 +30,13 @@ Status MatchTable::Add(TuplePair pair) {
   return Status::Ok();
 }
 
+void MatchTable::Reserve(size_t n) {
+  pairs_.reserve(n);
+  members_.reserve(n);
+  by_r_.reserve(n);
+  by_s_.reserve(n);
+}
+
 bool MatchTable::Contains(const TuplePair& pair) const {
   return members_.count(pair) > 0;
 }

@@ -67,6 +67,10 @@ class MatchTable {
   /// table unchanged; re-adding an existing pair is idempotent OK.
   Status Add(TuplePair pair);
 
+  /// Pre-sizes the pair store and lookup structures for `n` pairs (NMT
+  /// construction knows the fired-pair count up front).
+  void Reserve(size_t n);
+
   bool Contains(const TuplePair& pair) const;
 
   /// True if the given R (S) row already participates in some pair.

@@ -5,6 +5,7 @@
 
 #include "analysis/analyzer.h"
 #include "compile/interner.h"
+#include "compile/pair_program.h"
 #include "eid/identifier.h"
 
 namespace eid {
@@ -64,59 +65,14 @@ Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
   std::vector<std::vector<TuplePair>> found(num_chunks);
   size_t interner_values = 0;
 
+  std::vector<TuplePair> pairs;
   if (compiled) {
-    // Interned join: the build side interns each key value once; probing
-    // is read-only (ValueInterner::Find), so the parallel probe never
-    // serialises a value or grows the map. A probe value that was never
-    // interned cannot match any build row.
-    compile::ValueInterner interner;
-    std::unordered_map<std::vector<uint32_t>, std::vector<size_t>,
-                       compile::InternedKeyHash>
-        build;
-    build.reserve(s_extended.size() * 2);
-    std::vector<uint32_t> key;
-    key.reserve(s_idx.size());
-    for (size_t s = 0; s < s_extended.size(); ++s) {
-      const Row& row = s_extended.row(s);
-      key.clear();
-      bool has_null = false;
-      for (size_t i : s_idx) {
-        if (row[i].is_null()) {  // non_null_eq: NULL keys never match
-          has_null = true;
-          break;
-        }
-        key.push_back(interner.GetOrIntern(row[i]));
-      }
-      if (has_null) continue;
-      build[key].push_back(s);
-    }
-    interner_values = interner.size();
-    exec::ParallelFor(pool, n, grain, [&](size_t begin, size_t end, int) {
-      const size_t chunk = begin / grain;
-      std::vector<uint32_t> probe;
-      probe.reserve(r_idx.size());
-      for (size_t r = begin; r < end; ++r) {
-        const Row& row = r_extended.row(r);
-        probe.clear();
-        bool skip = false;
-        for (size_t i : r_idx) {
-          uint32_t id = row[i].is_null()
-                            ? compile::ValueInterner::kNotInterned
-                            : interner.Find(row[i]);
-          if (id == compile::ValueInterner::kNotInterned) {
-            skip = true;
-            break;
-          }
-          probe.push_back(id);
-        }
-        if (skip) continue;
-        auto it = build.find(probe);
-        if (it == build.end()) continue;
-        for (size_t s : it->second) {
-          found[chunk].push_back(TuplePair{r, s});
-        }
-      }
-    });
+    // Columnar interned join (compile/pair_program.h): both key columns
+    // are batch-interned once, per-row NULL checks are hoisted into the
+    // column encoding, and keys of width <= 2 pack into one uint64_t so
+    // each probe is a single integer-hash lookup.
+    pairs = compile::InternedKeyJoin(r_extended, s_extended, r_idx, s_idx,
+                                     pool, &interner_values);
   } else {
     std::unordered_map<std::string, std::vector<size_t>> build;
     build.reserve(s_extended.size() * 2);
@@ -141,11 +97,12 @@ Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
     });
   }
 
-  std::vector<TuplePair> pairs;
-  size_t total = 0;
-  for (const auto& f : found) total += f.size();
-  pairs.reserve(total);
-  for (auto& f : found) pairs.insert(pairs.end(), f.begin(), f.end());
+  if (!compiled) {
+    size_t total = 0;
+    for (const auto& f : found) total += f.size();
+    pairs.reserve(total);
+    for (auto& f : found) pairs.insert(pairs.end(), f.begin(), f.end());
+  }
 
   if (stats != nullptr) {
     stats->stage = "key_join";

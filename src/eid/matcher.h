@@ -71,6 +71,14 @@ struct MatcherOptions {
   /// `extension.compile`. Off runs the per-tuple interpreter everywhere,
   /// kept as a differential-testing oracle; results are bit-identical.
   bool compile = true;
+  /// Master switch for staged candidate generation (see
+  /// exec/candidate_generator.h): the identity and distinctness sweeps
+  /// enumerate candidates through blocking-index intersection and AMQ
+  /// pre-filters instead of the all-pairs scan. Off runs the exhaustive
+  /// sweep, kept as a differential-testing oracle; results are
+  /// bit-identical (the staged filters over-approximate, never
+  /// under-approximate, and emission order is preserved).
+  bool staged = true;
 };
 
 /// Builds MT_RS for `r` and `s` under the given extended key and ILFDs.

@@ -1,10 +1,12 @@
 #include "eid/negative.h"
 
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "compile/pair_program.h"
 #include "exec/blocking_index.h"
+#include "exec/candidate_generator.h"
 
 namespace eid {
 
@@ -18,7 +20,7 @@ Result<NegativeResult> BuildNegativeMatchingTable(
 Result<NegativeResult> BuildNegativeMatchingTable(
     const Relation& r_extended, const Relation& s_extended,
     const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool,
-    bool compile) {
+    bool compile, bool staged) {
   exec::StageTimer timer;
   for (const DistinctnessRule& rule : rules) {
     EID_RETURN_IF_ERROR(rule.Validate());
@@ -35,6 +37,74 @@ Result<NegativeResult> BuildNegativeMatchingTable(
   // priority order with first-insert-wins, and emit sorted row-major.
   exec::ColumnIndexCache r_index(&r_extended);
   exec::ColumnIndexCache s_index(&s_extended);
+
+  if (staged) {
+    // Staged candidate generation: one r-major sweep over all rule
+    // orientations, registered in the same (rule, flipped) priority
+    // order the oracle folds in — the generator's min-priority-wins
+    // emission then reproduces the fold bit-identically.
+    std::vector<exec::BlockingPlan> plans;
+    plans.reserve(rules.size() * 2);
+    for (const DistinctnessRule& rule : rules) {
+      for (bool flipped : {false, true}) {
+        plans.push_back(exec::PlanBlocking(rule.predicates(),
+                                           r_extended.schema(),
+                                           s_extended.schema(), flipped));
+      }
+    }
+    std::vector<std::unique_ptr<exec::StagedEvaluator>> evaluators(
+        plans.size());
+    std::unique_ptr<compile::PairFeatureCache> features;
+    if (compile) {
+      exec::StageTimer compile_timer;
+      features = std::make_unique<compile::PairFeatureCache>(&r_extended,
+                                                             &s_extended);
+      for (size_t k = 0; k < rules.size(); ++k) {
+        for (bool flipped : {false, true}) {
+          const size_t i = k * 2 + (flipped ? 1 : 0);
+          if (plans[i].impossible) continue;
+          evaluators[i] = std::make_unique<compile::StagedConjunction>(
+              compile::StagedConjunction::Compile(
+                  rules[k].predicates(), plans[i].coverage, r_extended,
+                  s_extended, flipped, features.get()));
+        }
+      }
+      out.stats.compile_ms = compile_timer.ElapsedMs();
+      out.stats.interner_values = features->distinct_values();
+    } else {
+      for (size_t k = 0; k < rules.size(); ++k) {
+        for (bool flipped : {false, true}) {
+          const size_t i = k * 2 + (flipped ? 1 : 0);
+          if (plans[i].impossible) continue;
+          evaluators[i] = std::make_unique<exec::InterpretedResidual>(
+              rules[k].predicates(), plans[i].coverage, &r_extended,
+              &s_extended, flipped);
+        }
+      }
+    }
+
+    exec::CandidateGenerator gen(&r_extended, &s_extended, &r_index,
+                                 &s_index);
+    for (size_t i = 0; i < plans.size(); ++i) {
+      gen.AddRule(plans[i], evaluators[i].get());
+    }
+    exec::StagedScanStats scan;
+    std::vector<exec::FiredPair> fired = gen.Run(pool, &scan);
+    out.stats.candidate_pairs = scan.candidate_pairs;
+    out.stats.rule_evals = scan.rule_evals;
+    out.stats.amq_rejects = scan.amq_rejects;
+    out.stats.feature_cache_hits = scan.feature_cache_hits;
+    out.table.Reserve(fired.size());
+    out.evidence.reserve(fired.size());
+    for (const exec::FiredPair& f : fired) {
+      EID_RETURN_IF_ERROR(out.table.Add(f.pair));
+      out.evidence.push_back(NegativePairEvidence{
+          f.pair, f.priority / 2, (f.priority & 1) != 0});
+    }
+    out.stats.items = out.table.size();
+    out.stats.wall_ms = timer.ElapsedMs();
+    return out;
+  }
 
   // Bind every rule antecedent to the two schemas once per orientation;
   // the sweep then evaluates candidates without name lookups.

@@ -51,13 +51,17 @@ Result<NegativeResult> BuildNegativeMatchingTable(
     const std::vector<DistinctnessRule>& rules);
 
 /// Pool-sharing form used by the engine (null pool = serial sweep).
-/// `compile` lowers each rule antecedent to a CompiledConjunction per
+/// `compile` lowers each rule antecedent to a compiled program per
 /// orientation before the sweep (src/compile/pair_program.h); off
-/// re-resolves attribute names per pair. The fired pairs are identical.
+/// re-resolves attribute names per pair. `staged` runs the sweep through
+/// the staged candidate generator (exec/candidate_generator.h: blocking
+/// intersection, AMQ pre-filters, hoisted row features); off is the
+/// exhaustive per-rule sweep kept as a differential oracle. The fired
+/// pairs, evidence and ordering are identical on every path.
 Result<NegativeResult> BuildNegativeMatchingTable(
     const Relation& r_extended, const Relation& s_extended,
     const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool,
-    bool compile = true);
+    bool compile = true, bool staged = true);
 
 }  // namespace eid
 

@@ -47,6 +47,20 @@ BlockingPlan PlanBlocking(const std::vector<Predicate>& predicates,
     return r_side ? r_schema : s_schema;
   };
   auto is_r_side = [&](int entity) { return (entity == 1) != flipped; };
+  // Coverage of a conjunct the enumeration does not enforce: hoistable to
+  // the r-side row loop when every entity operand binds the r side.
+  auto residual_of = [&](const Predicate& p) {
+    for (const Operand* o : {&p.lhs, &p.rhs}) {
+      if (o->kind == Operand::Kind::kEntityAttribute &&
+          !is_r_side(o->entity)) {
+        return PredicateCoverage::kResidualPair;
+      }
+    }
+    return PredicateCoverage::kResidualRow;
+  };
+  // Indices (into `coverage`) of s-side const filters, provisionally
+  // covered; demoted below when a join ends up driving the enumeration.
+  std::vector<size_t> s_covered;
 
   for (const Predicate& p : predicates) {
     // Any conjunct referencing an attribute absent from its bound schema
@@ -56,10 +70,12 @@ BlockingPlan PlanBlocking(const std::vector<Predicate>& predicates,
       if (o->kind == Operand::Kind::kEntityAttribute &&
           !schema_of(o->entity).Contains(o->attribute)) {
         plan.impossible = true;
+        plan.coverage.clear();
         return plan;
       }
       if (o->kind == Operand::Kind::kConstant && o->constant.is_null()) {
         plan.impossible = true;  // NULL operand: kUnknown forever
+        plan.coverage.clear();
         return plan;
       }
     }
@@ -69,15 +85,23 @@ BlockingPlan PlanBlocking(const std::vector<Predicate>& predicates,
       if (CompareValues(p.lhs.constant, p.op, p.rhs.constant) !=
           Truth::kTrue) {
         plan.impossible = true;
+        plan.coverage.clear();
         return plan;
       }
+      plan.coverage.push_back(PredicateCoverage::kCovered);
       continue;
     }
-    if (p.op != CompareOp::kEq) continue;
+    if (p.op != CompareOp::kEq) {
+      plan.coverage.push_back(residual_of(p));
+      continue;
+    }
     const bool lhs_attr = p.lhs.kind == Operand::Kind::kEntityAttribute;
     const bool rhs_attr = p.rhs.kind == Operand::Kind::kEntityAttribute;
     if (lhs_attr && rhs_attr) {
-      if (p.lhs.entity == p.rhs.entity) continue;  // same-side: not a join
+      if (p.lhs.entity == p.rhs.entity) {  // same-side: not a join
+        plan.coverage.push_back(residual_of(p));
+        continue;
+      }
       if (!plan.has_join) {
         plan.has_join = true;
         if (is_r_side(p.lhs.entity)) {
@@ -87,24 +111,35 @@ BlockingPlan PlanBlocking(const std::vector<Predicate>& predicates,
           plan.r_attr = p.rhs.attribute;
           plan.s_attr = p.lhs.attribute;
         }
+        plan.coverage.push_back(PredicateCoverage::kCovered);
+      } else {
+        // Only the first cross-entity equality drives the probe.
+        plan.coverage.push_back(PredicateCoverage::kResidualPair);
       }
       continue;
     }
     if (lhs_attr != rhs_attr) {
       const Operand& attr_op = lhs_attr ? p.lhs : p.rhs;
       const Operand& const_op = lhs_attr ? p.rhs : p.lhs;
-      auto& filters =
-          is_r_side(attr_op.entity) ? plan.r_const_eq : plan.s_const_eq;
+      const bool r_side = is_r_side(attr_op.entity);
+      auto& filters = r_side ? plan.r_const_eq : plan.s_const_eq;
       filters.emplace_back(attr_op.attribute, const_op.constant);
+      if (!r_side) s_covered.push_back(plan.coverage.size());
+      plan.coverage.push_back(PredicateCoverage::kCovered);
+      continue;
+    }
+    plan.coverage.push_back(residual_of(p));
+  }
+  if (plan.has_join) {
+    // The join path probes s-side buckets directly; s const filters are
+    // not applied to bucket rows, so they stay part of the residual.
+    for (size_t i : s_covered) {
+      plan.coverage[i] = PredicateCoverage::kResidualPair;
     }
   }
   return plan;
 }
 
-namespace {
-
-/// Rows of `rel` passing every (attribute == constant) filter, ascending.
-/// Uses the column index of the first filter to seed the list.
 std::vector<size_t> FilteredRows(
     ColumnIndexCache& cache,
     const std::vector<std::pair<std::string, Value>>& filters) {
@@ -138,8 +173,6 @@ std::vector<size_t> FilteredRows(
   }
   return rows;
 }
-
-}  // namespace
 
 std::vector<TuplePair> CollectTruePairs(
     const Relation& r_ext, const Relation& s_ext,

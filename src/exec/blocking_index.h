@@ -79,6 +79,19 @@ class ColumnIndexCache {
   std::unordered_map<std::string, std::unique_ptr<ColumnIndex>> indexes_;
 };
 
+/// How the candidate enumeration of a blocking plan treats one conjunct
+/// of the rule antecedent. The split is exact for kTrue detection: a
+/// Kleene conjunction is kTrue iff every conjunct is, so a conjunct
+/// guaranteed kTrue on every enumerated candidate (kCovered) need not be
+/// re-evaluated, and the rest splits into parts evaluable from the r-side
+/// row alone (hoistable out of the inner pair loop) versus parts needing
+/// both rows.
+enum class PredicateCoverage : uint8_t {
+  kCovered,       // enforced by the enumeration (join / const filter)
+  kResidualRow,   // every entity operand binds the r-side row
+  kResidualPair,  // needs both rows
+};
+
 /// How one rule antecedent will be evaluated against an (R, S) pair
 /// space, for one orientation. `flipped` orientations bind e1 to the
 /// s-side tuple and e2 to the r-side (rules quantify over all entity
@@ -96,6 +109,11 @@ struct BlockingPlan {
   /// schemas (references an absent attribute, or an unsatisfiable
   /// constant pair) — the rule matches nothing.
   bool impossible = false;
+  /// Per-predicate coverage, parallel to the planned predicate list.
+  /// Empty when `impossible` (planning stops at the fatal conjunct).
+  /// s-side const filters count as covered only when there is no join:
+  /// the join probe path enumerates bucket rows without applying them.
+  std::vector<PredicateCoverage> coverage;
 };
 
 /// Analyses the equality conjuncts of `predicates` for the given
@@ -103,6 +121,15 @@ struct BlockingPlan {
 BlockingPlan PlanBlocking(const std::vector<Predicate>& predicates,
                           const Schema& r_schema, const Schema& s_schema,
                           bool flipped);
+
+/// Rows of the cached relation passing every (attribute == constant)
+/// filter, ascending. Uses the column index of the first filter to seed
+/// the list; no filters means every row. Complete for kTrue: a row
+/// failing a filter (NULL or not storage-equal) cannot satisfy the
+/// corresponding equality conjunct.
+std::vector<size_t> FilteredRows(
+    ColumnIndexCache& cache,
+    const std::vector<std::pair<std::string, Value>>& filters);
 
 /// Counters from one CollectTruePairs call.
 struct PairScanStats {

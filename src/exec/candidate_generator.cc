@@ -1,0 +1,299 @@
+#include "exec/candidate_generator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace eid {
+namespace exec {
+
+InterpretedResidual::InterpretedResidual(
+    const std::vector<Predicate>& predicates,
+    const std::vector<PredicateCoverage>& coverage, const Relation* r_ext,
+    const Relation* s_ext, bool flipped)
+    : r_(r_ext), s_(s_ext), flipped_(flipped) {
+  EID_CHECK(coverage.size() == predicates.size());
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    switch (coverage[i]) {
+      case PredicateCoverage::kCovered:
+        break;
+      case PredicateCoverage::kResidualRow:
+        row_.push_back(predicates[i]);
+        break;
+      case PredicateCoverage::kResidualPair:
+        pair_.push_back(predicates[i]);
+        break;
+    }
+  }
+}
+
+Truth InterpretedResidual::RowTruth(size_t r_row) const {
+  TupleView rv = r_->tuple(r_row);
+  // Every entity operand of a row conjunct binds the r side, so both
+  // entity views may resolve to the same tuple.
+  return EvaluateConjunction(row_, rv, rv);
+}
+
+Truth InterpretedResidual::PairTruth(size_t r_row, size_t s_row) const {
+  TupleView rv = r_->tuple(r_row);
+  TupleView sv = s_->tuple(s_row);
+  return flipped_ ? EvaluateConjunction(pair_, sv, rv)
+                  : EvaluateConjunction(pair_, rv, sv);
+}
+
+CandidateGenerator::CandidateGenerator(const Relation* r_ext,
+                                       const Relation* s_ext,
+                                       ColumnIndexCache* r_index,
+                                       ColumnIndexCache* s_index,
+                                       AmqOptions amq_options)
+    : r_(r_ext), s_(s_ext), r_index_(r_index), s_index_(s_index),
+      r_amq_(amq_options), s_amq_(amq_options),
+      r_amq_cols_(r_ext->schema().size(), false),
+      s_amq_cols_(s_ext->schema().size(), false) {}
+
+size_t CandidateGenerator::amq_size() const {
+  return r_amq_.size() + s_amq_.size();
+}
+
+void CandidateGenerator::EnsureAmqColumn(bool r_side, size_t column) {
+  std::vector<bool>& done = r_side ? r_amq_cols_ : s_amq_cols_;
+  if (done[column]) return;
+  done[column] = true;
+  const Relation& rel = r_side ? *r_ : *s_;
+  AmqFilter& amq = r_side ? r_amq_ : s_amq_;
+  // One copy per *distinct* value: the batch sweep never erases, so
+  // duplicate copies would only inflate the filter (a 16-value column
+  // over 64k rows must not become 64k fingerprints).
+  std::unordered_set<uint64_t> seen;
+  for (size_t i = 0; i < rel.size(); ++i) {
+    const Value& v = rel.row(i)[column];
+    if (v.is_null()) continue;
+    uint64_t key = FingerprintKey(column, ValueHash{}(v));
+    if (seen.insert(key).second) amq.Insert(key);
+  }
+}
+
+const std::vector<uint64_t>& CandidateGenerator::RColumnHashes(
+    size_t column) {
+  auto it = r_col_hashes_.find(column);
+  if (it != r_col_hashes_.end()) return it->second;
+  std::vector<uint64_t> hashes(r_->size(), 0);
+  for (size_t i = 0; i < r_->size(); ++i) {
+    const Value& v = r_->row(i)[column];
+    if (!v.is_null()) hashes[i] = ValueHash{}(v);
+  }
+  return r_col_hashes_.emplace(column, std::move(hashes)).first->second;
+}
+
+void CandidateGenerator::AddRule(const BlockingPlan& plan,
+                                 const StagedEvaluator* residual) {
+  // Every call consumes one priority slot, dead rules included, so
+  // priority / 2 and priority & 1 always recover (rule, orientation).
+  const uint32_t priority = next_priority_++;
+  if (plan.impossible || r_->empty() || s_->empty()) return;
+  EID_CHECK(residual != nullptr);
+
+  // Stage 2 at rule granularity: a const-eq conjunct whose (column,
+  // constant) fingerprint misses the side's filter can never be kTrue on
+  // any row — the whole orientation dies in O(1). This covers s-side
+  // consts under a join too (they are pair residuals there, but a value
+  // absent from the whole column still kills every pair).
+  auto amq_dead = [&](bool r_side,
+                      const std::vector<std::pair<std::string, Value>>&
+                          filters) {
+    const Relation& rel = r_side ? *r_ : *s_;
+    AmqFilter& amq = r_side ? r_amq_ : s_amq_;
+    for (const auto& [attribute, constant] : filters) {
+      std::optional<size_t> col = rel.schema().IndexOf(attribute);
+      if (!col.has_value()) return true;  // absent: nothing passes
+      EnsureAmqColumn(r_side, *col);
+      if (!amq.Contains(FingerprintKey(*col, ValueHash{}(constant)))) {
+        ++amq_rejects_;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (amq_dead(/*r_side=*/true, plan.r_const_eq)) return;
+  if (amq_dead(/*r_side=*/false, plan.s_const_eq)) return;
+
+  Entry entry;
+  entry.priority = priority;
+  entry.residual = residual;
+
+  // Stage 1, r side: const filters prune the rows this entry is
+  // consulted for (exact: kEq is storage equality on non-NULL).
+  const bool r_all = plan.r_const_eq.empty();
+  std::vector<size_t> r_rows;
+  if (!r_all) {
+    r_rows = FilteredRows(*r_index_, plan.r_const_eq);
+    if (r_rows.empty()) return;
+  }
+
+  if (plan.has_join) {
+    std::optional<size_t> r_col = r_->schema().IndexOf(plan.r_attr);
+    std::optional<size_t> s_col = s_->schema().IndexOf(plan.s_attr);
+    EID_CHECK(r_col.has_value() && s_col.has_value());
+    entry.has_join = true;
+    entry.r_col = *r_col;
+    entry.s_col = *s_col;
+    entry.s_join = s_index_->ForAttribute(plan.s_attr);
+    EID_CHECK(entry.s_join != nullptr);
+    EnsureAmqColumn(/*r_side=*/false, *s_col);
+    entry.r_hashes = &RColumnHashes(*r_col);  // Run reads it per worker
+  } else if (plan.s_const_eq.empty()) {
+    entry.s_all = true;
+  } else {
+    entry.s_rows_storage = FilteredRows(*s_index_, plan.s_const_eq);
+    if (entry.s_rows_storage.empty()) return;
+  }
+
+  const uint32_t index = static_cast<uint32_t>(entries_.size());
+  entries_.push_back(std::move(entry));
+  if (r_all) {
+    global_.push_back(index);
+  } else {
+    if (per_row_.empty()) per_row_.resize(r_->size());
+    for (size_t row : r_rows) per_row_[row].push_back(index);
+  }
+}
+
+std::vector<FiredPair> CandidateGenerator::Run(ThreadPool* pool,
+                                               StagedScanStats* stats) {
+  EID_CHECK(!ran_);
+  ran_ = true;
+  StagedScanStats local;
+  local.amq_rejects = amq_rejects_;
+  std::vector<FiredPair> out;
+  const size_t n = r_->size();
+  const size_t s_n = s_->size();
+  if (entries_.empty() || n == 0 || s_n == 0) {
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
+
+  bool need_all_s = false;
+  for (const Entry& e : entries_) {
+    if (e.has_join) local.indexed = true;
+    if (!e.has_join && e.s_all) need_all_s = true;
+  }
+  if (need_all_s) {
+    all_s_rows_.resize(s_n);
+    std::iota(all_s_rows_.begin(), all_s_rows_.end(), size_t{0});
+  }
+
+  const int threads = pool != nullptr ? pool->threads() : 1;
+  const size_t grain =
+      std::max<size_t>(1, n / (static_cast<size_t>(threads) * 4));
+  const size_t num_chunks = (n + grain - 1) / grain;
+  // Per-chunk output and counters, merged in chunk order: deterministic
+  // row-major output and thread-count-invariant counts.
+  std::vector<std::vector<FiredPair>> found(num_chunks);
+  struct ChunkCounts {
+    size_t candidate_pairs = 0;
+    size_t rule_evals = 0;
+    size_t amq_rejects = 0;
+    size_t feature_cache_hits = 0;
+  };
+  std::vector<ChunkCounts> counts(num_chunks);
+
+  // Per-worker scratch: a worker processes chunks sequentially, and the
+  // stamp is keyed on the r row, so stale entries from earlier rows never
+  // alias (each r is swept exactly once).
+  struct Scratch {
+    std::vector<size_t> stamp;   // s -> last r row that fired (r, s)
+    std::vector<uint32_t> best;  // s -> lowest firing priority for that r
+    std::vector<size_t> touched;
+  };
+  std::vector<Scratch> scratch(static_cast<size_t>(std::max(threads, 1)));
+  for (Scratch& sc : scratch) {
+    sc.stamp.assign(s_n, SIZE_MAX);
+    sc.best.resize(s_n);
+  }
+
+  static const std::vector<uint32_t> kNoEntries;
+  ParallelFor(pool, n, grain, [&](size_t begin, size_t end, int worker) {
+    const size_t chunk = begin / grain;
+    ChunkCounts& cc = counts[chunk];
+    Scratch& sc = scratch[static_cast<size_t>(worker)];
+    for (size_t r = begin; r < end; ++r) {
+      const std::vector<uint32_t>& row_list =
+          per_row_.empty() ? kNoEntries : per_row_[r];
+      // Two-pointer merge of the row-filtered and global entry lists —
+      // both ascending by entry index, which is ascending priority.
+      size_t a = 0, b = 0;
+      while (a < row_list.size() || b < global_.size()) {
+        uint32_t ei;
+        if (b >= global_.size() ||
+            (a < row_list.size() && row_list[a] < global_[b])) {
+          ei = row_list[a++];
+        } else {
+          ei = global_[b++];
+        }
+        const Entry& e = entries_[ei];
+        // Stage 3a: hoist the row-only conjuncts out of the pair loop.
+        size_t pair_evals_here = 0;
+        if (e.residual->has_row_part()) {
+          ++cc.rule_evals;
+          if (e.residual->RowTruth(r) != Truth::kTrue) continue;
+        }
+        auto probe = [&](const std::vector<size_t>& candidates) {
+          for (size_t s : candidates) {
+            // Already fired at a lower priority: the first-wins fold
+            // could not change, so skip the evaluation entirely.
+            if (sc.stamp[s] == r) continue;
+            ++cc.candidate_pairs;
+            ++cc.rule_evals;
+            ++pair_evals_here;
+            if (e.residual->PairTruth(r, s) == Truth::kTrue) {
+              sc.stamp[s] = r;
+              sc.best[s] = e.priority;
+              sc.touched.push_back(s);
+            }
+          }
+        };
+        if (e.has_join) {
+          const Value& v = r_->row(r)[e.r_col];
+          if (v.is_null()) continue;  // non_null_eq: never joins
+          const uint64_t h = (*e.r_hashes)[r];
+          // Stage 2: cheap integer-hash membership before the exact
+          // (Value-hashing) bucket probe.
+          if (!s_amq_.Contains(FingerprintKey(e.s_col, h))) {
+            ++cc.amq_rejects;
+            continue;
+          }
+          const std::vector<size_t>* bucket = e.s_join->Find(v);
+          if (bucket != nullptr) probe(*bucket);
+        } else {
+          probe(e.s_all ? all_s_rows_ : e.s_rows_storage);
+        }
+        if (e.residual->has_row_part()) {
+          cc.feature_cache_hits += pair_evals_here;
+        }
+      }
+      std::sort(sc.touched.begin(), sc.touched.end());
+      for (size_t s : sc.touched) {
+        found[chunk].push_back(FiredPair{TuplePair{r, s}, sc.best[s]});
+      }
+      sc.touched.clear();
+    }
+  });
+
+  size_t total = 0;
+  for (const std::vector<FiredPair>& f : found) total += f.size();
+  out.reserve(total);
+  for (std::vector<FiredPair>& f : found) {
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  for (const ChunkCounts& cc : counts) {
+    local.candidate_pairs += cc.candidate_pairs;
+    local.rule_evals += cc.rule_evals;
+    local.amq_rejects += cc.amq_rejects;
+    local.feature_cache_hits += cc.feature_cache_hits;
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace exec
+}  // namespace eid

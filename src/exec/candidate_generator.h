@@ -1,0 +1,193 @@
+// Staged candidate generation for pairwise rule sweeps.
+//
+// The exhaustive engine evaluates every rule's full antecedent over a
+// (filtered) cross product per orientation — O(|R|·|S|) conjunction
+// evaluations even when blocking bounds one rule, because each rule scans
+// independently. CandidateGenerator replaces that with one r-major sweep
+// through three stages:
+//
+//   1. *Blocking intersection.* Each (rule, orientation) contributes a
+//      BlockingPlan (exec/blocking_index.h); its const-eq filters prune
+//      the r rows an entry is consulted for (the per-row entry lists
+//      below are that intersection), and its join conjunct turns the
+//      inner loop into an index-bucket probe. Rules with no indexable
+//      conjunct fall back to a scan list — principled, not silent:
+//      the analyzer flags them (EID-W009).
+//   2. *AMQ pre-filtering.* Before any bucket is probed, an
+//      (attribute column, value fingerprint) is checked against a
+//      dynamic cuckoo filter over the opposite side (exec/amq_filter.h).
+//      A miss kills the probe in O(1) without hashing the Value again.
+//      False positives fall through to the exact stages; false negatives
+//      cannot happen, so the filter never drops a qualifying pair.
+//   3. *Residual evaluation with feature hoisting.* The conjuncts the
+//      enumeration already enforces (PredicateCoverage::kCovered) are
+//      skipped; conjuncts reading only the r-side row are evaluated once
+//      per row and reused across every candidate pair of that row
+//      (counted as feature_cache_hits); only the true pair residual runs
+//      in the inner loop, through a StagedEvaluator the caller supplies
+//      (compiled or interpreted — candidate enumeration and all counters
+//      are identical either way).
+//
+// Exactness: a conjunction is kTrue iff every conjunct is kTrue, covered
+// conjuncts are kTrue on every enumerated candidate by construction, and
+// the enumeration is complete for kTrue (storage equality is exactly
+// CompareValues-kEq on non-NULL operands). Stages may over-approximate
+// the candidate set, never under-approximate it.
+//
+// Determinism and ordering: rows are swept r-major in position-addressed
+// chunks with per-chunk output buffers; per row, entries are consulted in
+// ascending (rule, orientation) priority and each fired pair records the
+// *lowest* priority that fired it. The merged output is therefore the
+// row-major sorted pair list with first-(rule,orientation)-wins evidence —
+// bit-identical to the exhaustive oracle's fold — for any thread count.
+
+#ifndef EID_EXEC_CANDIDATE_GENERATOR_H_
+#define EID_EXEC_CANDIDATE_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/amq_filter.h"
+#include "exec/blocking_index.h"
+#include "exec/thread_pool.h"
+
+namespace eid {
+namespace exec {
+
+/// Evaluates the residual (non-covered) conjuncts of one rule antecedent
+/// for one orientation. Implementations must be safe for concurrent
+/// read-only use once constructed (the sweep calls them from every
+/// worker).
+class StagedEvaluator {
+ public:
+  virtual ~StagedEvaluator() = default;
+
+  /// True when some conjunct is evaluable from the r-side row alone.
+  virtual bool has_row_part() const = 0;
+  /// Kleene conjunction of the row-only conjuncts for r row `r_row`.
+  /// Only called when has_row_part().
+  virtual Truth RowTruth(size_t r_row) const = 0;
+  /// Kleene conjunction of the remaining (pair) conjuncts.
+  virtual Truth PairTruth(size_t r_row, size_t s_row) const = 0;
+};
+
+/// Interpreter-backed StagedEvaluator: splits the predicate list by the
+/// plan's coverage and evaluates each part with EvaluateConjunction.
+/// The row part binds both entity views to the r row — safe because
+/// every entity operand of a kResidualRow conjunct binds the r side.
+class InterpretedResidual final : public StagedEvaluator {
+ public:
+  InterpretedResidual(const std::vector<Predicate>& predicates,
+                      const std::vector<PredicateCoverage>& coverage,
+                      const Relation* r_ext, const Relation* s_ext,
+                      bool flipped);
+
+  bool has_row_part() const override { return !row_.empty(); }
+  Truth RowTruth(size_t r_row) const override;
+  Truth PairTruth(size_t r_row, size_t s_row) const override;
+
+ private:
+  std::vector<Predicate> row_;
+  std::vector<Predicate> pair_;
+  const Relation* r_;
+  const Relation* s_;
+  bool flipped_;
+};
+
+/// Counters of one staged sweep. All engine- and thread-count-invariant.
+struct StagedScanStats {
+  size_t candidate_pairs = 0;      // pairs a residual was evaluated on
+  size_t rule_evals = 0;           // row-part + pair-part evaluations
+  size_t amq_rejects = 0;          // AMQ probe misses (killed in stage 2)
+  size_t feature_cache_hits = 0;   // pair evals reusing a hoisted row part
+  bool indexed = false;            // some live entry probes a join index
+};
+
+/// One fired pair with the lowest (rule, orientation) priority that
+/// certified it: priority = rule_index * 2 + (flipped ? 1 : 0).
+struct FiredPair {
+  TuplePair pair;
+  uint32_t priority = 0;
+};
+
+/// One sweep over an (R, S) pair space for a set of rule orientations.
+/// Add every (rule, orientation) via AddRule in evaluation-priority
+/// order, then Run once. Not reusable.
+class CandidateGenerator {
+ public:
+  /// The relations and index caches must outlive the generator; the
+  /// caches are consulted (and lazily extended) serially in AddRule.
+  CandidateGenerator(const Relation* r_ext, const Relation* s_ext,
+                     ColumnIndexCache* r_index, ColumnIndexCache* s_index,
+                     AmqOptions amq_options = {});
+
+  /// Registers the next (rule, orientation). `plan` must be the
+  /// PlanBlocking result for the same predicates/orientation and
+  /// `residual` (maybe null only for impossible plans) must outlive
+  /// Run. Every call consumes one priority slot — dead rules included —
+  /// so callers can always recover (rule, orientation) from a priority.
+  void AddRule(const BlockingPlan& plan, const StagedEvaluator* residual);
+
+  /// Sweeps all registered rules. Returns fired pairs row-major sorted
+  /// with min-priority evidence; identical for any pool size.
+  std::vector<FiredPair> Run(ThreadPool* pool, StagedScanStats* stats);
+
+  /// Total distinct (column, value) fingerprints inserted into the two
+  /// AMQ pre-filters (diagnostics).
+  size_t amq_size() const;
+
+ private:
+  struct Entry {
+    uint32_t priority = 0;
+    const StagedEvaluator* residual = nullptr;
+    // Join probe (stage 1+2), when the plan has a cross-entity equality.
+    bool has_join = false;
+    size_t r_col = 0;                     // r-side join column
+    size_t s_col = 0;                     // s-side join column (schema pos)
+    const ColumnIndex* s_join = nullptr;  // bucket index over s_col
+    // Cached r-column value hashes (owned by r_col_hashes_, whose mapped
+    // vectors are pointer-stable under rehash).
+    const std::vector<uint64_t>* r_hashes = nullptr;
+    // Scan fallback: the s rows this entry pairs against — every s row
+    // (s_all) or the const-filtered list below. Resolved to a pointer in
+    // Run, after entries_ stops reallocating.
+    bool s_all = false;
+    std::vector<size_t> s_rows_storage;
+  };
+
+  /// Lazily inserts every non-NULL (column, value) of the given side's
+  /// column into that side's AMQ filter.
+  void EnsureAmqColumn(bool r_side, size_t column);
+  /// Lazily caches the 64-bit value hashes of an r column (join-probe
+  /// fingerprints are computed from these, not by re-hashing Values).
+  const std::vector<uint64_t>& RColumnHashes(size_t column);
+
+  const Relation* r_;
+  const Relation* s_;
+  ColumnIndexCache* r_index_;
+  ColumnIndexCache* s_index_;
+
+  AmqFilter r_amq_;
+  AmqFilter s_amq_;
+  std::vector<bool> r_amq_cols_;  // column -> already inserted
+  std::vector<bool> s_amq_cols_;
+  std::unordered_map<size_t, std::vector<uint64_t>> r_col_hashes_;
+
+  uint32_t next_priority_ = 0;
+  std::vector<Entry> entries_;
+  // Entries whose r rows are pruned by const filters, inverted to
+  // per-row lists (ascending priority); entries consulted for every row
+  // stay in `global_` (ascending priority).
+  std::vector<std::vector<uint32_t>> per_row_;
+  std::vector<uint32_t> global_;
+  std::vector<size_t> all_s_rows_;  // shared iota scan list
+  size_t amq_rejects_ = 0;          // rejects during AddRule (serial)
+  bool ran_ = false;
+};
+
+}  // namespace exec
+}  // namespace eid
+
+#endif  // EID_EXEC_CANDIDATE_GENERATOR_H_

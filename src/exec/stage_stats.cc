@@ -27,6 +27,12 @@ std::string StageStats::ToString() const {
            std::to_string(cross_product);
   }
   if (rule_evals > 0) out += ", rule_evals=" + std::to_string(rule_evals);
+  if (amq_rejects > 0) {
+    out += ", amq_rejects=" + std::to_string(amq_rejects);
+  }
+  if (feature_cache_hits > 0) {
+    out += ", feature_cache_hits=" + std::to_string(feature_cache_hits);
+  }
   if (compile_ms > 0.0) out += ", compile_ms=" + FormatMs(compile_ms);
   if (memo_hits > 0 || memo_misses > 0) {
     out += ", memo=" + std::to_string(memo_hits) + "/" +
@@ -47,6 +53,8 @@ std::string StageStats::ToJson() const {
   out += ",\"candidate_pairs\":" + std::to_string(candidate_pairs);
   out += ",\"cross_product\":" + std::to_string(cross_product);
   out += ",\"rule_evals\":" + std::to_string(rule_evals);
+  out += ",\"amq_rejects\":" + std::to_string(amq_rejects);
+  out += ",\"feature_cache_hits\":" + std::to_string(feature_cache_hits);
   out += ",\"compile_ms\":" + FormatMs(compile_ms);
   out += ",\"memo_hits\":" + std::to_string(memo_hits);
   out += ",\"memo_misses\":" + std::to_string(memo_misses);

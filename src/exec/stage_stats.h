@@ -37,6 +37,11 @@ struct StageStats {
   size_t cross_product = 0;    // |R'| * |S'| baseline for candidate_pairs
   size_t rule_evals = 0;       // antecedent-conjunction evaluations
 
+  // Staged candidate-generation counters (exec/candidate_generator.h),
+  // zero on exhaustive-oracle runs.
+  size_t amq_rejects = 0;         // probes killed by the AMQ pre-filter
+  size_t feature_cache_hits = 0;  // pair evals reusing a hoisted row part
+
   // Compiled-execution counters (src/compile/), zero on interpreted runs.
   double compile_ms = 0.0;     // rule-program compilation time (in wall_ms)
   size_t memo_hits = 0;        // derivation memo cache hits

@@ -19,6 +19,9 @@ AtomId AtomTable::Intern(const std::string& attribute, const Value& value) {
   AtomId id = static_cast<AtomId>(atoms_.size());
   atoms_.push_back(Atom{attribute, value});
   index_.emplace(std::move(key), id);
+  AttributeAtoms& attr = by_attribute_[attribute];
+  attr.ids.push_back(id);
+  attr.by_value.emplace(value, id);
   return id;
 }
 
@@ -31,11 +34,14 @@ std::optional<AtomId> AtomTable::Find(const std::string& attribute,
 
 std::vector<AtomId> AtomTable::AtomsForAttribute(
     const std::string& attribute) const {
-  std::vector<AtomId> out;
-  for (AtomId id = 0; id < atoms_.size(); ++id) {
-    if (atoms_[id].attribute == attribute) out.push_back(id);
-  }
-  return out;
+  const AttributeAtoms* attr = AttributeIndex(attribute);
+  return attr != nullptr ? attr->ids : std::vector<AtomId>{};
+}
+
+const AtomTable::AttributeAtoms* AtomTable::AttributeIndex(
+    const std::string& attribute) const {
+  auto it = by_attribute_.find(attribute);
+  return it != by_attribute_.end() ? &it->second : nullptr;
 }
 
 AtomSet::AtomSet(std::vector<AtomId> ids) : ids_(std::move(ids)) {

@@ -38,6 +38,14 @@ struct Atom {
 /// the table's lifetime.
 class AtomTable {
  public:
+  /// The atoms of one attribute, maintained incrementally by Intern: ids in
+  /// ascending order, plus the value -> id map that seeds forward closures.
+  /// References stay valid until the table is destroyed (append-only).
+  struct AttributeAtoms {
+    std::vector<AtomId> ids;
+    std::unordered_map<Value, AtomId, ValueHash> by_value;
+  };
+
   AtomTable() = default;
 
   /// Id of the atom, interning it on first use.
@@ -58,11 +66,17 @@ class AtomTable {
   /// All interned atoms whose attribute equals `attribute`.
   std::vector<AtomId> AtomsForAttribute(const std::string& attribute) const;
 
+  /// The attribute's atom index, or nullptr if no atom uses it. Lets
+  /// compiled programs borrow the per-attribute seed maps instead of
+  /// rebuilding them per session (compile/derivation_program.cc).
+  const AttributeAtoms* AttributeIndex(const std::string& attribute) const;
+
  private:
   static std::string KeyOf(const std::string& attribute, const Value& value);
 
   std::vector<Atom> atoms_;
   std::unordered_map<std::string, AtomId> index_;
+  std::unordered_map<std::string, AttributeAtoms> by_attribute_;
 };
 
 /// A sorted, duplicate-free set of atom ids (conjunction of symbols).

@@ -369,6 +369,46 @@ TEST(AnalyzerBlockingTest, RuleDeadInBothOrientationsIsW006) {
             RuleKind::kDistinctnessRule);
 }
 
+TEST(AnalyzerBlockingTest, UnindexableRuleIsW009) {
+  Playground pg;
+  // No join and no constant filter in any orientation: the staged
+  // generator has an empty blocking plan and degenerates to quadratic.
+  pg.config.distinctness_rules.push_back(DistinctnessRule(
+      "scan-everything", {Pred(Operand::Attr(1, "name"), CompareOp::kNe,
+                               Operand::Attr(2, "name"))}));
+  AnalysisReport report = pg.Analyze();
+  ASSERT_TRUE(report.HasCode("EID-W009")) << report.ToString();
+  const Diagnostic* d = report.WithCode("EID-W009")[0];
+  EXPECT_EQ(d->rule.kind, RuleKind::kProgram);
+  EXPECT_NE(d->message.find("distinctness-rule#0"), std::string::npos)
+      << d->message;
+  EXPECT_NE(d->message.find("quadratic"), std::string::npos) << d->message;
+  EXPECT_NE(d->hint.find("equality conjunct"), std::string::npos) << d->hint;
+}
+
+TEST(AnalyzerBlockingTest, ConstFilteredRuleHasNoW009) {
+  Playground pg;
+  // No cross-entity join (W005 still applies) but a constant-equality
+  // conjunct seeds a bucket — the plan is not empty, so no W009.
+  pg.config.distinctness_rules.push_back(DistinctnessRule(
+      "const-pruned", {Pred(Operand::Attr(1, "name"), CompareOp::kNe,
+                            Operand::Attr(2, "name")),
+                       Pred(Operand::Attr(1, "cuisine"), CompareOp::kEq,
+                            Operand::Const(Value::Str("Chinese")))}));
+  AnalysisReport report = pg.Analyze();
+  EXPECT_TRUE(report.HasCode("EID-W005")) << report.ToString();
+  EXPECT_FALSE(report.HasCode("EID-W009")) << report.ToString();
+}
+
+TEST(AnalyzerBlockingTest, JoinRuleHasNoW009) {
+  Playground pg;
+  pg.config.identity_rules.push_back(IdentityRule(
+      "join-on-name", {Pred(Operand::Attr(1, "name"), CompareOp::kEq,
+                            Operand::Attr(2, "name"))}));
+  AnalysisReport report = pg.Analyze();
+  EXPECT_FALSE(report.HasCode("EID-W009")) << report.ToString();
+}
+
 TEST(AnalyzerBlockingTest, IlfdDeadOnBothSidesIsW007) {
   Playground pg;
   // street lives only in R, manager only in S; no side has both.

@@ -123,6 +123,33 @@ void ExpectIdentical(const IdentificationResult& a,
   }
 }
 
+/// Like ExpectIdentical minus the stage-counter block: the staged and
+/// exhaustive engines must agree on every result bit while intentionally
+/// differing in candidate_pairs / rule_evals — that gap *is* the
+/// optimization being verified.
+void ExpectSameOutcome(const IdentificationResult& a,
+                       const IdentificationResult& b) {
+  EXPECT_EQ(a.r_extended.rows(), b.r_extended.rows());
+  EXPECT_EQ(a.s_extended.rows(), b.s_extended.rows());
+  ExpectDerivationsEqual(a.r_traces, b.r_traces);
+  ExpectDerivationsEqual(a.s_traces, b.s_traces);
+  EXPECT_EQ(a.matching.pairs(), b.matching.pairs());
+  EXPECT_EQ(a.negative.table.pairs(), b.negative.table.pairs());
+  ASSERT_EQ(a.negative.evidence.size(), b.negative.evidence.size());
+  for (size_t i = 0; i < a.negative.evidence.size(); ++i) {
+    EXPECT_EQ(a.negative.evidence[i].pair, b.negative.evidence[i].pair);
+    EXPECT_EQ(a.negative.evidence[i].rule_index,
+              b.negative.evidence[i].rule_index);
+    EXPECT_EQ(a.negative.evidence[i].flipped, b.negative.evidence[i].flipped);
+  }
+  EXPECT_EQ(a.uniqueness, b.uniqueness);
+  EXPECT_EQ(a.consistency, b.consistency);
+  EXPECT_EQ(a.partition.matched, b.partition.matched);
+  EXPECT_EQ(a.partition.non_matched, b.partition.non_matched);
+  EXPECT_EQ(a.partition.undetermined, b.partition.undetermined);
+  EXPECT_EQ(a.partition.total, b.partition.total);
+}
+
 void SetDerivation(IdentifierConfig* config, DerivationMode mode,
                    ConflictPolicy policy) {
   config->matcher_options.extension.derivation.mode = mode;
@@ -154,6 +181,44 @@ TEST_P(DifferentialTest, CompiledIdentifyMatchesInterpreter) {
       EID_ASSERT_OK_AND_ASSIGN(IdentificationResult result,
                                compiled.Identify(world.r, world.s));
       ExpectIdentical(reference, result);
+    }
+  }
+}
+
+TEST_P(DifferentialTest, StagedIdentifyMatchesExhaustiveOracle) {
+  GeneratedWorld world = MakeWorld(GetParam(), /*seed=*/13);
+  for (bool compile : {false, true}) {
+    for (DerivationMode mode :
+         {DerivationMode::kExhaustive, DerivationMode::kFirstMatch}) {
+      for (int threads : {1, 8}) {
+        SCOPED_TRACE(std::string(compile ? "compiled" : "interpreted") +
+                     (mode == DerivationMode::kExhaustive ? " exhaustive"
+                                                          : " first_match") +
+                     " threads=" + std::to_string(threads));
+        IdentifierConfig oracle_cfg = WorldConfig(world, threads, compile);
+        IdentifierConfig staged_cfg = WorldConfig(world, threads, compile);
+        oracle_cfg.matcher_options.staged = false;
+        staged_cfg.matcher_options.staged = true;
+        SetDerivation(&oracle_cfg, mode, ConflictPolicy::kError);
+        SetDerivation(&staged_cfg, mode, ConflictPolicy::kError);
+        EntityIdentifier oracle(oracle_cfg);
+        EID_ASSERT_OK_AND_ASSIGN(IdentificationResult reference,
+                                 oracle.Identify(world.r, world.s));
+        EXPECT_GT(reference.matching.size(), 0u);
+        EXPECT_GT(reference.negative.table.size(), 0u);
+        EntityIdentifier staged(staged_cfg);
+        EID_ASSERT_OK_AND_ASSIGN(IdentificationResult result,
+                                 staged.Identify(world.r, world.s));
+        ExpectSameOutcome(reference, result);
+        // The point of the staged pipeline: on this blocked world it must
+        // evaluate strictly fewer identity candidates than the cross
+        // product the oracle sweeps.
+        for (const exec::StageStats& stage : result.stats.stages()) {
+          if (stage.stage == "identity_rules") {
+            EXPECT_LT(stage.candidate_pairs, stage.cross_product);
+          }
+        }
+      }
     }
   }
 }
@@ -269,6 +334,37 @@ TEST(DifferentialConflictTest, FirstMatchCutOrderMatchesInterpreter) {
   }
 }
 
+TEST(DifferentialConflictTest, StagedPoliciesMatchExhaustiveOracle) {
+  GeneratedWorld world = MakeWorld(/*coverage=*/1.0, /*seed=*/23);
+  IlfdSet conflicting = InjectConflict(world);
+  for (ConflictPolicy policy :
+       {ConflictPolicy::kKeepFirst, ConflictPolicy::kNullOut}) {
+    for (int threads : {1, 8}) {
+      SCOPED_TRACE(std::string(policy == ConflictPolicy::kKeepFirst
+                                   ? "keep_first"
+                                   : "null_out") +
+                   " threads=" + std::to_string(threads));
+      IdentifierConfig oracle_cfg =
+          WorldConfig(world, threads, /*compile=*/true);
+      IdentifierConfig staged_cfg =
+          WorldConfig(world, threads, /*compile=*/true);
+      oracle_cfg.ilfds = conflicting;
+      staged_cfg.ilfds = conflicting;
+      oracle_cfg.matcher_options.staged = false;
+      staged_cfg.matcher_options.staged = true;
+      SetDerivation(&oracle_cfg, DerivationMode::kExhaustive, policy);
+      SetDerivation(&staged_cfg, DerivationMode::kExhaustive, policy);
+      EntityIdentifier oracle(oracle_cfg);
+      EID_ASSERT_OK_AND_ASSIGN(IdentificationResult reference,
+                               oracle.Identify(world.r, world.s));
+      EntityIdentifier staged(staged_cfg);
+      EID_ASSERT_OK_AND_ASSIGN(IdentificationResult result,
+                               staged.Identify(world.r, world.s));
+      ExpectSameOutcome(reference, result);
+    }
+  }
+}
+
 Relation EmptyLike(const Relation& model) {
   Relation out(model.name(), model.schema());
   for (const KeyDef& k : model.keys()) {
@@ -340,6 +436,68 @@ TEST(DifferentialIncrementalTest, CompiledMatchesInterpreterUnderUpdates) {
   for (size_t r_id : {r_ids[1], r_ids[2], r_ids[3]}) {
     for (size_t s_id : {s_ids[1], s_ids[2], s_ids[3]}) {
       EXPECT_EQ(a.Decide(r_id, s_id), b.Decide(r_id, s_id));
+    }
+  }
+}
+
+TEST(DifferentialIncrementalTest, StagedMatchesExhaustiveUnderUpdates) {
+  // The staged per-insert sweep (value indexes + AMQ over the other
+  // side) against the scan-everything oracle, under both residual
+  // engines, through inserts and deletes.
+  GeneratedWorld world = MakeWorld(/*coverage=*/0.6, /*seed=*/37);
+  for (bool compile : {false, true}) {
+    SCOPED_TRACE(compile ? "compiled" : "interpreted");
+    IdentifierConfig oracle_cfg = WorldConfig(world, /*threads=*/1, compile);
+    IdentifierConfig staged_cfg = WorldConfig(world, /*threads=*/1, compile);
+    oracle_cfg.matcher_options.staged = false;
+    staged_cfg.matcher_options.staged = true;
+    EID_ASSERT_OK_AND_ASSIGN(
+        IncrementalIdentifier a,
+        IncrementalIdentifier::Create(oracle_cfg, EmptyLike(world.r),
+                                      EmptyLike(world.s)));
+    EID_ASSERT_OK_AND_ASSIGN(
+        IncrementalIdentifier b,
+        IncrementalIdentifier::Create(staged_cfg, EmptyLike(world.r),
+                                      EmptyLike(world.s)));
+    std::vector<size_t> r_ids, s_ids;
+    for (const Row& row : world.r.rows()) {
+      EID_ASSERT_OK_AND_ASSIGN(size_t id_a, a.InsertR(row));
+      EID_ASSERT_OK_AND_ASSIGN(size_t id_b, b.InsertR(row));
+      EXPECT_EQ(id_a, id_b);
+      r_ids.push_back(id_a);
+    }
+    for (const Row& row : world.s.rows()) {
+      EID_ASSERT_OK_AND_ASSIGN(size_t id_a, a.InsertS(row));
+      EID_ASSERT_OK_AND_ASSIGN(size_t id_b, b.InsertS(row));
+      EXPECT_EQ(id_a, id_b);
+      s_ids.push_back(id_a);
+    }
+    for (size_t i = 0; i < r_ids.size(); i += 5) {
+      EID_EXPECT_OK(a.DeleteR(r_ids[i]));
+      EID_EXPECT_OK(b.DeleteR(r_ids[i]));
+    }
+    for (size_t i = 0; i < s_ids.size(); i += 7) {
+      EID_EXPECT_OK(a.DeleteS(s_ids[i]));
+      EID_EXPECT_OK(b.DeleteS(s_ids[i]));
+    }
+    EXPECT_EQ(a.r_size(), b.r_size());
+    EXPECT_EQ(a.s_size(), b.s_size());
+    EXPECT_EQ(a.LiveR().rows(), b.LiveR().rows());
+    EXPECT_EQ(a.LiveS().rows(), b.LiveS().rows());
+    EID_ASSERT_OK_AND_ASSIGN(Relation mt_a, a.MatchingRelation());
+    EID_ASSERT_OK_AND_ASSIGN(Relation mt_b, b.MatchingRelation());
+    EXPECT_EQ(mt_a.rows(), mt_b.rows());
+    EXPECT_GT(mt_a.size(), 0u);
+    EXPECT_EQ(a.Partition().matched, b.Partition().matched);
+    EXPECT_EQ(a.Partition().non_matched, b.Partition().non_matched);
+    EXPECT_EQ(a.Partition().undetermined, b.Partition().undetermined);
+    EXPECT_EQ(a.Partition().total, b.Partition().total);
+    EXPECT_EQ(a.Uniqueness(), b.Uniqueness());
+    for (size_t r_id : r_ids) {
+      EXPECT_EQ(a.MatchOfR(r_id), b.MatchOfR(r_id)) << "r_id " << r_id;
+    }
+    for (size_t s_id : s_ids) {
+      EXPECT_EQ(a.MatchOfS(s_id), b.MatchOfS(s_id)) << "s_id " << s_id;
     }
   }
 }
