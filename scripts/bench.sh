@@ -6,8 +6,9 @@
 # up to n=4096 — the configuration whose numbers EXPERIMENTS.md records.
 #
 # Output: BENCH_derivation.json (bench_scaling_ilfd), BENCH_matcher.json
-# and BENCH_scaling.json (bench_scaling_matcher) at the repo root. The
-# emitter merges per (name, n, threads) key, so a smoke run refreshes
+# and BENCH_scaling.json (bench_scaling_matcher), and BENCH_snapshot.json
+# (bench_snapshot: save/load vs cold rebuild) at the repo root. The
+# emitters merge per (name, n[, threads]) key, so a smoke run refreshes
 # the small-n records without disturbing committed large-n ones.
 #
 # After the runs, the quadratic-fallback guard fails the script when any
@@ -25,10 +26,10 @@ cd "$(dirname "$0")/.."
 FULL=0
 [[ "${1:-}" == "--full" ]] && FULL=1
 
-if [[ ! -x build/bench/bench_scaling_ilfd ]]; then
+if [[ ! -x build/bench/bench_scaling_ilfd || ! -x build/bench/bench_snapshot ]]; then
   cmake --preset release >/dev/null
   cmake --build --preset release -j "$(nproc)" \
-    --target bench_scaling_ilfd bench_scaling_matcher
+    --target bench_scaling_ilfd bench_scaling_matcher bench_snapshot
 fi
 
 if [[ "$FULL" == "1" ]]; then
@@ -58,6 +59,26 @@ EID_BENCH_JSON=BENCH_scaling.json ./build/bench/bench_scaling_matcher \
   --benchmark_filter="$SCALING_FILTER" \
   --benchmark_min_time="$MIN_TIME"
 
+echo "=== bench_snapshot -> BENCH_snapshot.json ==="
+if [[ "$FULL" == "1" ]]; then
+  EID_BENCH_JSON=BENCH_snapshot.json ./build/bench/bench_snapshot --full
+else
+  EID_BENCH_JSON=BENCH_snapshot.json ./build/bench/bench_snapshot
+fi
+
+echo "=== snapshot-structure guard (BENCH_snapshot.json) ==="
+awk '/"name": "snapshot"/ {
+  seen = 1
+  lm = $0; sub(/.*"load_ms": /, "", lm); sub(/[,}].*/, "", lm)
+  fb = $0; sub(/.*"file_bytes": /, "", fb); sub(/[,}].*/, "", fb)
+  if (lm + 0 <= 0 || fb + 0 <= 0) { print "DEGENERATE RECORD: " $0; bad = 1 }
+}
+END {
+  if (!seen) { print "no snapshot records in BENCH_snapshot.json"; exit 1 }
+  if (bad) exit 1
+  print "snapshot records carry positive load times and file sizes"
+}' BENCH_snapshot.json
+
 echo "=== quadratic-fallback guard (BENCH_scaling.json) ==="
 awk '/"name": "identify_blocked"/ {
   seen = 1
@@ -73,4 +94,5 @@ END {
 }' BENCH_scaling.json
 
 echo
-echo "wrote BENCH_derivation.json, BENCH_matcher.json and BENCH_scaling.json"
+echo "wrote BENCH_derivation.json, BENCH_matcher.json, BENCH_scaling.json" \
+     "and BENCH_snapshot.json"

@@ -44,6 +44,15 @@ class ValueInterner {
     return it == ids_.end() ? kNotInterned : it->second;
   }
 
+  /// Interns `values` in order. Ids are assigned first-seen dense, so
+  /// preloading a snapshot dictionary (saved in first-intern order)
+  /// reproduces the ids a fresh build would assign — the id-stable
+  /// handoff the loaded world's compiled programs rely on.
+  void Preload(const std::vector<Value>& values) {
+    ids_.reserve(ids_.size() + values.size());
+    for (const Value& v : values) GetOrIntern(v);
+  }
+
   /// Number of distinct values interned.
   size_t size() const { return ids_.size(); }
 

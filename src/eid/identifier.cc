@@ -160,7 +160,8 @@ Result<IdentificationResult> EntityIdentifier::Identify(
         }
       }
       exec::CandidateGenerator gen(&out.r_extended, &out.s_extended,
-                                   &r_index, &s_index);
+                                   &r_index, &s_index,
+                                   config_.matcher_options.amq_seeds.get());
       for (size_t i = 0; i < plans.size(); ++i) {
         gen.AddRule(plans[i], evaluators[i].get());
       }
@@ -238,7 +239,8 @@ Result<IdentificationResult> EntityIdentifier::Identify(
       out.negative,
       BuildNegativeMatchingTable(out.r_extended, out.s_extended, rules,
                                  pool_ptr, config_.matcher_options.compile,
-                                 config_.matcher_options.staged));
+                                 config_.matcher_options.staged,
+                                 config_.matcher_options.amq_seeds.get()));
   out.stats.Add(out.negative.stats);
 
   // --- Constraint verification ------------------------------------------

@@ -30,6 +30,16 @@ Status MatchTable::Add(TuplePair pair) {
   return Status::Ok();
 }
 
+Result<MatchTable> MatchTable::FromPairs(bool negative,
+                                         const std::vector<TuplePair>& pairs) {
+  MatchTable table(negative);
+  table.Reserve(pairs.size());
+  for (const TuplePair& pair : pairs) {
+    EID_RETURN_IF_ERROR(table.Add(pair));
+  }
+  return table;
+}
+
 void MatchTable::Reserve(size_t n) {
   pairs_.reserve(n);
   members_.reserve(n);

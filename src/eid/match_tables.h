@@ -57,6 +57,13 @@ class MatchTable {
   /// `negative` selects NMT semantics (no uniqueness constraint).
   explicit MatchTable(bool negative = false) : negative_(negative) {}
 
+  /// Rebuilds a table from a serialized pair list (snapshot load),
+  /// re-running the Add-path constraint checks — a corrupted pair list
+  /// that violates uniqueness fails here instead of resurfacing later as
+  /// an inconsistent table.
+  static Result<MatchTable> FromPairs(bool negative,
+                                      const std::vector<TuplePair>& pairs);
+
   bool negative() const { return negative_; }
   size_t size() const { return pairs_.size(); }
   bool empty() const { return pairs_.empty(); }

@@ -18,10 +18,16 @@
 #ifndef EID_EID_MATCHER_H_
 #define EID_EID_MATCHER_H_
 
+#include <memory>
+
 #include "eid/extension.h"
 #include "eid/match_tables.h"
 
 namespace eid {
+
+namespace exec {
+struct AmqSeeds;
+}  // namespace exec
 
 /// Outcome of matching-table construction.
 struct MatcherResult {
@@ -79,6 +85,12 @@ struct MatcherOptions {
   /// bit-identical (the staged filters over-approximate, never
   /// under-approximate, and emission order is preserved).
   bool staged = true;
+  /// Precomputed AMQ filter contents for the staged sweeps, normally
+  /// from a loaded snapshot (storage::LoadedWorld::ToConfig wires them
+  /// up). Null builds the filters by scanning the extended relations.
+  /// Either way the filters hold the same fingerprint set, so identify
+  /// output is unchanged; only the seeding cost differs.
+  std::shared_ptr<const exec::AmqSeeds> amq_seeds;
 };
 
 /// Builds MT_RS for `r` and `s` under the given extended key and ILFDs.

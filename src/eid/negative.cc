@@ -20,7 +20,7 @@ Result<NegativeResult> BuildNegativeMatchingTable(
 Result<NegativeResult> BuildNegativeMatchingTable(
     const Relation& r_extended, const Relation& s_extended,
     const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool,
-    bool compile, bool staged) {
+    bool compile, bool staged, const exec::AmqSeeds* amq_seeds) {
   exec::StageTimer timer;
   for (const DistinctnessRule& rule : rules) {
     EID_RETURN_IF_ERROR(rule.Validate());
@@ -84,7 +84,7 @@ Result<NegativeResult> BuildNegativeMatchingTable(
     }
 
     exec::CandidateGenerator gen(&r_extended, &s_extended, &r_index,
-                                 &s_index);
+                                 &s_index, amq_seeds);
     for (size_t i = 0; i < plans.size(); ++i) {
       gen.AddRule(plans[i], evaluators[i].get());
     }

@@ -25,6 +25,10 @@
 
 namespace eid {
 
+namespace exec {
+struct AmqSeeds;
+}  // namespace exec
+
 /// Provenance of one negative pair: which rule certified it, and in which
 /// orientation. Rules quantify over all entity pairs (∀e1,e2), so both
 /// instantiations (e1:=r-tuple, e2:=s-tuple) and (e1:=s-tuple, e2:=r-tuple)
@@ -57,11 +61,14 @@ Result<NegativeResult> BuildNegativeMatchingTable(
 /// the staged candidate generator (exec/candidate_generator.h: blocking
 /// intersection, AMQ pre-filters, hoisted row features); off is the
 /// exhaustive per-rule sweep kept as a differential oracle. The fired
-/// pairs, evidence and ordering are identical on every path.
+/// pairs, evidence and ordering are identical on every path. `amq_seeds`
+/// (optional, staged path only) pre-seeds the candidate generator's AMQ
+/// filters from snapshot fingerprint arrays instead of row scans.
 Result<NegativeResult> BuildNegativeMatchingTable(
     const Relation& r_extended, const Relation& s_extended,
     const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool,
-    bool compile = true, bool staged = true);
+    bool compile = true, bool staged = true,
+    const exec::AmqSeeds* amq_seeds = nullptr);
 
 }  // namespace eid
 

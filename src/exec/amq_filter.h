@@ -97,6 +97,19 @@ class AmqFilter {
   uint64_t kick_state_;  // seeded xorshift for eviction choices
 };
 
+/// Precomputed AMQ filter contents for the two sides of a pair sweep:
+/// per column, the distinct (column, value) fingerprints of the extended
+/// relation — exactly what EnsureAmqColumn would compute by scanning the
+/// rows. A snapshot ships these (storage/fingerprint_index.h), so a
+/// loaded world seeds its filters without re-hashing every Value. The
+/// seeded filter holds the same fingerprint *set* as a scan-built one
+/// (insertion placement may differ; the no-false-negative contract and
+/// therefore the identify output do not).
+struct AmqSeeds {
+  std::vector<std::vector<uint64_t>> r_columns;
+  std::vector<std::vector<uint64_t>> s_columns;
+};
+
 /// Fingerprint of an (attribute column, value hash) pair — the key the
 /// engine stores per distinct attribute value of a relation. A column is
 /// identified by its schema position; `value_hash` is Value::Hash().

@@ -17,6 +17,13 @@ ColumnIndex ColumnIndex::Build(const Relation& relation, size_t column) {
   return index;
 }
 
+ColumnIndex ColumnIndex::FromBuckets(
+    std::unordered_map<Value, std::vector<size_t>, ValueHash> buckets) {
+  ColumnIndex index;
+  index.buckets_ = std::move(buckets);
+  return index;
+}
+
 const std::vector<size_t>* ColumnIndex::Find(const Value& v) const {
   auto it = buckets_.find(v);
   if (it == buckets_.end()) return nullptr;
@@ -35,6 +42,11 @@ const ColumnIndex* ColumnIndexCache::ForAttribute(
   }
   return indexes_.emplace(attribute, std::move(built))
       .first->second.get();
+}
+
+void ColumnIndexCache::Preload(const std::string& attribute,
+                               ColumnIndex index) {
+  indexes_[attribute] = std::make_unique<ColumnIndex>(std::move(index));
 }
 
 BlockingPlan PlanBlocking(const std::vector<Predicate>& predicates,

@@ -49,6 +49,13 @@ class ColumnIndex {
  public:
   static ColumnIndex Build(const Relation& relation, size_t column);
 
+  /// Wraps pre-built buckets — the snapshot cold-start path, which
+  /// reconstructs (value, ascending row list) pairs from decoded posting
+  /// lists instead of re-scanning and re-hashing the relation. Buckets
+  /// must follow the Build contract: no NULL keys, rows ascending.
+  static ColumnIndex FromBuckets(
+      std::unordered_map<Value, std::vector<size_t>, ValueHash> buckets);
+
   /// Rows whose cell storage-equals `v`; nullptr when none.
   const std::vector<size_t>* Find(const Value& v) const;
 
@@ -70,6 +77,11 @@ class ColumnIndexCache {
   /// Index for the named attribute; nullptr when the relation has no
   /// such attribute.
   const ColumnIndex* ForAttribute(const std::string& attribute);
+
+  /// Installs a pre-built index for the named attribute (snapshot
+  /// cold-start: indexes rebuilt from posting lists). Later ForAttribute
+  /// calls return it instead of scanning the relation.
+  void Preload(const std::string& attribute, ColumnIndex index);
 
   const Relation& relation() const { return *relation_; }
 

@@ -45,9 +45,10 @@ CandidateGenerator::CandidateGenerator(const Relation* r_ext,
                                        const Relation* s_ext,
                                        ColumnIndexCache* r_index,
                                        ColumnIndexCache* s_index,
+                                       const AmqSeeds* seeds,
                                        AmqOptions amq_options)
     : r_(r_ext), s_(s_ext), r_index_(r_index), s_index_(s_index),
-      r_amq_(amq_options), s_amq_(amq_options),
+      seeds_(seeds), r_amq_(amq_options), s_amq_(amq_options),
       r_amq_cols_(r_ext->schema().size(), false),
       s_amq_cols_(s_ext->schema().size(), false) {}
 
@@ -59,8 +60,19 @@ void CandidateGenerator::EnsureAmqColumn(bool r_side, size_t column) {
   std::vector<bool>& done = r_side ? r_amq_cols_ : s_amq_cols_;
   if (done[column]) return;
   done[column] = true;
-  const Relation& rel = r_side ? *r_ : *s_;
   AmqFilter& amq = r_side ? r_amq_ : s_amq_;
+  if (seeds_ != nullptr) {
+    // Snapshot fast path: the precomputed distinct fingerprints of this
+    // column, no row scan and no Value re-hashing. Same fingerprint set
+    // as the scan below — contents are interchangeable.
+    const std::vector<std::vector<uint64_t>>& cols =
+        r_side ? seeds_->r_columns : seeds_->s_columns;
+    if (column < cols.size()) {
+      for (uint64_t key : cols[column]) amq.Insert(key);
+      return;
+    }
+  }
+  const Relation& rel = r_side ? *r_ : *s_;
   // One copy per *distinct* value: the batch sweep never erases, so
   // duplicate copies would only inflate the filter (a 16-value column
   // over 64k rows must not become 64k fingerprints).

@@ -119,8 +119,12 @@ class CandidateGenerator {
  public:
   /// The relations and index caches must outlive the generator; the
   /// caches are consulted (and lazily extended) serially in AddRule.
+  /// `seeds`, when non-null (and outliving the generator), supplies
+  /// per-column fingerprint arrays — e.g. from a loaded snapshot — and
+  /// EnsureAmqColumn inserts those instead of scanning the relation.
   CandidateGenerator(const Relation* r_ext, const Relation* s_ext,
                      ColumnIndexCache* r_index, ColumnIndexCache* s_index,
+                     const AmqSeeds* seeds = nullptr,
                      AmqOptions amq_options = {});
 
   /// Registers the next (rule, orientation). `plan` must be the
@@ -168,6 +172,7 @@ class CandidateGenerator {
   const Relation* s_;
   ColumnIndexCache* r_index_;
   ColumnIndexCache* s_index_;
+  const AmqSeeds* seeds_;
 
   AmqFilter r_amq_;
   AmqFilter s_amq_;

@@ -41,6 +41,12 @@ std::string StageStats::ToString() const {
   if (interner_values > 0) {
     out += ", interner_values=" + std::to_string(interner_values);
   }
+  if (snapshot_load_ms > 0.0) {
+    out += ", snapshot_load_ms=" + FormatMs(snapshot_load_ms);
+  }
+  if (dict_values > 0) {
+    out += ", dict_values=" + std::to_string(dict_values);
+  }
   return out;
 }
 
@@ -59,6 +65,8 @@ std::string StageStats::ToJson() const {
   out += ",\"memo_hits\":" + std::to_string(memo_hits);
   out += ",\"memo_misses\":" + std::to_string(memo_misses);
   out += ",\"interner_values\":" + std::to_string(interner_values);
+  out += ",\"snapshot_load_ms\":" + FormatMs(snapshot_load_ms);
+  out += ",\"dict_values\":" + std::to_string(dict_values);
   out += "}";
   return out;
 }

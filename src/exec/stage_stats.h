@@ -48,6 +48,10 @@ struct StageStats {
   size_t memo_misses = 0;      // derivation memo cache misses
   size_t interner_values = 0;  // distinct values interned by the stage
 
+  // Snapshot counters (src/storage/), zero on worlds built from rows.
+  double snapshot_load_ms = 0.0;  // mmap + decode + index rebuild time
+  size_t dict_values = 0;         // dictionary entries decoded
+
   /// One-line human-readable form.
   std::string ToString() const;
   /// JSON object form (stable key order).

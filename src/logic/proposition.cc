@@ -4,22 +4,12 @@
 
 namespace eid {
 
-std::string AtomTable::KeyOf(const std::string& attribute,
-                             const Value& value) {
-  std::string v = value.ToString();
-  return std::to_string(attribute.size()) + ":" + attribute + "|" +
-         std::string(1, static_cast<char>('0' + static_cast<int>(value.type()))) +
-         v;
-}
-
 AtomId AtomTable::Intern(const std::string& attribute, const Value& value) {
-  std::string key = KeyOf(attribute, value);
-  auto it = index_.find(key);
-  if (it != index_.end()) return it->second;
+  AttributeAtoms& attr = by_attribute_[attribute];
+  auto it = attr.by_value.find(value);
+  if (it != attr.by_value.end()) return it->second;
   AtomId id = static_cast<AtomId>(atoms_.size());
   atoms_.push_back(Atom{attribute, value});
-  index_.emplace(std::move(key), id);
-  AttributeAtoms& attr = by_attribute_[attribute];
   attr.ids.push_back(id);
   attr.by_value.emplace(value, id);
   return id;
@@ -27,8 +17,10 @@ AtomId AtomTable::Intern(const std::string& attribute, const Value& value) {
 
 std::optional<AtomId> AtomTable::Find(const std::string& attribute,
                                       const Value& value) const {
-  auto it = index_.find(KeyOf(attribute, value));
-  if (it == index_.end()) return std::nullopt;
+  const AttributeAtoms* attr = AttributeIndex(attribute);
+  if (attr == nullptr) return std::nullopt;
+  auto it = attr->by_value.find(value);
+  if (it == attr->by_value.end()) return std::nullopt;
   return it->second;
 }
 

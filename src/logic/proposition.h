@@ -72,10 +72,11 @@ class AtomTable {
   const AttributeAtoms* AttributeIndex(const std::string& attribute) const;
 
  private:
-  static std::string KeyOf(const std::string& attribute, const Value& value);
-
+  // Lookup goes through by_attribute_: an attribute-string probe, then a
+  // ValueHash probe — no composite key is materialised per Intern (the
+  // IlfdSet construction behind snapshot loads interns hundreds of
+  // thousands of atoms; a string build per probe dominated that path).
   std::vector<Atom> atoms_;
-  std::unordered_map<std::string, AtomId> index_;
   std::unordered_map<std::string, AttributeAtoms> by_attribute_;
 };
 

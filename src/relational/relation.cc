@@ -63,7 +63,26 @@ std::string Relation::KeyFingerprint(const Row& row, const KeyDef& key) const {
   return fp;
 }
 
+void Relation::AdoptRows(std::vector<Row> rows) {
+  rows_ = std::move(rows);
+  for (auto& set : key_sets_) set.clear();
+  key_sets_stale_ = !keys_.empty();
+}
+
+void Relation::EnsureKeySets() {
+  if (!key_sets_stale_) return;
+  key_sets_stale_ = false;
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    key_sets_[k].clear();
+    key_sets_[k].reserve(rows_.size());
+    for (const Row& row : rows_) {
+      key_sets_[k].insert(KeyFingerprint(row, keys_[k]));
+    }
+  }
+}
+
 Status Relation::Insert(Row row) {
+  EnsureKeySets();
   if (row.size() != schema_.size()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " != schema arity " +

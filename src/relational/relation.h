@@ -65,6 +65,13 @@ class Relation {
   /// or candidate-key uniqueness violation.
   Status Insert(Row row);
 
+  /// Bulk-installs rows from a trusted source (snapshot load: the rows
+  /// were validated on the Insert path before being saved, and the file
+  /// is checksummed). Skips per-row type and key checks; key fingerprint
+  /// sets are rebuilt lazily on the next Insert, so a load-then-read
+  /// world never pays for them. Replaces any existing rows.
+  void AdoptRows(std::vector<Row> rows);
+
   /// Inserts a row built from display-form strings, parsed per the schema.
   Status InsertText(const std::vector<std::string>& fields);
 
@@ -91,12 +98,17 @@ class Relation {
   /// Hash-set entry for enforcing one candidate key.
   std::string KeyFingerprint(const Row& row, const KeyDef& key) const;
 
+  /// Rebuilds key_sets_ from rows_ when AdoptRows marked them stale.
+  void EnsureKeySets();
+
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
   std::vector<KeyDef> keys_;
-  // One fingerprint set per declared key, parallel to keys_.
+  // One fingerprint set per declared key, parallel to keys_. Stale after
+  // AdoptRows until the next Insert rebuilds them.
   std::vector<std::unordered_set<std::string>> key_sets_;
+  bool key_sets_stale_ = false;
 };
 
 }  // namespace eid

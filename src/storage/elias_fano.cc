@@ -1,0 +1,160 @@
+#include "storage/elias_fano.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace eid {
+namespace storage {
+
+namespace {
+
+/// Sets bit `pos` (LSB-first within bytes) in `bits`.
+inline void SetBit(std::vector<uint8_t>* bits, size_t pos) {
+  (*bits)[pos >> 3] |= static_cast<uint8_t>(1u << (pos & 7));
+}
+
+/// Appends the low `width` bits of `v` at bit offset `pos`.
+inline void PackLow(std::vector<uint8_t>* bits, size_t pos, uint32_t v,
+                    int width) {
+  for (int b = 0; b < width; ++b) {
+    if ((v >> b) & 1u) SetBit(bits, pos + static_cast<size_t>(b));
+  }
+}
+
+}  // namespace
+
+EliasFano EliasFanoEncode(const std::vector<uint32_t>& sorted_ids,
+                          uint32_t universe) {
+  EliasFano ef;
+  ef.count = static_cast<uint32_t>(sorted_ids.size());
+  ef.universe = universe;
+  if (sorted_ids.empty()) return ef;
+
+  // l ≈ floor(log2(universe / count)), the classic parameter choice: the
+  // upper unary stream then holds about one zero bit per element.
+  int l = 0;
+  while (l < 31 &&
+         (static_cast<uint64_t>(sorted_ids.size()) << (l + 1)) <= universe) {
+    ++l;
+  }
+  ef.low_bits = static_cast<uint8_t>(l);
+
+  const size_t lower_bits = sorted_ids.size() * static_cast<size_t>(l);
+  ef.lower.assign((lower_bits + 7) / 8, 0);
+  const uint32_t last_high = sorted_ids.back() >> l;
+  const size_t upper_bits = sorted_ids.size() + last_high + 1;
+  ef.upper.assign((upper_bits + 7) / 8, 0);
+
+  uint32_t prev = 0;
+  for (size_t i = 0; i < sorted_ids.size(); ++i) {
+    const uint32_t v = sorted_ids[i];
+    EID_CHECK(v < universe);
+    EID_CHECK(i == 0 || v > prev);
+    prev = v;
+    if (l > 0) PackLow(&ef.lower, i * static_cast<size_t>(l), v, l);
+    SetBit(&ef.upper, (v >> l) + i);
+  }
+  return ef;
+}
+
+namespace {
+
+/// Shared decode body; Push receives each element in ascending order.
+template <typename Push>
+Status DecodeImpl(const EliasFano& ef, Push&& push) {
+  if (ef.count == 0) return Status::Ok();
+  const int l = ef.low_bits;
+  if (l > 31) return CorruptError("elias-fano low_bits > 31");
+  const size_t lower_need =
+      (static_cast<size_t>(ef.count) * static_cast<size_t>(l) + 7) / 8;
+  if (ef.lower.size() < lower_need) {
+    return CorruptError("elias-fano lower array truncated");
+  }
+
+  // Word-at-a-time scan: the cold-start path decodes one list per
+  // distinct blocking value, so a per-bit loop over the upper vector (and
+  // a per-bit UnpackLow) dominated snapshot loads. Bits are LSB-first
+  // within each byte, so a little-endian 64-bit load preserves bit order
+  // (the snapshot format is little-endian by declaration — the header's
+  // endianness sentinel rejects foreign files before decode runs).
+  const auto low_at = [&](size_t i) -> uint64_t {
+    if (l == 0) return 0;
+    const size_t bit = i * static_cast<size_t>(l);
+    const size_t byte = bit >> 3;
+    uint64_t word = 0;
+    std::memcpy(&word, ef.lower.data() + byte,
+                std::min<size_t>(sizeof(word), ef.lower.size() - byte));
+    return (word >> (bit & 7)) & ((uint64_t{1} << l) - 1);
+  };
+  size_t i = 0;  // set bits consumed = elements decoded
+  uint64_t prev = 0;
+  const size_t word_count = (ef.upper.size() + 7) / 8;
+  for (size_t w = 0; w < word_count && i < ef.count; ++w) {
+    uint64_t word = 0;
+    std::memcpy(&word, ef.upper.data() + w * 8,
+                std::min<size_t>(sizeof(word), ef.upper.size() - w * 8));
+    while (word != 0 && i < ef.count) {
+      const size_t pos = w * 64 + static_cast<size_t>(std::countr_zero(word));
+      word &= word - 1;
+      const uint64_t high = pos - i;
+      const uint64_t v = (high << l) | low_at(i);
+      if (v >= ef.universe) {
+        return CorruptError("elias-fano element beyond universe");
+      }
+      if (i > 0 && v <= prev) {
+        return CorruptError("elias-fano elements not strictly increasing");
+      }
+      prev = v;
+      push(static_cast<uint32_t>(v));
+      ++i;
+    }
+  }
+  if (i != ef.count) {
+    return CorruptError("elias-fano upper array holds too few elements");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status EliasFanoDecode(const EliasFano& ef, std::vector<uint32_t>* out) {
+  out->clear();
+  out->reserve(ef.count);
+  return DecodeImpl(ef, [out](uint32_t v) { out->push_back(v); });
+}
+
+Status EliasFanoDecodeAppend(const EliasFano& ef, std::vector<size_t>* out) {
+  out->reserve(out->size() + ef.count);
+  return DecodeImpl(ef, [out](uint32_t v) { out->push_back(v); });
+}
+
+void EliasFanoAppend(const EliasFano& ef, ByteWriter* out) {
+  out->PutU32(ef.count);
+  out->PutU32(ef.universe);
+  out->PutU8(ef.low_bits);
+  out->PutU32(static_cast<uint32_t>(ef.lower.size()));
+  out->PutU32(static_cast<uint32_t>(ef.upper.size()));
+  if (!ef.lower.empty()) out->PutBytes(ef.lower.data(), ef.lower.size());
+  if (!ef.upper.empty()) out->PutBytes(ef.upper.data(), ef.upper.size());
+}
+
+bool EliasFanoParse(ByteReader* in, EliasFano* out) {
+  uint32_t lower_len = 0;
+  uint32_t upper_len = 0;
+  if (!in->GetU32(&out->count) || !in->GetU32(&out->universe) ||
+      !in->GetU8(&out->low_bits) || !in->GetU32(&lower_len) ||
+      !in->GetU32(&upper_len)) {
+    return false;
+  }
+  const uint8_t* lower = in->GetBytes(lower_len);
+  if (lower == nullptr && lower_len > 0) return false;
+  const uint8_t* upper = in->GetBytes(upper_len);
+  if (upper == nullptr && upper_len > 0) return false;
+  out->lower.assign(lower, lower + lower_len);
+  out->upper.assign(upper, upper + upper_len);
+  return true;
+}
+
+}  // namespace storage
+}  // namespace eid

@@ -1,0 +1,66 @@
+// Elias-Fano encoding of sorted row-id lists (DESIGN.md §4e).
+//
+// A posting list — the ascending row ids carrying one attribute value —
+// is a strictly increasing sequence over a known universe (the relation's
+// row count). Elias-Fano stores each id's low `l = ~log2(universe/count)`
+// bits verbatim and the high bits as a unary-coded bitvector, costing
+// about `2 + log2(universe/count)` bits per id: near the information-
+// theoretic optimum whether the list is dense (every row) or sparse (one
+// row). This is the scfind-style encoding, rebuilt here over byte
+// buffers so lists embed directly in a snapshot section.
+//
+// Only sequential decode is needed (cold-start rebuilds whole bucket
+// vectors); no rank/select structures are kept. Decode validates shape —
+// strictly increasing, below the universe, exact count — so a truncated
+// or bit-flipped list fails with a Status instead of producing garbage
+// row ids.
+
+#ifndef EID_STORAGE_ELIAS_FANO_H_
+#define EID_STORAGE_ELIAS_FANO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/status.h"
+#include "storage/format.h"
+
+namespace eid {
+namespace storage {
+
+/// One encoded list: parameters plus the two packed bit arrays.
+struct EliasFano {
+  uint32_t count = 0;     // elements encoded
+  uint32_t universe = 0;  // every element is < universe
+  uint8_t low_bits = 0;   // l: low bits stored verbatim per element
+  std::vector<uint8_t> lower;  // count * l bits, LSB-first
+  std::vector<uint8_t> upper;  // unary high-bit stream
+
+  /// Encoded payload size in bytes (diagnostics / bench accounting).
+  size_t ByteSize() const { return lower.size() + upper.size(); }
+};
+
+/// Encodes a strictly increasing sequence with elements < universe.
+/// Precondition (checked): sorted strictly ascending, below universe.
+EliasFano EliasFanoEncode(const std::vector<uint32_t>& sorted_ids,
+                          uint32_t universe);
+
+/// Decodes into `out` (cleared first). Errors on malformed shape: wrong
+/// set-bit count, elements >= universe, or non-increasing order.
+Status EliasFanoDecode(const EliasFano& ef, std::vector<uint32_t>* out);
+
+/// Appends the decoded elements to `out` (not cleared), widening to
+/// size_t — the posting-arena path, which decodes straight into the
+/// per-column row arena instead of through a scratch vector.
+Status EliasFanoDecodeAppend(const EliasFano& ef, std::vector<size_t>* out);
+
+/// Serializes: count u32, universe u32, low_bits u8, lower len u32,
+/// upper len u32, lower bytes, upper bytes.
+void EliasFanoAppend(const EliasFano& ef, ByteWriter* out);
+
+/// Parses one serialized list; false on overrun or impossible sizes.
+bool EliasFanoParse(ByteReader* in, EliasFano* out);
+
+}  // namespace storage
+}  // namespace eid
+
+#endif  // EID_STORAGE_ELIAS_FANO_H_

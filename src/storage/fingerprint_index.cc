@@ -1,0 +1,127 @@
+#include "storage/fingerprint_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "exec/amq_filter.h"
+
+namespace eid {
+namespace storage {
+
+FingerprintIndex FingerprintIndex::Build(const Relation& relation) {
+  FingerprintIndex index;
+  index.columns_.resize(relation.schema().size());
+  for (size_t c = 0; c < relation.schema().size(); ++c) {
+    // std::map keeps fingerprints sorted as buckets fill; row ids arrive
+    // in ascending order by construction.
+    std::map<uint64_t, std::vector<uint32_t>> buckets;
+    for (size_t r = 0; r < relation.size(); ++r) {
+      const Value& v = relation.row(r)[c];
+      if (v.is_null()) continue;
+      const uint64_t fp = exec::FingerprintKey(c, ValueHash{}(v));
+      std::vector<uint32_t>& bucket = buckets[fp];
+      const uint32_t row = static_cast<uint32_t>(r);
+      // Repeated values of one row's column and hash collisions both land
+      // here; keep each row id once.
+      if (bucket.empty() || bucket.back() != row) bucket.push_back(row);
+    }
+    Column& col = index.columns_[c];
+    col.fps.reserve(buckets.size());
+    col.offsets.reserve(buckets.size() + 1);
+    col.offsets.push_back(0);
+    for (const auto& [fp, rows] : buckets) {
+      col.fps.push_back(fp);
+      col.rows.insert(col.rows.end(), rows.begin(), rows.end());
+      col.offsets.push_back(static_cast<uint32_t>(col.rows.size()));
+    }
+  }
+  return index;
+}
+
+std::vector<uint32_t> FingerprintIndex::Lookup(size_t column,
+                                               uint64_t fp) const {
+  const Column& col = columns_[column];
+  auto it = std::lower_bound(col.fps.begin(), col.fps.end(), fp);
+  if (it == col.fps.end() || *it != fp) return {};
+  const size_t i = static_cast<size_t>(it - col.fps.begin());
+  return std::vector<uint32_t>(col.rows.begin() + col.offsets[i],
+                               col.rows.begin() + col.offsets[i + 1]);
+}
+
+size_t FingerprintIndex::ByteSize() const {
+  size_t total = 0;
+  for (const Column& col : columns_) {
+    total += col.fps.size() * sizeof(uint64_t) +
+             col.offsets.size() * sizeof(uint32_t) +
+             col.rows.size() * sizeof(uint32_t);
+  }
+  return total;
+}
+
+void FingerprintIndex::AppendTo(ByteWriter* out) const {
+  out->PutU32(static_cast<uint32_t>(columns_.size()));
+  for (const Column& col : columns_) {
+    out->PutU32(static_cast<uint32_t>(col.fps.size()));
+    out->PutU32(static_cast<uint32_t>(col.rows.size()));
+    for (uint64_t fp : col.fps) out->PutU64(fp);
+    for (uint32_t off : col.offsets) out->PutU32(off);
+    for (uint32_t row : col.rows) out->PutU32(row);
+  }
+}
+
+Status FingerprintIndex::Parse(ByteReader* in, FingerprintIndex* out) {
+  uint32_t column_count = 0;
+  if (!in->GetU32(&column_count)) {
+    return CorruptError("fingerprint index column count truncated");
+  }
+  if (column_count > in->remaining()) {
+    return CorruptError("fingerprint index column count exceeds section");
+  }
+  out->columns_.clear();
+  out->columns_.resize(column_count);
+  for (uint32_t c = 0; c < column_count; ++c) {
+    Column& col = out->columns_[c];
+    uint32_t bucket_count = 0;
+    uint32_t row_count = 0;
+    if (!in->GetU32(&bucket_count) || !in->GetU32(&row_count)) {
+      return CorruptError("fingerprint column header truncated");
+    }
+    const uint64_t need = static_cast<uint64_t>(bucket_count) * 8 +
+                          (static_cast<uint64_t>(bucket_count) + 1) * 4 +
+                          static_cast<uint64_t>(row_count) * 4;
+    if (need > in->remaining()) {
+      return CorruptError("fingerprint column payload truncated");
+    }
+    col.fps.resize(bucket_count);
+    col.offsets.resize(bucket_count + 1);
+    col.rows.resize(row_count);
+    for (uint32_t i = 0; i < bucket_count; ++i) {
+      if (!in->GetU64(&col.fps[i])) {
+        return CorruptError("fingerprint array truncated");
+      }
+      if (i > 0 && col.fps[i] <= col.fps[i - 1]) {
+        return CorruptError("fingerprint array not strictly increasing");
+      }
+    }
+    for (uint32_t i = 0; i <= bucket_count; ++i) {
+      if (!in->GetU32(&col.offsets[i])) {
+        return CorruptError("fingerprint offsets truncated");
+      }
+      if (i == 0 ? col.offsets[0] != 0 : col.offsets[i] < col.offsets[i - 1]) {
+        return CorruptError("fingerprint offsets not monotone from zero");
+      }
+    }
+    if (col.offsets[bucket_count] != row_count) {
+      return CorruptError("fingerprint offsets do not cover row array");
+    }
+    for (uint32_t i = 0; i < row_count; ++i) {
+      if (!in->GetU32(&col.rows[i])) {
+        return CorruptError("fingerprint row array truncated");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace storage
+}  // namespace eid

@@ -1,0 +1,76 @@
+// Fingerprint index: (attribute, value) fingerprints -> row buckets.
+//
+// For each column of an extended relation the snapshot keeps a sorted
+// array of 64-bit fingerprints — exec::FingerprintKey(column,
+// Value::Hash()), the exact key the staged matcher's AMQ filter stores —
+// each pointing at the ascending row ids carrying that value. Two uses:
+//
+//  * AMQ seeding: a loaded world hands the per-column fingerprint arrays
+//    straight to the candidate generator, which inserts them into its
+//    cuckoo filter instead of re-hashing every row. The filter's *content*
+//    (the fingerprint set) is identical to a fresh build, so the
+//    no-false-negative contract holds and identify output is unchanged.
+//  * Point lookup: `eid_snapshot inspect`/`verify` can answer "which rows
+//    carry this value?" from the file without rebuilding hash indexes.
+//
+// Distinct Values whose hashes collide share a fingerprint; their row
+// buckets are merged sorted-unique (a superset bucket is harmless for
+// both uses — exact residual evaluation filters candidates anyway).
+
+#ifndef EID_STORAGE_FINGERPRINT_INDEX_H_
+#define EID_STORAGE_FINGERPRINT_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/relation.h"
+#include "storage/format.h"
+
+namespace eid {
+namespace storage {
+
+/// Per-column fingerprint -> row-bucket mapping for one relation.
+class FingerprintIndex {
+ public:
+  /// One column's buckets: `fps` sorted ascending; bucket i spans
+  /// rows[offsets[i] .. offsets[i+1]) with row ids ascending.
+  struct Column {
+    std::vector<uint64_t> fps;
+    std::vector<uint32_t> offsets;  // fps.size() + 1 entries
+    std::vector<uint32_t> rows;
+  };
+
+  /// Builds from a relation: one bucket per distinct non-NULL value
+  /// fingerprint per column.
+  static FingerprintIndex Build(const Relation& relation);
+
+  size_t column_count() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Ascending row ids carrying fingerprint `fp` in `column`; empty when
+  /// absent.
+  std::vector<uint32_t> Lookup(size_t column, uint64_t fp) const;
+
+  /// All distinct fingerprints of a column — the AMQ seed array.
+  const std::vector<uint64_t>& ColumnFingerprints(size_t column) const {
+    return columns_[column].fps;
+  }
+
+  /// In-memory footprint in bytes (bench accounting).
+  size_t ByteSize() const;
+
+  /// Section payload: column count u32; per column bucket count u32,
+  /// total rows u32, fps u64[], offsets u32[count+1], rows u32[].
+  void AppendTo(ByteWriter* out) const;
+
+  /// Decodes a fingerprints section; validates sortedness and offsets.
+  static Status Parse(ByteReader* in, FingerprintIndex* out);
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace storage
+}  // namespace eid
+
+#endif  // EID_STORAGE_FINGERPRINT_INDEX_H_

@@ -1,0 +1,158 @@
+// World snapshots: save/load a full integration world in one file.
+//
+// A snapshot persists everything an identification run consumed and
+// produced — source R and S, the extended R' and S', derivation
+// provenance, MT/NMT, and the rule program (ILFDs, correspondence,
+// extended key) — plus the cold-start accelerators: an interned-value
+// dictionary (storage/dictionary.h), per-attribute Elias-Fano posting
+// lists (storage/elias_fano.h), and a fingerprint index
+// (storage/fingerprint_index.h). Loading therefore rebuilds blocking
+// indexes from decoded posting lists and seeds AMQ filters and the value
+// interner straight from the file, instead of re-scanning, re-hashing
+// and re-interning every row.
+//
+// File layout and integrity rules are in storage/format.h; every decode
+// failure (truncation, bit flip, wrong magic/version/endianness) is a
+// clean Status with the "snapshot corrupt:" prefix, never UB.
+
+#ifndef EID_STORAGE_SNAPSHOT_H_
+#define EID_STORAGE_SNAPSHOT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compile/interner.h"
+#include "eid/identifier.h"
+#include "exec/amq_filter.h"
+#include "exec/blocking_index.h"
+#include "storage/fingerprint_index.h"
+#include "storage/format.h"
+
+namespace eid {
+namespace storage {
+
+/// Borrowed views of everything WriteSnapshot persists. The four
+/// relations are required; tables, traces and the rule program may be
+/// null/empty (saved as empty sections).
+struct WorldImage {
+  const Relation* r = nullptr;
+  const Relation* s = nullptr;
+  const Relation* r_extended = nullptr;
+  const Relation* s_extended = nullptr;
+  const std::vector<Derivation>* r_traces = nullptr;
+  const std::vector<Derivation>* s_traces = nullptr;
+  const MatchTable* matching = nullptr;
+  const MatchTable* negative = nullptr;
+  const IlfdSet* ilfds = nullptr;
+  const AttributeCorrespondence* correspondence = nullptr;
+  const ExtendedKey* extended_key = nullptr;
+};
+
+/// Convenience image over an identification run and its inputs.
+WorldImage ImageOf(const Relation& r, const Relation& s,
+                   const IdentifierConfig& config,
+                   const IdentificationResult& result);
+
+/// Serializes `image` to `path` (single pass, whole file buffered then
+/// written). Errors: null required relations, unwritable path.
+Status WriteSnapshot(const WorldImage& image, const std::string& path);
+
+/// Validated access to a snapshot file: header, section table and every
+/// section checksum are verified in Open, so section payloads handed out
+/// afterwards are exactly the bytes that were written.
+class SnapshotReader {
+ public:
+  /// Maps and validates. NotFound for a missing file; otherwise any
+  /// malformed structure yields a "snapshot corrupt:" InvalidArgument.
+  static Result<SnapshotReader> Open(const std::string& path);
+
+  const std::vector<SectionEntry>& sections() const { return sections_; }
+  size_t file_size() const { return file_.size(); }
+  bool mapped() const { return file_.mapped(); }
+
+  /// Reader over the payload of the first section matching (kind, role);
+  /// NotFound when the snapshot has no such section.
+  Result<ByteReader> Section(SectionKind kind, uint32_t role = 0) const;
+
+ private:
+  SnapshotReader() = default;
+
+  MappedFile file_;
+  std::vector<SectionEntry> sections_;
+};
+
+/// Decoded posting lists of one relation: columns[c] holds ascending
+/// (value id, ascending row ids) buckets. Row ids live in one arena per
+/// column — a bucket is a [begin, begin+count) window into it — so a
+/// column decodes with two allocations regardless of how many distinct
+/// values it has (tens of thousands of per-bucket vectors was the
+/// dominant cost of the postings section at large n).
+struct PostingColumns {
+  struct Bucket {
+    uint32_t value_id = 0;
+    uint32_t begin = 0;
+    uint32_t count = 0;
+  };
+  struct Column {
+    std::vector<Bucket> buckets;
+    std::vector<size_t> rows;  // arena: bucket b owns rows[b.begin ..)
+
+    /// The row-id window of one bucket.
+    const size_t* rows_of(const Bucket& b) const { return rows.data() + b.begin; }
+  };
+  std::vector<Column> columns;
+};
+
+/// A fully decoded world plus the cold-start accelerators.
+struct LoadedWorld {
+  Relation r, s, r_extended, s_extended;
+  std::vector<Derivation> r_traces, s_traces;
+  MatchTable matching{/*negative=*/false};
+  MatchTable negative{/*negative=*/true};
+  IlfdSet ilfds;
+  AttributeCorrespondence correspondence;
+  std::optional<ExtendedKey> extended_key;
+
+  /// Interned values in id order (dictionary section).
+  std::vector<Value> dictionary;
+  /// Per-column distinct fingerprints of R'/S' (fingerprints section),
+  /// ready to hand to MatcherOptions::amq_seeds.
+  std::shared_ptr<exec::AmqSeeds> amq_seeds;
+  /// Decoded Elias-Fano postings of R'/S' (postings sections).
+  PostingColumns r_postings, s_postings;
+  /// stage="snapshot_load": wall_ms/snapshot_load_ms = map + decode +
+  /// checksum time, dict_values = dictionary size, items = rows decoded.
+  exec::StageStats load_stats;
+
+  /// Identification config over the loaded rule program, with amq_seeds
+  /// wired into the matcher options. Identify on the loaded sources is
+  /// bit-identical to a fresh build (tests/storage/ enforce this).
+  IdentifierConfig ToConfig() const;
+
+  /// Installs blocking indexes for every column of R' and S' into the
+  /// caches, rebuilt from the decoded posting lists — the cold-start
+  /// path that avoids re-scanning and re-hashing the relations.
+  void PreloadIndexes(exec::ColumnIndexCache* r_cache,
+                      exec::ColumnIndexCache* s_cache) const;
+
+  /// Preloads `interner` with the dictionary in id order, reproducing
+  /// the saved dense ids (compile::ValueInterner handoff).
+  void SeedInterner(compile::ValueInterner* interner) const {
+    interner->Preload(dictionary);
+  }
+};
+
+/// Opens, validates and decodes a whole snapshot.
+Result<LoadedWorld> LoadSnapshot(const std::string& path);
+
+/// Rebuilds one column's blocking index from decoded postings.
+/// `dictionary` maps the bucket value ids back to Values.
+exec::ColumnIndex IndexFromPostings(const PostingColumns::Column& column,
+                                    const std::vector<Value>& dictionary);
+
+}  // namespace storage
+}  // namespace eid
+
+#endif  // EID_STORAGE_SNAPSHOT_H_

@@ -1,5 +1,6 @@
 #include "workload/generator.h"
 
+#include <algorithm>
 #include <set>
 #include <unordered_set>
 
@@ -133,7 +134,9 @@ Result<GeneratedWorld> GenerateWorld(const GeneratorConfig& config) {
         {Atom{"speciality", Value::String(SpecialityToken(sp))}},
         Atom{"cuisine", Value::String(CuisineToken(cuisine_of[sp]))}));
   }
-  for (size_t t = 0; t < config.street_pool; ++t) {
+  const size_t street_rules =
+      std::min(config.street_pool, config.max_street_rules);
+  for (size_t t = 0; t < street_rules; ++t) {
     world.ilfds.Add(
         Ilfd::Implies({Atom{"street", Value::String(StreetToken(t))}},
                       Atom{"city", Value::String(CityToken(city_of[t]))}));

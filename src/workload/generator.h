@@ -27,6 +27,8 @@
 #include "eid/correspondence.h"
 #include "eid/extended_key.h"
 #include "eid/match_tables.h"
+#include <cstdint>
+
 #include "ilfd/ilfd_set.h"
 #include "workload/rng.h"
 
@@ -57,6 +59,13 @@ struct GeneratorConfig {
   /// ILFD. 1.0 → R can always derive the extended key; lower values leave
   /// undetermined pairs.
   double ilfd_coverage = 1.0;
+  /// Cap on the street→city taxonomy rules emitted into `ilfds`. The
+  /// street pool scales with the world so keys stay unique, but domain
+  /// knowledge does not grow with the data — large-n workloads (the
+  /// snapshot cold-start study) cap the rule program at a fixed budget.
+  /// Streets beyond the cap simply have no derivable city. SIZE_MAX (the
+  /// default) emits one rule per street as before.
+  size_t max_street_rules = SIZE_MAX;
 };
 
 /// A generated world plus everything a matcher needs.

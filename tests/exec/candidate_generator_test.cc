@@ -97,7 +97,7 @@ StagedRun RunStaged(const Relation& r, const Relation& s, const RuleSet& rules,
   }
   ColumnIndexCache r_index(&r);
   ColumnIndexCache s_index(&s);
-  CandidateGenerator gen(&r, &s, &r_index, &s_index, amq);
+  CandidateGenerator gen(&r, &s, &r_index, &s_index, /*seeds=*/nullptr, amq);
   for (size_t i = 0; i < plans.size(); ++i) {
     gen.AddRule(plans[i], evaluators[i].get());
   }

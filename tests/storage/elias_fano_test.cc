@@ -1,0 +1,143 @@
+// Elias-Fano posting-list codec: exact round-trips over the shapes the
+// snapshot emits (empty, singleton, dense, sparse, full range), and
+// strict rejection of malformed encodings — a forged or bit-flipped list
+// must come back as a Status, never as garbage rows or UB.
+
+#include "storage/elias_fano.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+// gtest-style OK check without pulling in tests/test_util.h (this suite
+// exercises the storage layer only).
+#define EID_EXPECT_OK_LOCAL(expr)                \
+  do {                                           \
+    ::eid::Status _st = (expr);                  \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();     \
+  } while (0)
+
+namespace eid {
+namespace storage {
+namespace {
+
+std::vector<uint32_t> RoundTrip(const std::vector<uint32_t>& values,
+                                uint32_t universe) {
+  EliasFano ef = EliasFanoEncode(values, universe);
+  std::vector<uint32_t> out;
+  Status st = EliasFanoDecode(ef, &out);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+TEST(EliasFanoTest, RoundTripShapes) {
+  EXPECT_EQ(RoundTrip({}, 0), (std::vector<uint32_t>{}));
+  EXPECT_EQ(RoundTrip({}, 100), (std::vector<uint32_t>{}));
+  EXPECT_EQ(RoundTrip({0}, 1), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(RoundTrip({7}, 100), (std::vector<uint32_t>{7}));
+  // Dense: every element of the universe.
+  std::vector<uint32_t> dense;
+  for (uint32_t i = 0; i < 257; ++i) dense.push_back(i);
+  EXPECT_EQ(RoundTrip(dense, 257), dense);
+  // Sparse: few elements in a large universe (high low_bits).
+  std::vector<uint32_t> sparse = {3, 70000, 1u << 20, (1u << 28) + 5};
+  EXPECT_EQ(RoundTrip(sparse, 1u << 29), sparse);
+  // Boundary: first and last possible element.
+  EXPECT_EQ(RoundTrip({0, 999}, 1000), (std::vector<uint32_t>{0, 999}));
+}
+
+TEST(EliasFanoTest, RoundTripEveryStride) {
+  for (uint32_t stride : {1u, 2u, 3u, 7u, 64u, 1000u}) {
+    std::vector<uint32_t> values;
+    for (uint32_t v = 0; v < 10000; v += stride) values.push_back(v);
+    EXPECT_EQ(RoundTrip(values, 10000), values) << "stride=" << stride;
+  }
+}
+
+TEST(EliasFanoTest, ByteSizeBeatsPlainArrayWhenDense) {
+  std::vector<uint32_t> dense;
+  for (uint32_t i = 0; i < 4096; ++i) dense.push_back(i);
+  EliasFano ef = EliasFanoEncode(dense, 4096);
+  EXPECT_LT(ef.ByteSize(), dense.size() * sizeof(uint32_t));
+}
+
+TEST(EliasFanoTest, AppendParseRoundTrip) {
+  std::vector<uint32_t> values = {1, 5, 6, 42, 900};
+  ByteWriter w;
+  EliasFanoAppend(EliasFanoEncode(values, 1000), &w);
+  std::string bytes = std::move(w).Take();
+  ByteReader in(bytes.data(), bytes.size());
+  EliasFano parsed;
+  ASSERT_TRUE(EliasFanoParse(&in, &parsed));
+  EXPECT_TRUE(in.AtEnd());
+  std::vector<uint32_t> out;
+  EID_EXPECT_OK_LOCAL(EliasFanoDecode(parsed, &out));
+  EXPECT_EQ(out, values);
+}
+
+TEST(EliasFanoTest, ParseRejectsTruncation) {
+  std::vector<uint32_t> values = {1, 5, 6, 42, 900};
+  ByteWriter w;
+  EliasFanoAppend(EliasFanoEncode(values, 1000), &w);
+  std::string bytes = std::move(w).Take();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    ByteReader in(bytes.data(), len);
+    EliasFano parsed;
+    EXPECT_FALSE(EliasFanoParse(&in, &parsed)) << "prefix " << len;
+  }
+}
+
+TEST(EliasFanoTest, DecodeRejectsForgedEncodings) {
+  std::vector<uint32_t> out;
+
+  // low_bits beyond the 31-bit cap.
+  EliasFano bad = EliasFanoEncode({1, 2, 3}, 10);
+  bad.low_bits = 32;
+  EXPECT_FALSE(EliasFanoDecode(bad, &out).ok());
+
+  // Upper bitvector with too few set bits for the claimed count.
+  bad = EliasFanoEncode({1, 2, 3}, 10);
+  bad.count = 4;
+  EXPECT_FALSE(EliasFanoDecode(bad, &out).ok());
+
+  // Element pushed past the universe.
+  bad = EliasFanoEncode({1, 2, 9}, 10);
+  bad.universe = 5;
+  EXPECT_FALSE(EliasFanoDecode(bad, &out).ok());
+
+  // Truncated lower-bits array.
+  bad = EliasFanoEncode({100, 200, 300}, 100000);
+  if (!bad.lower.empty()) {
+    bad.lower.pop_back();
+    EXPECT_FALSE(EliasFanoDecode(bad, &out).ok());
+  }
+}
+
+TEST(EliasFanoTest, DecodeFlaggedBitFlips) {
+  // Flip every bit of a small encoding: each mutant must either decode
+  // to a valid strictly-increasing in-range sequence or fail cleanly —
+  // asan/ubsan turn any out-of-bounds read here into a test failure.
+  std::vector<uint32_t> values = {2, 9, 27, 40, 41};
+  EliasFano ef = EliasFanoEncode(values, 64);
+  for (size_t byte = 0; byte < ef.upper.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      EliasFano mutant = ef;
+      mutant.upper[byte] ^= static_cast<uint8_t>(1u << bit);
+      std::vector<uint32_t> out;
+      Status st = EliasFanoDecode(mutant, &out);
+      if (st.ok()) {
+        for (size_t i = 0; i < out.size(); ++i) {
+          EXPECT_LT(out[i], 64u);
+          if (i > 0) {
+            EXPECT_LT(out[i - 1], out[i]);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace eid
