@@ -26,6 +26,10 @@
 //   --quiet           suppress the summary line (diagnostics only)
 //   --json            emit one JSON object per diagnostic (JSON Lines) and
 //                     no summary; exit codes are unchanged
+//   --sarif           emit one SARIF 2.1.0 document (static-analysis
+//                     interchange; upload as a CI code-scanning artifact)
+//                     and no summary; exit codes are unchanged. Mutually
+//                     exclusive with --json.
 //
 // Exit codes (machine-readable):
 //   0  no diagnostics (notes allowed)
@@ -90,10 +94,12 @@ void Usage() {
       "                [--identity FILE] [--distinct FILE]\n"
       "                [--no-schema] [--no-closure] [--no-order]\n"
       "                [--no-blocking] [--closure-limit N] [--quiet]\n"
-      "                [--json]\n"
+      "                [--json | --sarif]\n"
       "       eid-lint --fixture example1|example2|example3\n"
       "--json prints one JSON object per diagnostic (JSON Lines), no\n"
       "summary line; pipe to a JSONL consumer (e.g. jq -s).\n"
+      "--sarif prints one SARIF 2.1.0 document for the whole report\n"
+      "(CI code-scanning upload, SARIF viewers).\n"
       "exit codes (stable, machine-readable):\n"
       "  0  no diagnostics (notes allowed)\n"
       "  1  warnings, no errors\n"
@@ -155,7 +161,8 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
     if (arg == "--no-schema" || arg == "--no-closure" || arg == "--no-order" ||
-        arg == "--no-blocking" || arg == "--quiet" || arg == "--json") {
+        arg == "--no-blocking" || arg == "--quiet" || arg == "--json" ||
+        arg == "--sarif") {
       flags.push_back(arg);
       continue;
     }
@@ -241,15 +248,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool json = has_flag("--json");
+  const bool sarif = has_flag("--sarif");
+  if (json && sarif) {
+    return Fail(Status::InvalidArgument(
+        "--json and --sarif are mutually exclusive"));
+  }
+
   analysis::AnalysisReport report =
       analysis::AnalyzeRuleProgram(in.r, in.s, in.config, options);
-  const bool json = has_flag("--json");
-  for (const analysis::Diagnostic& d : report.diagnostics) {
-    std::cout << (json ? d.ToJson() : d.ToString()) << "\n";
-  }
-  if (!json && !has_flag("--quiet")) {
-    std::cout << report.ErrorCount() << " error(s), " << report.WarningCount()
-              << " warning(s)\n";
+  if (sarif) {
+    std::cout << analysis::ToSarif(report);
+  } else {
+    for (const analysis::Diagnostic& d : report.diagnostics) {
+      std::cout << (json ? d.ToJson() : d.ToString()) << "\n";
+    }
+    if (!json && !has_flag("--quiet")) {
+      std::cout << report.ErrorCount() << " error(s), "
+                << report.WarningCount() << " warning(s)\n";
+    }
   }
   if (report.ErrorCount() > 0) return kExitErrors;
   if (report.WarningCount() > 0) return kExitWarnings;

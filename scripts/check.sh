@@ -1,17 +1,43 @@
 #!/usr/bin/env bash
 # The full verification gate: release build + tests, rule-program lint
-# over the shipped fixtures, clang-tidy (when installed), and the
-# tsan/asan/ubsan suites. Any new diagnostic fails the script.
+# over the shipped fixtures, the sync-layer discipline gate, clang-tidy
+# and the thread-safety analysis build (both when clang is installed),
+# and the tsan/asan/ubsan suites. Any new diagnostic fails the script.
 #
 # Usage:
 #   scripts/check.sh              # everything
-#   scripts/check.sh --fast       # release build + ctest + eid-lint only
+#   scripts/check.sh --fast       # release build + ctest + eid-lint +
+#                                 # mutex gate only
+#   scripts/check.sh --mutex-gate # only the raw-std::mutex grep gate
+#                                 # (what the CI thread-safety job calls)
 #   EID_CHECK_SANITIZER_TESTS=... # ctest -R filter for sanitizer runs
 #                                 # (default: the determinism/equivalence
 #                                 #  suites the sanitizers exist to guard)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# Sync-layer discipline (DESIGN.md §4f): every lock in src/ outside the
+# base layer must be a base::Mutex so Clang Thread Safety Analysis can
+# see it. A raw std:: synchronization primitive as a member or local is
+# invisible to the capability model and fails this gate.
+mutex_gate() {
+  local hits
+  hits=$(grep -rnE 'std::(mutex|shared_mutex|recursive_mutex|condition_variable|lock_guard|unique_lock|scoped_lock|shared_lock)' \
+      src --include='*.h' --include='*.cc' | grep -v '^src/base/' || true)
+  if [[ -n "$hits" ]]; then
+    echo "raw std:: synchronization outside src/base/ (use base::Mutex" \
+         "from src/base/mutex.h so thread-safety analysis sees it):"
+    echo "$hits"
+    return 1
+  fi
+  echo "mutex gate: no raw std:: synchronization outside src/base/"
+}
+
+if [[ "${1:-}" == "--mutex-gate" ]]; then
+  mutex_gate
+  exit 0
+fi
 
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
@@ -39,8 +65,11 @@ for fixture in example1 example2 example3; do
   echo "eid-lint --fixture $fixture: clean"
 done
 
+step "sync-layer discipline: no raw std::mutex outside src/base/"
+mutex_gate
+
 if [[ "$FAST" == "1" ]]; then
-  echo "--fast: skipping clang-tidy and sanitizer presets"
+  echo "--fast: skipping clang-tidy, thread-safety and sanitizer presets"
   exit 0
 fi
 
@@ -50,6 +79,15 @@ if command -v clang-tidy >/dev/null 2>&1; then
   cmake --build --preset clang-tidy -j "$(nproc)"
 else
   echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+
+step "thread-safety: clang -Wthread-safety[-beta] as errors"
+if command -v clang++ >/dev/null 2>&1; then
+  cmake --preset thread-safety >/dev/null
+  cmake --build --preset thread-safety -j "$(nproc)"
+else
+  echo "clang++ not installed; skipping (annotations are no-ops on gcc;" \
+       "CI runs this gate — see .github/workflows/check.yml)"
 fi
 
 for preset in tsan asan ubsan; do

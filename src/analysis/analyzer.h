@@ -60,7 +60,7 @@ class RuleProgramAnalyzer {
 
   /// Runs every enabled check family; diagnostics appear in family order
   /// (schema, closure, order, blocking) and rule order within a family.
-  AnalysisReport Analyze() const;
+  [[nodiscard]] AnalysisReport Analyze() const;
 
  private:
   Schema r_schema_;
@@ -69,17 +69,17 @@ class RuleProgramAnalyzer {
   AnalyzerOptions options_;
 };
 
-/// Convenience wrapper over schemas.
-AnalysisReport AnalyzeRuleProgram(const Schema& r_schema,
-                                  const Schema& s_schema,
-                                  const IdentifierConfig& config,
-                                  const AnalyzerOptions& options = {});
+/// Convenience wrapper over schemas. [[nodiscard]]: an unread report is
+/// a lint run that verified nothing.
+[[nodiscard]] AnalysisReport AnalyzeRuleProgram(
+    const Schema& r_schema, const Schema& s_schema,
+    const IdentifierConfig& config, const AnalyzerOptions& options = {});
 
 /// Convenience wrapper over relations (analyzes their schemas only —
 /// tuple data never participates).
-AnalysisReport AnalyzeRuleProgram(const Relation& r, const Relation& s,
-                                  const IdentifierConfig& config,
-                                  const AnalyzerOptions& options = {});
+[[nodiscard]] AnalysisReport AnalyzeRuleProgram(
+    const Relation& r, const Relation& s, const IdentifierConfig& config,
+    const AnalyzerOptions& options = {});
 
 /// The engine pre-flight: OK when the program has no error-severity
 /// diagnostics, FailedPrecondition carrying the full report text

@@ -121,6 +121,67 @@ std::vector<const Diagnostic*> AnalysisReport::WithCode(
   return out;
 }
 
+std::string ToSarif(const AnalysisReport& report,
+                    const std::string& tool_version) {
+  // Distinct codes in first-appearance order -> reportingDescriptors.
+  std::vector<std::string> codes;
+  auto rule_index = [&codes](const std::string& code) -> size_t {
+    for (size_t i = 0; i < codes.size(); ++i) {
+      if (codes[i] == code) return i;
+    }
+    codes.push_back(code);
+    return codes.size() - 1;
+  };
+  for (const Diagnostic& d : report.diagnostics) rule_index(d.code);
+
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n    {\n";
+  out += "      \"tool\": {\n        \"driver\": {\n";
+  out += "          \"name\": \"eid-lint\",\n";
+  out += "          \"version\": \"" + JsonEscape(tool_version) + "\",\n";
+  out += "          \"informationUri\": "
+         "\"https://github.com/eid/eid#linting-rule-programs\",\n";
+  out += "          \"rules\": [";
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n            {\"id\": \"" + JsonEscape(codes[i]) +
+           "\", \"name\": \"" + JsonEscape(codes[i]) + "\"}";
+  }
+  if (!codes.empty()) out += "\n          ";
+  out += "]\n        }\n      },\n";
+  out += "      \"results\": [";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n        {\n";
+    out += "          \"ruleId\": \"" + JsonEscape(d.code) + "\",\n";
+    out += "          \"ruleIndex\": " + std::to_string(rule_index(d.code)) +
+           ",\n";
+    out += "          \"level\": \"";
+    out += SeverityName(d.severity);  // SARIF levels match: error/warning/note
+    out += "\",\n";
+    out += "          \"message\": {\"text\": \"" + JsonEscape(d.message) +
+           "\"},\n";
+    out += "          \"locations\": [\n            {\"logicalLocations\": "
+           "[{\"fullyQualifiedName\": \"" +
+           JsonEscape(d.rule.ToString()) + "\", \"kind\": \"" +
+           RuleKindName(d.rule.kind) + "\"}]}\n          ]";
+    if (!d.hint.empty()) {
+      out += ",\n          \"properties\": {\"hint\": \"" +
+             JsonEscape(d.hint) + "\"}";
+    }
+    out += "\n        }";
+  }
+  if (!first) out += "\n      ";
+  out += "]\n    }\n  ]\n}\n";
+  return out;
+}
+
 std::string AnalysisReport::ToString() const {
   std::string out;
   for (const Diagnostic& d : diagnostics) {

@@ -87,6 +87,17 @@ struct AnalysisReport {
   std::string ToString() const;
 };
 
+/// The report as one SARIF 2.1.0 document (static-analysis interchange:
+/// CI code-scanning upload, IDE SARIF viewers). One run, driver
+/// "eid-lint"; every distinct code becomes a reportingDescriptor in
+/// first-appearance order and each diagnostic a result referencing it by
+/// ruleIndex, with severity mapped to SARIF level (error/warning/note),
+/// the rule provenance as a logical location, and the fix hint (when
+/// present) in the result's property bag. `tool_version` lands in
+/// tool.driver.version.
+std::string ToSarif(const AnalysisReport& report,
+                    const std::string& tool_version = "1.0.0");
+
 }  // namespace analysis
 }  // namespace eid
 

@@ -42,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "compile/interner.h"
 #include "ilfd/derivation.h"
 #include "ilfd/ilfd_set.h"
@@ -57,8 +58,10 @@ struct DerivationWrite {
   Value value;
 };
 
-/// Per-worker derivation cache (not thread-safe: one per worker, like
-/// ClosureEvaluator). Owns its interner, so caches never leak entries
+/// Per-worker derivation cache (EID_PER_WORKER: one instance per
+/// ParallelFor worker, like ClosureEvaluator — never shared, never
+/// locked; the determinism contract rests on that ownership, see
+/// DESIGN.md §4f). Owns its interner, so caches never leak entries
 /// across relations or sessions.
 ///
 /// The cache is adaptive: when the projection key space turns out to be
@@ -69,7 +72,7 @@ struct DerivationWrite {
 /// single hit) the memo switches itself off, frees its entries, and
 /// every later Derive runs uncached. Derivation results are identical
 /// either way; only the hit/miss counters stop advancing.
-class DerivationMemo {
+class EID_PER_WORKER DerivationMemo {
  public:
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
@@ -95,7 +98,11 @@ class DerivationMemo {
 };
 
 /// An IlfdSet + DerivationOptions lowered onto one extended schema.
-class DerivationProgram {
+/// EID_SHARED_IMMUTABLE: compiled serially once per session, then read
+/// concurrently by every worker of the derivation sweep (Derive is
+/// const; all mutable sweep state lives in the per-worker evaluator,
+/// memo and `writes` the caller passes in).
+class EID_SHARED_IMMUTABLE DerivationProgram {
  public:
   /// Lowers `ilfds` under `options` onto `schema`. Total: never fails.
   /// The program copies the knowledge base — self-contained, movable.

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "compile/interner.h"
 #include "eid/match_tables.h"
 #include "exec/candidate_generator.h"
@@ -32,9 +33,10 @@ namespace eid {
 namespace compile {
 
 /// One rule antecedent compiled for one orientation. Self-contained (owns
-/// its opcode list and constants): safe to move and to share, read-only,
-/// across threads.
-class CompiledConjunction final : public exec::PairEvaluator {
+/// its opcode list and constants). EID_SHARED_IMMUTABLE: compiled
+/// serially, then Evaluate (const) runs from every worker of the sweep.
+class EID_SHARED_IMMUTABLE CompiledConjunction final
+    : public exec::PairEvaluator {
  public:
   /// Binds `predicates` against the two extended schemas. Entity 1 reads
   /// the r-side row and entity 2 the s-side row, unless `flipped` — the
@@ -81,7 +83,12 @@ class CompiledConjunction final : public exec::PairEvaluator {
 /// reads after build are const and safe from every worker. The point: a
 /// sweep over millions of candidate pairs re-projects no tuple and hashes
 /// no Value — equality is one uint32_t compare against a cached slice.
-class PairFeatureCache {
+///
+/// EID_SHARED_IMMUTABLE: the non-const members (RColumn/SColumn/
+/// InternConstant) run only during serial rule registration, before the
+/// parallel sweep starts; during the sweep every worker reads the cached
+/// slices through const pointers captured at compile time.
+class EID_SHARED_IMMUTABLE PairFeatureCache {
  public:
   static constexpr uint32_t kNullId = ValueInterner::kNotInterned;
 
@@ -118,7 +125,10 @@ class PairFeatureCache {
 /// non-NULL operands; either side NULL yields kUnknown); ordering
 /// conjuncts fall back to CompareValues on the raw rows, which compares
 /// numerics cross-type.
-class StagedConjunction final : public exec::StagedEvaluator {
+/// EID_SHARED_IMMUTABLE: compiled serially (AddRule time), evaluated
+/// const from every worker of the staged sweep.
+class EID_SHARED_IMMUTABLE StagedConjunction final
+    : public exec::StagedEvaluator {
  public:
   static StagedConjunction Compile(
       const std::vector<Predicate>& predicates,

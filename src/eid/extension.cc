@@ -106,8 +106,8 @@ Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
   // pair; each worker gets its own derivation memo alongside its closure
   // evaluator. The interpreter path below stays as the oracle. Borrowing
   // is safe: `ilfds` outlives this call, and the program does not escape.
-  std::optional<compile::DerivationProgram> program;
-  std::vector<compile::DerivationMemo> memos;
+  EID_SHARED_IMMUTABLE std::optional<compile::DerivationProgram> program;
+  EID_PER_WORKER std::vector<compile::DerivationMemo> memos;  // by worker id
   double compile_ms = 0.0;
   if (options.compile) {
     exec::StageTimer compile_timer;
@@ -116,7 +116,7 @@ Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
     compile_ms = compile_timer.ElapsedMs();
     memos.resize(static_cast<size_t>(workers));
   }
-  std::vector<ClosureEvaluator> evaluators;
+  EID_PER_WORKER std::vector<ClosureEvaluator> evaluators;  // by worker id
   evaluators.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     evaluators.emplace_back(program.has_value() ? &program->kb()

@@ -130,7 +130,7 @@ Result<IdentificationResult> EntityIdentifier::Identify(
       }
       std::vector<std::unique_ptr<exec::StagedEvaluator>> evaluators(
           plans.size());
-      std::unique_ptr<compile::PairFeatureCache> features;
+      EID_SHARED_IMMUTABLE std::unique_ptr<compile::PairFeatureCache> features;
       if (compile) {
         exec::StageTimer compile_timer;
         features = std::make_unique<compile::PairFeatureCache>(

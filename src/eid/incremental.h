@@ -121,8 +121,10 @@ class IncrementalIdentifier {
   // survive moves of the identifier. Rule programs are rule-major, direct
   // orientation before flipped — the interpreter's evaluation order.
   std::unique_ptr<compile::DerivationProgram> r_derive_, s_derive_;
-  std::unique_ptr<ClosureEvaluator> r_eval_, s_eval_;
-  compile::DerivationMemo r_memo_, s_memo_;
+  // The session is single-threaded, so its one "worker" owns the
+  // evaluator/memo pair per side (EID_PER_WORKER by construction).
+  EID_PER_WORKER std::unique_ptr<ClosureEvaluator> r_eval_, s_eval_;
+  EID_PER_WORKER compile::DerivationMemo r_memo_, s_memo_;
   std::vector<compile::CompiledConjunction> identity_programs_;
   std::vector<compile::CompiledConjunction> distinct_programs_;
 

@@ -54,7 +54,7 @@ Result<NegativeResult> BuildNegativeMatchingTable(
     }
     std::vector<std::unique_ptr<exec::StagedEvaluator>> evaluators(
         plans.size());
-    std::unique_ptr<compile::PairFeatureCache> features;
+    EID_SHARED_IMMUTABLE std::unique_ptr<compile::PairFeatureCache> features;
     if (compile) {
       exec::StageTimer compile_timer;
       features = std::make_unique<compile::PairFeatureCache>(&r_extended,

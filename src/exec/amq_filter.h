@@ -30,6 +30,8 @@
 #include <memory>
 #include <vector>
 
+#include "base/thread_annotations.h"
+
 namespace eid {
 namespace exec {
 
@@ -50,7 +52,10 @@ struct AmqOptions {
 
 /// A growable cuckoo filter over 64-bit keys (callers pre-hash whatever
 /// they store; see FingerprintKey below for the attribute-value form).
-class AmqFilter {
+/// EID_SHARED_IMMUTABLE: Insert/Erase run only serially (AddRule time in
+/// the batch sweep; the single-threaded incremental session); Contains
+/// (const) is what the parallel sweep probes.
+class EID_SHARED_IMMUTABLE AmqFilter {
  public:
   explicit AmqFilter(AmqOptions options = {});
 
@@ -61,7 +66,7 @@ class AmqFilter {
 
   /// True when some copy of `key` *may* be present (false positives
   /// possible); false only when no copy was ever inserted-and-kept.
-  bool Contains(uint64_t key) const;
+  [[nodiscard]] bool Contains(uint64_t key) const;
 
   /// Removes one copy of `key` if present; returns whether a copy was
   /// found. Only call for keys actually inserted (the usual cuckoo-filter

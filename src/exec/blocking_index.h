@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "eid/match_tables.h"
 #include "exec/pair_evaluator.h"
 #include "exec/thread_pool.h"
@@ -44,8 +45,9 @@ namespace exec {
 
 /// Hash index over one column of a relation. NULL cells are not indexed
 /// (non_null_eq semantics: NULL equals nothing). Buckets hold row
-/// indices in ascending order.
-class ColumnIndex {
+/// indices in ascending order. EID_SHARED_IMMUTABLE: built serially,
+/// probed (Find, const) from every worker.
+class EID_SHARED_IMMUTABLE ColumnIndex {
  public:
   static ColumnIndex Build(const Relation& relation, size_t column);
 
@@ -67,9 +69,11 @@ class ColumnIndex {
 
 /// Lazily-built per-relation collection of column indexes, shared across
 /// the rules of one engine run so each referenced column is indexed at
-/// most once. Not thread-safe; build happens on first use, before the
-/// parallel probe of a rule starts.
-class ColumnIndexCache {
+/// most once. EID_SHARED_IMMUTABLE: ForAttribute/Preload (the mutating
+/// calls) run only serially, before the parallel probe of a rule starts;
+/// during the sweep workers only dereference the ColumnIndex pointers
+/// handed out earlier.
+class EID_SHARED_IMMUTABLE ColumnIndexCache {
  public:
   explicit ColumnIndexCache(const Relation* relation)
       : relation_(relation) {}

@@ -49,6 +49,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "exec/amq_filter.h"
 #include "exec/blocking_index.h"
 #include "exec/thread_pool.h"
@@ -57,10 +58,10 @@ namespace eid {
 namespace exec {
 
 /// Evaluates the residual (non-covered) conjuncts of one rule antecedent
-/// for one orientation. Implementations must be safe for concurrent
-/// read-only use once constructed (the sweep calls them from every
-/// worker).
-class StagedEvaluator {
+/// for one orientation. Implementations must be EID_SHARED_IMMUTABLE:
+/// constructed serially, then safe for concurrent read-only use (the
+/// sweep calls RowTruth/PairTruth from every worker).
+class EID_SHARED_IMMUTABLE StagedEvaluator {
  public:
   virtual ~StagedEvaluator() = default;
 
@@ -168,25 +169,29 @@ class CandidateGenerator {
   /// fingerprints are computed from these, not by re-hashing Values).
   const std::vector<uint64_t>& RColumnHashes(size_t column);
 
+  // Everything below is written only during serial AddRule registration
+  // and then EID_SHARED_IMMUTABLE for the parallel sweep in Run: workers
+  // read entries_/per_row_/global_/the filters const-only and write
+  // exclusively to their own chunk's output buffer (EID_PER_WORKER).
   const Relation* r_;
   const Relation* s_;
   ColumnIndexCache* r_index_;
   ColumnIndexCache* s_index_;
   const AmqSeeds* seeds_;
 
-  AmqFilter r_amq_;
-  AmqFilter s_amq_;
+  EID_SHARED_IMMUTABLE AmqFilter r_amq_;
+  EID_SHARED_IMMUTABLE AmqFilter s_amq_;
   std::vector<bool> r_amq_cols_;  // column -> already inserted
   std::vector<bool> s_amq_cols_;
   std::unordered_map<size_t, std::vector<uint64_t>> r_col_hashes_;
 
   uint32_t next_priority_ = 0;
-  std::vector<Entry> entries_;
+  EID_SHARED_IMMUTABLE std::vector<Entry> entries_;
   // Entries whose r rows are pruned by const filters, inverted to
   // per-row lists (ascending priority); entries consulted for every row
   // stay in `global_` (ascending priority).
-  std::vector<std::vector<uint32_t>> per_row_;
-  std::vector<uint32_t> global_;
+  EID_SHARED_IMMUTABLE std::vector<std::vector<uint32_t>> per_row_;
+  EID_SHARED_IMMUTABLE std::vector<uint32_t> global_;
   std::vector<size_t> all_s_rows_;  // shared iota scan list
   size_t amq_rejects_ = 0;          // rejects during AddRule (serial)
   bool ran_ = false;

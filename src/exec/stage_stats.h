@@ -22,11 +22,17 @@
 #include <string>
 #include <vector>
 
+#include "base/thread_annotations.h"
+
 namespace eid {
 namespace exec {
 
-/// Counters for one engine stage.
-struct StageStats {
+/// Counters for one engine stage. EID_PER_WORKER while a stage runs:
+/// each worker (or chunk) accumulates into its own instance or slot, and
+/// the stage folds them serially after the ParallelFor joins — counters
+/// are never shared mutable state, which is why every count is
+/// deterministic across thread counts.
+struct EID_PER_WORKER StageStats {
   std::string stage;    // "extend_r", "key_join", "identity_rules", ...
   double wall_ms = 0.0; // wall-clock time of the stage
   int threads = 1;      // parallelism the stage ran with
@@ -63,7 +69,8 @@ class StageStatsSet {
  public:
   void Add(StageStats stats) { stages_.push_back(std::move(stats)); }
   /// Appends every stage of `other` (used to fold sub-results into the
-  /// full identification result).
+  /// full identification result). Serial-only, like Add: stats merging
+  /// always happens after the stage's ParallelFor has joined.
   void Merge(const StageStatsSet& other);
 
   const std::vector<StageStats>& stages() const { return stages_; }

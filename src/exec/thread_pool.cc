@@ -28,23 +28,23 @@ ThreadPool::ThreadPool(int threads) : threads_(std::max(threads, 1)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  start_cv_.notify_all();
+  start_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::RunChunks(int worker) {
+void ThreadPool::RunChunks(int worker, const Job& job) {
   for (;;) {
     size_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
-    size_t begin = chunk * grain_;
-    if (begin >= n_) return;
-    size_t end = std::min(n_, begin + grain_);
+    size_t begin = chunk * job.grain;
+    if (begin >= job.n) return;
+    size_t end = std::min(job.n, begin + job.grain);
     try {
-      (*body_)(begin, end, worker);
+      (*job.body)(begin, end, worker);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      base::MutexLock lock(&mu_);
       if (!first_error_) first_error_ = std::current_exception();
       // Keep draining chunks: every iteration must still run so callers
       // may rely on "all slots written" even when one chunk threw.
@@ -55,16 +55,18 @@ void ThreadPool::RunChunks(int worker) {
 void ThreadPool::WorkerLoop(int worker) {
   uint64_t seen = 0;
   for (;;) {
+    Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      base::MutexLock lock(&mu_);
+      while (!shutdown_ && generation_ == seen) start_cv_.Wait(&mu_);
       if (shutdown_) return;
       seen = generation_;
+      job = Job{body_, n_, grain_};
     }
-    RunChunks(worker);
+    RunChunks(worker, job);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--unfinished_ == 0) done_cv_.notify_all();
+      base::MutexLock lock(&mu_);
+      if (--unfinished_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -80,27 +82,28 @@ void ThreadPool::ParallelFor(size_t n, size_t grain, const ChunkBody& body) {
     // so far that the claim counter becomes the bottleneck.
     grain = std::max<size_t>(1, n / (static_cast<size_t>(threads_) * 4));
   }
+  const Job job{&body, n, grain};
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    body_ = &body;
-    n_ = n;
-    grain_ = grain;
+    base::MutexLock lock(&mu_);
+    body_ = job.body;
+    n_ = job.n;
+    grain_ = job.grain;
     next_chunk_.store(0, std::memory_order_relaxed);
     first_error_ = nullptr;
     unfinished_ = threads_ - 1;
     ++generation_;
   }
-  start_cv_.notify_all();
-  RunChunks(0);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return unfinished_ == 0; });
-  body_ = nullptr;
-  if (first_error_) {
-    std::exception_ptr e = first_error_;
+  start_cv_.NotifyAll();
+  RunChunks(0, job);
+  std::exception_ptr error;
+  {
+    base::MutexLock lock(&mu_);
+    while (unfinished_ != 0) done_cv_.Wait(&mu_);
+    body_ = nullptr;
+    error = first_error_;
     first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(e);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 void ParallelFor(ThreadPool* pool, size_t n, size_t grain,

@@ -16,17 +16,24 @@
 // hardware concurrency. `threads == 1` never spawns and runs the body
 // inline on the caller's thread — byte-identical to the pre-parallel
 // engine by construction.
+//
+// Locking contracts are capability annotations (base/thread_annotations.h),
+// not comments: every member guarded by mu_ declares EID_GUARDED_BY(mu_),
+// and clang's `-Wthread-safety` (the thread-safety preset / CI gate)
+// rejects any access path that forgets the lock. See DESIGN.md §4f.
 
 #ifndef EID_EXEC_THREAD_POOL_H_
 #define EID_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace eid {
 namespace exec {
@@ -61,28 +68,43 @@ class ThreadPool {
   /// iteration-to-output mapping keyed on the index is deterministic.
   /// Blocks until every iteration has run. Exceptions thrown by `body`
   /// are rethrown here (first one wins).
-  void ParallelFor(size_t n, size_t grain, const ChunkBody& body);
+  void ParallelFor(size_t n, size_t grain, const ChunkBody& body)
+      EID_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop(int worker);
-  void RunChunks(int worker);
+  /// One dispatched job, copied out of the guarded members under mu_ at
+  /// claim time so RunChunks never touches guarded state lock-free.
+  struct Job {
+    const ChunkBody* body = nullptr;
+    size_t n = 0;
+    size_t grain = 1;
+  };
+
+  void WorkerLoop(int worker) EID_EXCLUDES(mu_);
+  void RunChunks(int worker, const Job& job) EID_EXCLUDES(mu_);
 
   const int threads_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // written in ctor, joined in dtor
 
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  uint64_t generation_ = 0;  // bumped per ParallelFor; guarded by mu_
-  int unfinished_ = 0;       // workers still on the current job
-  bool shutdown_ = false;
+  base::Mutex mu_;
+  base::CondVar start_cv_;
+  base::CondVar done_cv_;
+  uint64_t generation_ EID_GUARDED_BY(mu_) = 0;  // bumped per ParallelFor
+  int unfinished_ EID_GUARDED_BY(mu_) = 0;  // workers still on current job
+  bool shutdown_ EID_GUARDED_BY(mu_) = false;
 
-  // Current job (valid while unfinished_ > 0 for the latest generation).
-  const ChunkBody* body_ = nullptr;
-  size_t n_ = 0;
-  size_t grain_ = 1;
+  // Current job. Workers copy these three into a local Job while holding
+  // mu_ (observing the new generation_), so the sweep itself reads only
+  // the copy — every guarded member really is lock-protected on every
+  // access, which is what lets clang verify this class.
+  const ChunkBody* body_ EID_GUARDED_BY(mu_) = nullptr;
+  size_t n_ EID_GUARDED_BY(mu_) = 0;
+  size_t grain_ EID_GUARDED_BY(mu_) = 1;
+  // Chunk claim counter: deliberately atomic, not guarded — claiming a
+  // chunk is the sweep's hottest shared operation and needs no other
+  // state, so it bypasses mu_ by design.
   std::atomic<size_t> next_chunk_{0};
-  std::exception_ptr first_error_;  // guarded by mu_
+  std::exception_ptr first_error_ EID_GUARDED_BY(mu_);
 };
 
 /// Runs `body` over [0, n): on the pool when `pool` is non-null and has

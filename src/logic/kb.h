@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/thread_annotations.h"
 #include "logic/implication.h"
 
 namespace eid {
@@ -75,9 +76,11 @@ class KnowledgeBase {
 
 /// Amortised forward closure: reusable epoch-stamped workspace so each Run
 /// touches only the clauses the seed actually reaches, not the whole
-/// knowledge base. One evaluator per loop; not thread-safe. The referenced
-/// KnowledgeBase must outlive the evaluator and may grow between runs.
-class ClosureEvaluator {
+/// knowledge base. EID_PER_WORKER: one evaluator per ParallelFor worker
+/// (the engine builds a vector indexed by worker id); never shared. The
+/// referenced KnowledgeBase must outlive the evaluator and may grow
+/// between runs.
+class EID_PER_WORKER ClosureEvaluator {
  public:
   explicit ClosureEvaluator(const KnowledgeBase* kb) : kb_(kb) {
     EID_CHECK(kb != nullptr);

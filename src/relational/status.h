@@ -33,7 +33,13 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Success-or-error outcome of an operation. Cheap to copy on success.
-class Status {
+///
+/// [[nodiscard]] at class level: any call returning a Status by value
+/// must consume it (propagate, check, or explicitly (void)-cast with a
+/// comment saying why dropping it is sound). A silently dropped Status
+/// is how constraint violations and corrupt inputs turn into wrong
+/// answers instead of errors — the compiler rejects it build-wide.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -63,8 +69,8 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
@@ -80,8 +86,10 @@ class Status {
 };
 
 /// A value of type T or an error Status. Mirrors absl::StatusOr.
+/// [[nodiscard]] like Status: a discarded Result drops both the value
+/// and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (success).
   Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -93,10 +101,10 @@ class Result {
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(data_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
 
   /// Error status; OK when the Result holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::Ok();
     return std::get<Status>(data_);
   }

@@ -141,20 +141,22 @@ class ByteWriter {
 /// Bounds-checked little-endian reader over a borrowed byte range (the
 /// mmap'd section payload). Every Get returns false on overrun instead of
 /// reading past the mapping — the caller converts that into a corrupt-file
-/// Status with context.
+/// Status with context. The success flags are [[nodiscard]]: ignoring one
+/// and using the output anyway is exactly the decode-past-truncation bug
+/// the reader exists to prevent, so the compiler rejects it.
 class ByteReader {
  public:
   ByteReader(const void* data, size_t len)
       : data_(static_cast<const uint8_t*>(data)), len_(len) {}
 
-  bool GetU8(uint8_t* out) {
+  [[nodiscard]] bool GetU8(uint8_t* out) {
     if (pos_ + 1 > len_) return false;
     *out = data_[pos_++];
     return true;
   }
-  bool GetU32(uint32_t* out) { return GetLe(out); }
-  bool GetU64(uint64_t* out) { return GetLe(out); }
-  bool GetString(std::string* out) {
+  [[nodiscard]] bool GetU32(uint32_t* out) { return GetLe(out); }
+  [[nodiscard]] bool GetU64(uint64_t* out) { return GetLe(out); }
+  [[nodiscard]] bool GetString(std::string* out) {
     uint32_t n = 0;
     if (!GetU32(&n) || pos_ + n > len_) return false;
     out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
@@ -162,13 +164,13 @@ class ByteReader {
     return true;
   }
   /// Borrows `len` raw bytes without copying; nullptr on overrun.
-  const uint8_t* GetBytes(size_t len) {
+  [[nodiscard]] const uint8_t* GetBytes(size_t len) {
     if (pos_ + len > len_) return nullptr;
     const uint8_t* p = data_ + pos_;
     pos_ += len;
     return p;
   }
-  bool SkipAlign8() {
+  [[nodiscard]] bool SkipAlign8() {
     while (pos_ % 8 != 0) {
       if (pos_ >= len_) return false;
       ++pos_;
@@ -182,7 +184,7 @@ class ByteReader {
 
  private:
   template <typename T>
-  bool GetLe(T* out) {
+  [[nodiscard]] bool GetLe(T* out) {
     if (pos_ + sizeof(T) > len_) return false;
     T v = 0;
     for (size_t i = 0; i < sizeof(T); ++i) {

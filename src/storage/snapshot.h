@@ -118,8 +118,10 @@ struct LoadedWorld {
   /// Interned values in id order (dictionary section).
   std::vector<Value> dictionary;
   /// Per-column distinct fingerprints of R'/S' (fingerprints section),
-  /// ready to hand to MatcherOptions::amq_seeds.
-  std::shared_ptr<exec::AmqSeeds> amq_seeds;
+  /// ready to hand to MatcherOptions::amq_seeds. EID_SHARED_IMMUTABLE:
+  /// decoded once at load, then read-only by every engine run seeded
+  /// from this world (the shared_ptr is aliased, never mutated through).
+  EID_SHARED_IMMUTABLE std::shared_ptr<exec::AmqSeeds> amq_seeds;
   /// Decoded Elias-Fano postings of R'/S' (postings sections).
   PostingColumns r_postings, s_postings;
   /// stage="snapshot_load": wall_ms/snapshot_load_ms = map + decode +
@@ -134,6 +136,9 @@ struct LoadedWorld {
   /// Installs blocking indexes for every column of R' and S' into the
   /// caches, rebuilt from the decoded posting lists — the cold-start
   /// path that avoids re-scanning and re-hashing the relations.
+  /// Serial-only, like every ColumnIndexCache mutation: call before any
+  /// ParallelFor that probes the caches (EID_SHARED_IMMUTABLE from then
+  /// on — see exec/blocking_index.h).
   void PreloadIndexes(exec::ColumnIndexCache* r_cache,
                       exec::ColumnIndexCache* s_cache) const;
 

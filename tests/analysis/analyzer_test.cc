@@ -447,6 +447,90 @@ TEST(AnalyzerReportTest, ToStringCarriesCodeProvenanceAndSummary) {
   EXPECT_EQ(report.WarningCount(), 0u);
 }
 
+// ---------------------------------------------------------------------
+// SARIF export (the eid-lint --sarif surface).
+// ---------------------------------------------------------------------
+
+TEST(AnalyzerSarifTest, CleanReportIsAnEmptyValidRun) {
+  Playground pg;
+  pg.config.extended_key = fixtures::Example1ExtendedKey();
+  pg.config.ilfds = fixtures::Example1Ilfds();
+  AnalysisReport report = pg.Analyze();
+  ASSERT_TRUE(report.Clean()) << report.ToString();
+  std::string sarif = analysis::ToSarif(report);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos) << sarif;
+  EXPECT_NE(sarif.find("\"name\": \"eid-lint\""), std::string::npos) << sarif;
+  EXPECT_NE(sarif.find("\"rules\": []"), std::string::npos) << sarif;
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos) << sarif;
+}
+
+TEST(AnalyzerSarifTest, ErrorBecomesResultWithRuleAndProvenance) {
+  Playground pg;
+  pg.config.ilfds = ParseIlfds(
+      "street=Wash.Ave. -> city=Mpls\n"
+      "street=Wash.Ave. -> city=St.Paul\n");
+  AnalysisReport report = pg.Analyze();
+  ASSERT_TRUE(report.HasCode("EID-E003")) << report.ToString();
+  std::string sarif = analysis::ToSarif(report, "9.9.9");
+  // The code is declared once as a reportingDescriptor...
+  EXPECT_NE(sarif.find("{\"id\": \"EID-E003\""), std::string::npos) << sarif;
+  // ...and referenced by every result, with severity mapped to level.
+  EXPECT_NE(sarif.find("\"ruleId\": \"EID-E003\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+  // Rule provenance (ilfd#N plus display text) rides in logicalLocations.
+  EXPECT_NE(sarif.find("\"fullyQualifiedName\": \"ilfd#"), std::string::npos)
+      << sarif;
+  EXPECT_NE(sarif.find("\"kind\": \"ilfd\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"9.9.9\""), std::string::npos);
+}
+
+TEST(AnalyzerSarifTest, RepeatedCodesShareOneReportingDescriptor) {
+  AnalysisReport report;
+  for (int i = 0; i < 2; ++i) {
+    Diagnostic d;
+    d.code = "EID-W001";
+    d.severity = Severity::kWarning;
+    d.rule.kind = RuleKind::kIlfd;
+    d.rule.index = static_cast<size_t>(i);
+    d.message = "shadowed";
+    report.diagnostics.push_back(d);
+  }
+  Diagnostic other;
+  other.code = "EID-W005";
+  other.severity = Severity::kWarning;
+  other.rule.kind = RuleKind::kIdentityRule;
+  other.message = "no equality conjunct";
+  report.diagnostics.push_back(other);
+  std::string sarif = analysis::ToSarif(report);
+  // Two distinct codes -> exactly two rule declarations.
+  size_t first = sarif.find("{\"id\": \"EID-W001\"");
+  ASSERT_NE(first, std::string::npos) << sarif;
+  EXPECT_EQ(sarif.find("{\"id\": \"EID-W001\"", first + 1), std::string::npos);
+  EXPECT_NE(sarif.find("{\"id\": \"EID-W005\""), std::string::npos);
+  // Both W001 results reference descriptor 0; W005 references 1.
+  EXPECT_NE(sarif.find("\"ruleIndex\": 0"), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleIndex\": 1"), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);
+}
+
+TEST(AnalyzerSarifTest, HintLandsInPropertiesAndStringsAreEscaped) {
+  AnalysisReport report;
+  Diagnostic d;
+  d.code = "EID-E001";
+  d.severity = Severity::kError;
+  d.rule.kind = RuleKind::kIlfd;
+  d.rule.display = "say \"hi\"";
+  d.message = "line one\nline two";
+  d.hint = "drop the \\ backslash";
+  report.diagnostics.push_back(d);
+  std::string sarif = analysis::ToSarif(report);
+  EXPECT_NE(sarif.find("say \\\"hi\\\""), std::string::npos) << sarif;
+  EXPECT_NE(sarif.find("line one\\nline two"), std::string::npos);
+  EXPECT_NE(sarif.find("\"properties\": {\"hint\": \"drop the \\\\ backslash\"}"),
+            std::string::npos)
+      << sarif;
+}
+
 TEST(AnalyzerPreflightTest, ErrorsFailIdentifyWhenAnalyzeIsSet) {
   Playground pg;
   pg.config.ilfds = ParseIlfds(

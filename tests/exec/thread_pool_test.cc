@@ -92,6 +92,71 @@ TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
   EXPECT_EQ(count.load(), 10u);
 }
 
+TEST(ThreadPoolTest, ZeroIterationJobTakesThePoolPathAndReturns) {
+  // n == 0 must not deadlock the generation handshake: the job still
+  // publishes, workers still wake, nobody claims a chunk, and the pool
+  // stays usable. Loop to stress the wake/finish rendezvous.
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.ParallelFor(0, /*grain=*/8,
+                     [&](size_t, size_t, int) { calls.fetch_add(1); });
+  }
+  EXPECT_EQ(calls.load(), 0);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(3, /*grain=*/1, [&](size_t begin, size_t end, int) {
+    count.fetch_add(end - begin);
+  });
+  EXPECT_EQ(count.load(), 3u);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanNRunsOneChunkOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks{0};
+  std::vector<std::atomic<int>> hits(5);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(5, /*grain=*/1000,
+                   [&](size_t begin, size_t end, int) {
+                     chunks.fetch_add(1);
+                     EXPECT_EQ(begin, 0u);
+                     EXPECT_EQ(end, 5u);
+                     for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+                   });
+  EXPECT_EQ(chunks.load(), 1);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, DestructionWithNoJobEverRunJoinsCleanly) {
+  // Workers park in the start wait the moment they are spawned; the
+  // destructor's shutdown broadcast must reach them even though no
+  // generation was ever published.
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionOnEveryChunkStillReportsOnceAndPoolReuses) {
+  // Harsher than one bad chunk: every chunk throws, so every worker
+  // races to record first_error_. Exactly one exception must surface
+  // per loop, and the pool must keep scheduling across repeats.
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_THROW(pool.ParallelFor(64, /*grain=*/1,
+                                  [&](size_t, size_t, int) {
+                                    throw std::runtime_error("every chunk");
+                                  }),
+                 std::runtime_error);
+    std::atomic<size_t> count{0};
+    pool.ParallelFor(17, /*grain=*/2, [&](size_t begin, size_t end, int) {
+      count.fetch_add(end - begin);
+    });
+    EXPECT_EQ(count.load(), 17u) << "round " << round;
+  }
+}
+
 TEST(ParallelForHelperTest, NullPoolRunsInline) {
   std::vector<int> order;
   ParallelFor(nullptr, 5, 0, [&](size_t begin, size_t end, int w) {
