@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "exec/stage_stats.h"
 #include "workload/generator.h"
 
 namespace eid {
@@ -124,6 +125,29 @@ struct JsonRecord {
   bool has_pairs = false;
   size_t candidate_pairs = 0;
   size_t cross_product = 0;
+  bool has_columnar = false;
+  size_t probe_batches = 0;
+  size_t interner_reuse_hits = 0;
+  double columnar_encode_ms = 0.0;
+};
+
+/// Columnar-engine counters of one run, summed over its stages: batched
+/// join probes, ids served without re-encoding, and wall time spent
+/// encoding Values into ids (exec/columnar_world.h).
+struct ColumnarCounters {
+  size_t probe_batches = 0;
+  size_t interner_reuse_hits = 0;
+  double columnar_encode_ms = 0.0;
+
+  static ColumnarCounters Sum(const std::vector<exec::StageStats>& stages) {
+    ColumnarCounters out;
+    for (const exec::StageStats& stage : stages) {
+      out.probe_batches += stage.probe_batches;
+      out.interner_reuse_hits += stage.interner_reuse_hits;
+      out.columnar_encode_ms += stage.columnar_encode_ms;
+    }
+    return out;
+  }
 };
 
 /// Accumulates JsonRecords and writes them as a JSON array, one record per
@@ -146,6 +170,19 @@ class JsonEmitter {
                                   candidate_pairs, cross_product});
   }
 
+  /// Columnar-engine form: also emits probe_batches / interner_reuse_hits /
+  /// columnar_encode_ms. Same merge-key rule: every extra key lands after
+  /// ns_op.
+  void Record(const std::string& name, size_t n, int threads, double ns_op,
+              const ColumnarCounters& columnar) {
+    JsonRecord r{name, n, threads, ns_op};
+    r.has_columnar = true;
+    r.probe_batches = columnar.probe_batches;
+    r.interner_reuse_hits = columnar.interner_reuse_hits;
+    r.columnar_encode_ms = columnar.columnar_encode_ms;
+    records_.push_back(std::move(r));
+  }
+
   static std::string ToLine(const JsonRecord& r) {
     std::ostringstream out;
     out << "  {\"name\": \"" << r.name << "\", \"n\": " << r.n
@@ -153,6 +190,11 @@ class JsonEmitter {
     if (r.has_pairs) {
       out << ", \"candidate_pairs\": " << r.candidate_pairs
           << ", \"cross_product\": " << r.cross_product;
+    }
+    if (r.has_columnar) {
+      out << ", \"probe_batches\": " << r.probe_batches
+          << ", \"interner_reuse_hits\": " << r.interner_reuse_hits
+          << ", \"columnar_encode_ms\": " << r.columnar_encode_ms;
     }
     out << "}";
     return out.str();

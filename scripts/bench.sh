@@ -93,6 +93,33 @@ END {
   print "blocked fixtures stayed below the cross product"
 }' BENCH_scaling.json
 
+echo "=== compiled-engine speedup guard (BENCH_matcher.json) ==="
+# The columnar compiled engine must stay comfortably ahead of the
+# per-tuple interpreter: at every n where both records exist the ratio
+# interpreter/compiled must be >= 1.5 (EXPERIMENTS.md S8 records ~2x at
+# n=4096; 1.5 leaves slack for noisy CI machines without letting a
+# regression to parity slip through).
+awk '/"name": "matcher_(compiled|interpreter)"/ {
+  name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+  n = $0; sub(/.*"n": /, "", n); sub(/[,}].*/, "", n)
+  ns = $0; sub(/.*"ns_op": /, "", ns); sub(/[,}].*/, "", ns)
+  if (name == "matcher_compiled") compiled[n] = ns + 0
+  else interp[n] = ns + 0
+}
+END {
+  for (n in compiled) {
+    if (!(n in interp)) continue
+    seen = 1
+    ratio = interp[n] / compiled[n]
+    printf "n=%s compiled=%.3fms interpreter=%.3fms ratio=%.2fx\n", \
+           n, compiled[n] / 1e6, interp[n] / 1e6, ratio
+    if (ratio < 1.5) { print "COMPILED ENGINE REGRESSION: ratio < 1.5x"; bad = 1 }
+  }
+  if (!seen) { print "no matcher engine pairs in BENCH_matcher.json"; exit 1 }
+  if (bad) exit 1
+  print "compiled engine holds >= 1.5x over the interpreter"
+}' BENCH_matcher.json
+
 echo
 echo "wrote BENCH_derivation.json, BENCH_matcher.json, BENCH_scaling.json" \
      "and BENCH_snapshot.json"

@@ -158,6 +158,8 @@ Result<Derivation> DerivationProgram::Derive(
   if (memo == nullptr || memo->abandoned_) {
     return RunUncached(row, evaluator, writes);
   }
+  EID_CHECK(memo->key_space_ != DerivationMemo::KeySpace::kColumnar);
+  memo->key_space_ = DerivationMemo::KeySpace::kRow;
   std::vector<uint32_t>& key = memo->key_scratch_;
   key.clear();
   for (size_t c : memo_columns_) {
@@ -187,6 +189,135 @@ Result<Derivation> DerivationProgram::Derive(
   return derived;
 }
 
+ColumnarBinding DerivationProgram::BindColumns(exec::ColumnarWorld* world,
+                                               exec::WorldRel slot,
+                                               const Relation& rel) const {
+  ColumnarBinding binding;
+  binding.rows = rel.rows().size();
+  const size_t arity = rel.schema().size();
+  binding.memo_ids.reserve(memo_columns_.size());
+  for (size_t c : memo_columns_) {
+    binding.memo_ids.push_back(
+        c < arity ? world->Column(slot, rel, c).data() : nullptr);
+  }
+  if (mode_ != DerivationMode::kExhaustive) return binding;
+  binding.seed_ids.reserve(seed_columns_.size());
+  binding.atom_of_id.resize(seed_columns_.size());
+  // Encode every seed column first: the dictionary stops growing for this
+  // binding once the atom tables are sized below.
+  for (const SeedColumn& sc : seed_columns_) {
+    binding.seed_ids.push_back(
+        sc.column < arity ? world->Column(slot, rel, sc.column).data()
+                          : nullptr);
+  }
+  // A "not looked up yet" marker distinct from kNoAtom: table cells left
+  // at it belong to ids that never occur in this column, which the sweep
+  // never reads (it only indexes by the column's own ids).
+  constexpr AtomId kUnprobed = ColumnarBinding::kNoAtom - 1;
+  const exec::ValueDictionary& dict = world->dict();
+  for (size_t i = 0; i < seed_columns_.size(); ++i) {
+    const uint32_t* ids = binding.seed_ids[i];
+    if (ids == nullptr) continue;
+    std::vector<AtomId>& table = binding.atom_of_id[i];
+    table.assign(dict.size(), kUnprobed);
+    // Probe the atoms map once per distinct id occurring in the column —
+    // atom pools are a superset of a column's values, so walking the map
+    // and re-hashing every atom (the old direction) does strictly more
+    // Value hashing than the column has distinct cells.
+    const auto& atoms = *seed_columns_[i].atoms;
+    for (size_t r = 0; r < binding.rows; ++r) {
+      const uint32_t id = ids[r];
+      if (id == exec::ColumnarWorld::kNullId || table[id] != kUnprobed) {
+        continue;
+      }
+      auto it = atoms.find(dict.value(id));
+      table[id] = it == atoms.end() ? ColumnarBinding::kNoAtom : it->second;
+    }
+  }
+  return binding;
+}
+
+Result<Derivation> DerivationProgram::Derive(
+    const Row& row, size_t row_index, const ColumnarBinding& binding,
+    ClosureEvaluator* evaluator, DerivationMemo* memo,
+    std::vector<DerivationWrite>* writes) const {
+  EID_CHECK(row.size() == schema_.size());
+  writes->clear();
+  if (memo == nullptr || memo->abandoned_) {
+    return RunUncachedColumnar(row, row_index, binding, evaluator, writes);
+  }
+  EID_CHECK(memo->key_space_ != DerivationMemo::KeySpace::kRow);
+  memo->key_space_ = DerivationMemo::KeySpace::kColumnar;
+  // Same key partition as the row path — kNullId stands in for the
+  // interned NULL, and equal values share a dictionary id — so hit/miss
+  // sequences (and therefore results) are identical.
+  std::vector<uint32_t>& key = memo->key_scratch_;
+  key.clear();
+  for (size_t i = 0; i < memo_columns_.size(); ++i) {
+    const uint32_t* ids = binding.memo_ids[i];
+    key.push_back(ids != nullptr ? ids[row_index]
+                                 : exec::ColumnarWorld::kNullId);
+  }
+  auto it = memo->entries_.find(key);
+  if (it != memo->entries_.end()) {
+    ++memo->hits_;
+    *writes = it->second.writes;
+    return it->second.trace;
+  }
+  Result<Derivation> derived =
+      RunUncachedColumnar(row, row_index, binding, evaluator, writes);
+  if (!derived.ok()) return derived;
+  ++memo->misses_;
+  const bool hopeless =
+      memo->misses_ >= DerivationMemo::kEarlyAbandonMissLimit &&
+      memo->hits_ == 0;
+  if (hopeless || (memo->misses_ >= DerivationMemo::kAbandonMissLimit &&
+                   memo->hits_ < memo->misses_ / 8)) {
+    memo->abandoned_ = true;
+    memo->entries_ = {};  // free, not just clear
+    return derived;
+  }
+  memo->entries_.emplace(key, DerivationMemo::Entry{*derived, *writes});
+  return derived;
+}
+
+Result<Derivation> DerivationProgram::RunUncachedColumnar(
+    const Row& row, size_t row_index, const ColumnarBinding& binding,
+    ClosureEvaluator* evaluator, std::vector<DerivationWrite>* writes) const {
+  if (mode_ != DerivationMode::kExhaustive) {
+    return RunUncached(row, evaluator, writes);
+  }
+  // The columnar seed: two array loads per seed column instead of a
+  // Value hash probe. Gathered into a stack buffer, then normalised to
+  // AtomSet's sorted-unique invariant so the closure queue seeds in
+  // exactly the order the row path's AtomSet would.
+  constexpr size_t kInlineSeed = 32;
+  AtomId inline_seed[kInlineSeed];
+  std::vector<AtomId> heap_seed;
+  AtomId* seed = inline_seed;
+  if (seed_columns_.size() > kInlineSeed) {
+    heap_seed.resize(seed_columns_.size());
+    seed = heap_seed.data();
+  }
+  size_t count = 0;
+  for (size_t i = 0; i < seed_columns_.size(); ++i) {
+    const uint32_t* ids = binding.seed_ids[i];
+    if (ids == nullptr) continue;
+    const uint32_t id = ids[row_index];
+    if (id == exec::ColumnarWorld::kNullId) continue;
+    const AtomId atom = binding.atom_of_id[i][id];
+    if (atom != ColumnarBinding::kNoAtom) seed[count++] = atom;
+  }
+  std::sort(seed, seed + count);
+  count = static_cast<size_t>(std::unique(seed, seed + count) - seed);
+  if (evaluator != nullptr) {
+    return ApplyDerived(row, evaluator->RunDerived(seed, count), writes);
+  }
+  return RunExhaustiveSeeded(
+      row, AtomSet(std::vector<AtomId>(seed, seed + count)), evaluator,
+      writes);
+}
+
 Result<Derivation> DerivationProgram::RunUncached(
     const Row& row, ClosureEvaluator* evaluator,
     std::vector<DerivationWrite>* writes) const {
@@ -202,7 +333,6 @@ Result<Derivation> DerivationProgram::RunUncached(
 Result<Derivation> DerivationProgram::RunExhaustive(
     const Row& row, ClosureEvaluator* evaluator,
     std::vector<DerivationWrite>* writes) const {
-  Derivation out;
   std::vector<AtomId> seed;
   seed.reserve(seed_columns_.size());
   for (const SeedColumn& sc : seed_columns_) {
@@ -211,66 +341,99 @@ Result<Derivation> DerivationProgram::RunExhaustive(
     auto it = sc.atoms->find(v);
     if (it != sc.atoms->end()) seed.push_back(it->second);
   }
-  AtomSet seed_set(std::move(seed));
-  ClosureResult closure = evaluator != nullptr
-                              ? evaluator->Run(seed_set)
-                              : kb().ForwardClosure(seed_set);
+  return RunExhaustiveSeeded(row, AtomSet(std::move(seed)), evaluator, writes);
+}
+
+Result<Derivation> DerivationProgram::RunExhaustiveSeeded(
+    const Row& row, AtomSet seed_set, ClosureEvaluator* evaluator,
+    std::vector<DerivationWrite>* writes) const {
+  if (evaluator != nullptr) {
+    // Lean closure: the evaluator hands back exactly the events
+    // ApplyDerived consumes, skipping the AtomSet/provenance-map/
+    // firing-order materialisation of ForwardClosure — the per-tuple
+    // allocations that dominated the sweep.
+    return ApplyDerived(row, evaluator->RunDerived(seed_set.ids()), writes);
+  }
+  ClosureResult closure = kb().ForwardClosure(seed_set);
+  std::vector<DerivedAtom> events;
+  for (size_t clause_index : closure.firing_order) {
+    const Implication& clause = kb().clause(clause_index);
+    for (AtomId h : clause.head.ids()) {
+      auto prov = closure.provenance.find(h);
+      if (prov == closure.provenance.end() || prov->second != clause_index) {
+        continue;  // atom was in the seed or derived by an earlier clause
+      }
+      events.push_back(DerivedAtom{clause_index, h});
+    }
+  }
+  return ApplyDerived(row, events, writes);
+}
+
+Result<Derivation> DerivationProgram::ApplyDerived(
+    const Row& row, const std::vector<DerivedAtom>& events,
+    std::vector<DerivationWrite>* writes) const {
+  Derivation out;
 
   // Dense mirror of the interpreter's bound/conflicted maps: a slot is
-  // bound while `value` is non-null.
+  // bound while `value` is non-null. Slot counts are small (one per
+  // consequent attribute), so the per-row state lives on the stack.
   struct SlotState {
     const Value* value = nullptr;
     size_t source = kDerivationBaseProvenance;
     bool conflicted = false;
   };
-  std::vector<SlotState> state(cons_slots_.size());
-
-  for (size_t clause_index : closure.firing_order) {
-    const Implication& clause = kb().clause(clause_index);
-    for (AtomId h : clause.head.ids()) {
-      auto prov = closure.provenance.find(h);
-      if (prov == closure.provenance.end() ||
-          prov->second != clause_index) {
-        continue;  // atom was in the seed or derived by an earlier clause
-      }
-      const uint32_t slot = slot_of_atom_[h];
-      const ConsSlot& cs = cons_slots_[slot];
-      const Value& atom_value = AtomValue(h);
-      const size_t fi = clause_index;  // clause index == ILFD index
-
-      const Value* first_value = nullptr;
-      size_t first_source = kDerivationBaseProvenance;
-      if (cs.column.has_value() && !row[*cs.column].is_null()) {
-        first_value = &row[*cs.column];
-      } else if (state[slot].value != nullptr) {
-        first_value = state[slot].value;
-        first_source = state[slot].source;
-      }
-      if (first_value == nullptr) {
-        if (state[slot].conflicted) continue;
-        state[slot].value = &atom_value;
-        state[slot].source = fi;
-        out.steps.push_back(DerivationStep{cs.attribute, atom_value, fi});
-        continue;
-      }
-      if (*first_value == atom_value) continue;
-      DerivationConflict conflict{cs.attribute, *first_value, atom_value,
-                                  first_source, fi};
-      if (conflict_policy_ == ConflictPolicy::kError) {
-        return DerivationConflictError(
-            conflict, TupleView(&schema_, &row).ToString());
-      }
-      out.conflicts.push_back(conflict);
-      if (conflict_policy_ == ConflictPolicy::kNullOut &&
-          first_source != kDerivationBaseProvenance) {
-        state[slot].value = nullptr;
-        state[slot].conflicted = true;
-      }
-      // kKeepFirst (and conflicts against base values): first value stands.
-    }
+  constexpr size_t kInlineSlots = 32;
+  SlotState inline_state[kInlineSlots];
+  std::vector<SlotState> heap_state;
+  SlotState* state = inline_state;
+  if (cons_slots_.size() > kInlineSlots) {
+    heap_state.resize(cons_slots_.size());
+    state = heap_state.data();
+  } else {
+    for (size_t i = 0; i < cons_slots_.size(); ++i) state[i] = SlotState{};
   }
 
-  for (size_t slot = 0; slot < state.size(); ++slot) {
+  // Events arrive in the interpreter's order: clauses in firing order,
+  // newly derived head atoms in id order within a clause.
+  for (const DerivedAtom& e : events) {
+    const AtomId h = e.atom;
+    const uint32_t slot = slot_of_atom_[h];
+    const ConsSlot& cs = cons_slots_[slot];
+    const Value& atom_value = AtomValue(h);
+    const size_t fi = e.clause;  // clause index == ILFD index
+
+    const Value* first_value = nullptr;
+    size_t first_source = kDerivationBaseProvenance;
+    if (cs.column.has_value() && !row[*cs.column].is_null()) {
+      first_value = &row[*cs.column];
+    } else if (state[slot].value != nullptr) {
+      first_value = state[slot].value;
+      first_source = state[slot].source;
+    }
+    if (first_value == nullptr) {
+      if (state[slot].conflicted) continue;
+      state[slot].value = &atom_value;
+      state[slot].source = fi;
+      out.steps.push_back(DerivationStep{cs.attribute, atom_value, fi});
+      continue;
+    }
+    if (*first_value == atom_value) continue;
+    DerivationConflict conflict{cs.attribute, *first_value, atom_value,
+                                first_source, fi};
+    if (conflict_policy_ == ConflictPolicy::kError) {
+      return DerivationConflictError(conflict,
+                                     TupleView(&schema_, &row).ToString());
+    }
+    out.conflicts.push_back(conflict);
+    if (conflict_policy_ == ConflictPolicy::kNullOut &&
+        first_source != kDerivationBaseProvenance) {
+      state[slot].value = nullptr;
+      state[slot].conflicted = true;
+    }
+    // kKeepFirst (and conflicts against base values): first value stands.
+  }
+
+  for (size_t slot = 0; slot < cons_slots_.size(); ++slot) {
     if (state[slot].value == nullptr || !cons_slots_[slot].wanted) continue;
     const ConsSlot& cs = cons_slots_[slot];
     out.derived[cs.attribute] = *state[slot].value;

@@ -44,6 +44,7 @@
 
 #include "base/thread_annotations.h"
 #include "compile/interner.h"
+#include "exec/columnar_world.h"
 #include "ilfd/derivation.h"
 #include "ilfd/ilfd_set.h"
 #include "logic/kb.h"
@@ -89,12 +90,42 @@ class EID_PER_WORKER DerivationMemo {
   static constexpr size_t kAbandonMissLimit = 512;
   static constexpr size_t kEarlyAbandonMissLimit = 128;
 
+  // Which key encoding this memo has seen: row keys intern Values into
+  // the private interner_; columnar keys gather pre-encoded session ids.
+  // The two id-spaces are incompatible, so one memo must never mix them.
+  enum class KeySpace : uint8_t { kUnset, kRow, kColumnar };
+
   ValueInterner interner_;
   std::unordered_map<std::vector<uint32_t>, Entry, InternedKeyHash> entries_;
   std::vector<uint32_t> key_scratch_;
   size_t hits_ = 0;
   size_t misses_ = 0;
   bool abandoned_ = false;
+  KeySpace key_space_ = KeySpace::kUnset;
+};
+
+/// A DerivationProgram's memo/seed projection bound to the session's
+/// columnar world (DESIGN.md §4g): per-column pre-encoded id slices plus
+/// dict-id -> AtomId seed tables, built once per (program, relation) and
+/// shared read-only by every sweep worker (EID_SHARED_IMMUTABLE). With a
+/// binding, the per-row derivation hot path touches no Value at all until
+/// a memo miss actually runs the closure: memo keys are gathered from id
+/// slices and closure seeds are two array loads per column.
+struct EID_SHARED_IMMUTABLE ColumnarBinding {
+  /// Parallel to DerivationProgram::memo_columns(): the column's id slice
+  /// (rows entries), or nullptr for columns beyond the source relation's
+  /// arity — extension-appended columns whose cells are all NULL at
+  /// derive time (gathered as ColumnarWorld::kNullId).
+  std::vector<const uint32_t*> memo_ids;
+  /// kExhaustive only, parallel to the program's seed columns: id slice
+  /// or nullptr (same convention as memo_ids).
+  std::vector<const uint32_t*> seed_ids;
+  /// kExhaustive only, parallel to seed columns: dictionary id -> AtomId,
+  /// kNoAtom where the value is not an atom of that attribute.
+  std::vector<std::vector<AtomId>> atom_of_id;
+  size_t rows = 0;
+
+  static constexpr AtomId kNoAtom = 0xffffffffu;
 };
 
 /// An IlfdSet + DerivationOptions lowered onto one extended schema.
@@ -130,6 +161,24 @@ class EID_SHARED_IMMUTABLE DerivationProgram {
   /// null to disable caching; a memo must not be shared across programs.
   Result<Derivation> Derive(const Row& row, ClosureEvaluator* evaluator,
                             DerivationMemo* memo,
+                            std::vector<DerivationWrite>* writes) const;
+
+  /// Binds the program's memo/seed projection to `rel`'s id columns in
+  /// `world` under `slot`, encoding any column not yet encoded. Columns
+  /// at schema positions beyond `rel`'s arity (appended by extension,
+  /// all-NULL at derive time) bind as nullptr slices. Serial — call once
+  /// per sweep before the workers start.
+  ColumnarBinding BindColumns(exec::ColumnarWorld* world, exec::WorldRel slot,
+                              const Relation& rel) const;
+
+  /// Columnar Derive: identical results to Derive(row, ...) when
+  /// `binding` was built over the relation `row` came from and
+  /// `row_index` is its position — memo keys and closure seeds are
+  /// gathered from the binding's id slices instead of hashing Values.
+  /// A memo must stick to one keying (row or columnar) for its lifetime.
+  Result<Derivation> Derive(const Row& row, size_t row_index,
+                            const ColumnarBinding& binding,
+                            ClosureEvaluator* evaluator, DerivationMemo* memo,
                             std::vector<DerivationWrite>* writes) const;
 
   /// The program's knowledge base — its private copy (Compile) or the
@@ -198,9 +247,18 @@ class EID_SHARED_IMMUTABLE DerivationProgram {
 
   Result<Derivation> RunUncached(const Row& row, ClosureEvaluator* evaluator,
                                  std::vector<DerivationWrite>* writes) const;
+  Result<Derivation> RunUncachedColumnar(
+      const Row& row, size_t row_index, const ColumnarBinding& binding,
+      ClosureEvaluator* evaluator, std::vector<DerivationWrite>* writes) const;
   Result<Derivation> RunExhaustive(const Row& row,
                                    ClosureEvaluator* evaluator,
                                    std::vector<DerivationWrite>* writes) const;
+  Result<Derivation> RunExhaustiveSeeded(
+      const Row& row, AtomSet seed_set, ClosureEvaluator* evaluator,
+      std::vector<DerivationWrite>* writes) const;
+  Result<Derivation> ApplyDerived(const Row& row,
+                                  const std::vector<DerivedAtom>& events,
+                                  std::vector<DerivationWrite>* writes) const;
   Result<Derivation> RunFirstMatch(
       const Row& row, std::vector<DerivationWrite>* writes) const;
   Value ResolveFirstMatch(uint32_t slot, const Row& row, FmState* state,

@@ -1,64 +1,34 @@
 // Dense value interning for the compiled execution path.
 //
 // The interpreter compares string payloads wherever values meet — rule
-// conditions, extended-key joins, derivation memo keys. A ValueInterner
-// maps each distinct Value (under storage equality, so NULL is a regular
+// conditions, extended-key joins, derivation memo keys. The interner maps
+// each distinct Value (under storage equality, so NULL is a regular
 // internable value) to a dense uint32_t id once; from then on equality on
 // the hot path is an integer compare and composite keys are small id
 // vectors instead of re-serialised strings.
+//
+// Since the columnar world landed (DESIGN.md §4g) the interner IS the
+// session dictionary: ValueInterner is an alias for exec::ValueDictionary,
+// so derivation memos, pair-feature columns, the extended-key join and
+// the snapshot handoff all draw ids from one id-space instead of three
+// private encodings.
 
 #ifndef EID_COMPILE_INTERNER_H_
 #define EID_COMPILE_INTERNER_H_
 
 #include <cstdint>
-#include <limits>
-#include <unordered_map>
+#include <vector>
 
-#include "relational/tuple.h"
-#include "relational/value.h"
+#include "exec/columnar_world.h"
 
 namespace eid {
 namespace compile {
 
-/// Append-only Value -> dense id map. GetOrIntern mutates; Find does not,
-/// so a fully built interner may be probed from many threads concurrently
-/// (the pattern the interned key join uses: serial build side, parallel
-/// probe side).
-class ValueInterner {
- public:
-  /// Returned by Find for values never interned. A probe-side value that
-  /// was never interned cannot equal any build-side value.
-  static constexpr uint32_t kNotInterned =
-      std::numeric_limits<uint32_t>::max();
-
-  /// Id of `v`, interning it on first use.
-  uint32_t GetOrIntern(const Value& v) {
-    auto [it, inserted] =
-        ids_.emplace(v, static_cast<uint32_t>(ids_.size()));
-    return it->second;
-  }
-
-  /// Id of `v` if already interned, else kNotInterned.
-  uint32_t Find(const Value& v) const {
-    auto it = ids_.find(v);
-    return it == ids_.end() ? kNotInterned : it->second;
-  }
-
-  /// Interns `values` in order. Ids are assigned first-seen dense, so
-  /// preloading a snapshot dictionary (saved in first-intern order)
-  /// reproduces the ids a fresh build would assign — the id-stable
-  /// handoff the loaded world's compiled programs rely on.
-  void Preload(const std::vector<Value>& values) {
-    ids_.reserve(ids_.size() + values.size());
-    for (const Value& v : values) GetOrIntern(v);
-  }
-
-  /// Number of distinct values interned.
-  size_t size() const { return ids_.size(); }
-
- private:
-  std::unordered_map<Value, uint32_t, ValueHash> ids_;
-};
+/// One id-space for every compiled consumer (see exec::ValueDictionary).
+/// GetOrIntern mutates; Find does not, so a fully built interner may be
+/// probed from many threads concurrently (the pattern the interned key
+/// join uses: serial build side, parallel probe side).
+using ValueInterner = exec::ValueDictionary;
 
 /// FNV-1a over a dense-id vector — the hash for interned composite keys
 /// (extended keys, derivation memo keys).

@@ -55,12 +55,14 @@ Truth CompiledConjunction::Evaluate(const Row& r_row,
 }
 
 const std::vector<uint32_t>& PairFeatureCache::RColumn(size_t column) {
+  if (world_ != nullptr) return world_->Column(r_slot_, *r_, column);
   auto it = r_columns_.find(column);
   if (it != r_columns_.end()) return it->second;
   return r_columns_.emplace(column, BuildColumn(*r_, column)).first->second;
 }
 
 const std::vector<uint32_t>& PairFeatureCache::SColumn(size_t column) {
+  if (world_ != nullptr) return world_->Column(s_slot_, *s_, column);
   auto it = s_columns_.find(column);
   if (it != s_columns_.end()) return it->second;
   return s_columns_.emplace(column, BuildColumn(*s_, column)).first->second;
@@ -68,6 +70,7 @@ const std::vector<uint32_t>& PairFeatureCache::SColumn(size_t column) {
 
 uint32_t PairFeatureCache::InternConstant(const Value& v) {
   if (v.is_null()) return kNullId;
+  if (world_ != nullptr) return world_->dict().GetOrIntern(v);
   return interner_.GetOrIntern(v);
 }
 
@@ -184,26 +187,104 @@ Truth StagedConjunction::RowTruth(size_t r_row) const {
   return EvaluateOps(row_ops_, r_row, r_row);
 }
 
+std::vector<Truth> StagedConjunction::RowTruthAll(size_t n) const {
+  std::vector<Truth> out(n, Truth::kTrue);
+  // Op-major over the id slices: each id_fast opcode streams two
+  // contiguous uint32_t lanes (or a lane against a constant id) instead
+  // of chasing Slot pointers per row. Skipping rows already kFalse
+  // reproduces EvaluateOps' early exit, so out[r] == RowTruth(r).
+  for (const Op& op : row_ops_) {
+    if (op.id_fast) {
+      // Row ops bind the r side only, so a slot is a kRColumn slice, a
+      // constant id, or the NULL sentinel (kAbsent).
+      const uint32_t* lhs_ids =
+          op.lhs.src == Src::kRColumn ? op.lhs.ids->data() : nullptr;
+      const uint32_t* rhs_ids =
+          op.rhs.src == Src::kRColumn ? op.rhs.ids->data() : nullptr;
+      const uint32_t lhs_const = op.lhs.src == Src::kConstant
+                                     ? op.lhs.const_id
+                                     : PairFeatureCache::kNullId;
+      const uint32_t rhs_const = op.rhs.src == Src::kConstant
+                                     ? op.rhs.const_id
+                                     : PairFeatureCache::kNullId;
+      const bool is_eq = op.op == CompareOp::kEq;
+      for (size_t r = 0; r < n; ++r) {
+        if (out[r] == Truth::kFalse) continue;
+        const uint32_t lhs = lhs_ids != nullptr ? lhs_ids[r] : lhs_const;
+        const uint32_t rhs = rhs_ids != nullptr ? rhs_ids[r] : rhs_const;
+        Truth t;
+        if (lhs == PairFeatureCache::kNullId ||
+            rhs == PairFeatureCache::kNullId) {
+          t = Truth::kUnknown;
+        } else {
+          t = ((lhs == rhs) == is_eq) ? Truth::kTrue : Truth::kFalse;
+        }
+        out[r] = And(out[r], t);
+      }
+    } else {
+      static const Value kNullValue;
+      for (size_t r = 0; r < n; ++r) {
+        if (out[r] == Truth::kFalse) continue;
+        auto resolve = [&](const Slot& slot) -> const Value& {
+          switch (slot.src) {
+            case Src::kRColumn: return r_->row(r)[slot.column];
+            case Src::kSColumn: return s_->row(r)[slot.column];
+            case Src::kConstant: return slot.constant;
+            case Src::kAbsent: return kNullValue;
+          }
+          return kNullValue;
+        };
+        out[r] = And(out[r],
+                     CompareValues(resolve(op.lhs), op.op, resolve(op.rhs)));
+      }
+    }
+  }
+  return out;
+}
+
 Truth StagedConjunction::PairTruth(size_t r_row, size_t s_row) const {
   return EvaluateOps(pair_ops_, r_row, s_row);
 }
+
+namespace {
+
+// Rows per vectorized probe block: the pack/mask pass streams this many
+// contiguous lanes per key column before any hash-table access.
+constexpr size_t kProbeBatch = 256;
+
+}  // namespace
 
 std::vector<TuplePair> InternedKeyJoin(const Relation& r_ext,
                                        const Relation& s_ext,
                                        const std::vector<size_t>& r_idx,
                                        const std::vector<size_t>& s_idx,
                                        exec::ThreadPool* pool,
-                                       size_t* interner_values) {
+                                       exec::ColumnarWorld* world,
+                                       KeyJoinStats* stats) {
   const size_t k = r_idx.size();
   EID_CHECK(s_idx.size() == k);
+  const double encode_ms_before = world != nullptr ? world->encode_ms() : 0.0;
+  const size_t reuse_before = world != nullptr ? world->reuse_hits() : 0;
   PairFeatureCache features(&r_ext, &s_ext);
   // Columnar id projections, built serially: per-row NULL checks and
-  // Value hashing happen here once, never in the probe loop.
-  std::vector<const std::vector<uint32_t>*> r_cols, s_cols;
+  // Value hashing happen at most once — and not at all when the world
+  // already encoded the column for the extension stage — never in the
+  // probe loop.
+  std::vector<const uint32_t*> r_cols, s_cols;
   r_cols.reserve(k);
   s_cols.reserve(k);
-  for (size_t i : r_idx) r_cols.push_back(&features.RColumn(i));
-  for (size_t i : s_idx) s_cols.push_back(&features.SColumn(i));
+  for (size_t i : r_idx) {
+    r_cols.push_back(
+        world != nullptr
+            ? world->Column(exec::WorldRel::kRExtended, r_ext, i).data()
+            : features.RColumn(i).data());
+  }
+  for (size_t i : s_idx) {
+    s_cols.push_back(
+        world != nullptr
+            ? world->Column(exec::WorldRel::kSExtended, s_ext, i).data()
+            : features.SColumn(i).data());
+  }
 
   const size_t n = r_ext.size();
   const int threads = pool != nullptr ? pool->threads() : 1;
@@ -211,75 +292,112 @@ std::vector<TuplePair> InternedKeyJoin(const Relation& r_ext,
       std::max<size_t>(1, n / (static_cast<size_t>(threads) * 4));
   const size_t num_chunks = n == 0 ? 0 : (n + grain - 1) / grain;
   std::vector<std::vector<TuplePair>> found(num_chunks);
+  std::vector<size_t> batches(num_chunks, 0);
 
   if (k <= 2) {
     // Narrow keys (the common case: extended keys of one or two
     // attributes) pack into one uint64_t — a probe is a single integer
     // hash, no vector hashing, no per-column map lookups.
-    auto key_of = [&](const std::vector<const std::vector<uint32_t>*>& cols,
-                      size_t row, bool* has_null) -> uint64_t {
-      uint64_t key = 0;
-      for (size_t c = 0; c < k; ++c) {
-        const uint32_t id = (*cols[c])[row];
-        if (id == PairFeatureCache::kNullId) {
-          *has_null = true;  // non_null_eq: NULL keys never match
-          return 0;
-        }
-        key = (key << 32) | id;
-      }
-      *has_null = false;
-      return key;
-    };
     std::unordered_map<uint64_t, std::vector<size_t>> build;
     build.reserve(s_ext.size() * 2);
     for (size_t s = 0; s < s_ext.size(); ++s) {
-      bool has_null = false;
-      const uint64_t key = key_of(s_cols, s, &has_null);
-      if (!has_null) build[key].push_back(s);
+      uint64_t key = 0;
+      bool valid = true;
+      for (size_t c = 0; c < k; ++c) {
+        const uint32_t id = s_cols[c][s];
+        valid &= id != PairFeatureCache::kNullId;  // non_null_eq
+        key = (key << 32) | id;
+      }
+      if (valid) build[key].push_back(s);
     }
     exec::ParallelFor(pool, n, grain, [&](size_t begin, size_t end, int) {
       const size_t chunk = begin / grain;
-      for (size_t r = begin; r < end; ++r) {
-        bool has_null = false;
-        const uint64_t key = key_of(r_cols, r, &has_null);
-        if (has_null) continue;
-        auto it = build.find(key);
-        if (it == build.end()) continue;
-        for (size_t s : it->second) {
-          found[chunk].push_back(TuplePair{r, s});
+      uint64_t keys[kProbeBatch];
+      uint8_t valid[kProbeBatch];
+      for (size_t b = begin; b < end; b += kProbeBatch) {
+        const size_t m = std::min(kProbeBatch, end - b);
+        ++batches[chunk];
+        // Pass 1: pack keys column-major and accumulate the NULL mask
+        // branch-free over each contiguous id lane.
+        for (size_t i = 0; i < m; ++i) {
+          keys[i] = 0;
+          valid[i] = 1;
+        }
+        for (size_t c = 0; c < k; ++c) {
+          const uint32_t* ids = r_cols[c];
+          for (size_t i = 0; i < m; ++i) {
+            const uint32_t id = ids[b + i];
+            valid[i] &=
+                static_cast<uint8_t>(id != PairFeatureCache::kNullId);
+            keys[i] = (keys[i] << 32) | id;
+          }
+        }
+        // Pass 2: probe only the valid lanes, row-major.
+        for (size_t i = 0; i < m; ++i) {
+          if (valid[i] == 0) continue;
+          auto it = build.find(keys[i]);
+          if (it == build.end()) continue;
+          for (size_t s : it->second) {
+            found[chunk].push_back(TuplePair{b + i, s});
+          }
         }
       }
     });
   } else {
-    auto key_of = [&](const std::vector<const std::vector<uint32_t>*>& cols,
-                      size_t row, std::vector<uint32_t>* key) {
-      key->clear();
-      for (size_t c = 0; c < k; ++c) {
-        const uint32_t id = (*cols[c])[row];
-        if (id == PairFeatureCache::kNullId) return false;
-        key->push_back(id);
-      }
-      return true;
-    };
-    std::unordered_map<std::vector<uint32_t>, std::vector<size_t>,
-                       InternedKeyHash>
-        build;
+    // Wide keys: FNV-combine the per-column ids columnar into a 64-bit
+    // bucket hash; candidates in the bucket are verified id-exactly per
+    // column, so hash collisions never produce a false pair.
+    constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+    constexpr uint64_t kFnvPrime = 1099511628211ull;
+    std::unordered_map<uint64_t, std::vector<size_t>> build;
     build.reserve(s_ext.size() * 2);
-    std::vector<uint32_t> key;
-    key.reserve(k);
     for (size_t s = 0; s < s_ext.size(); ++s) {
-      if (key_of(s_cols, s, &key)) build[key].push_back(s);
+      uint64_t h = kFnvBasis;
+      bool valid = true;
+      for (size_t c = 0; c < k; ++c) {
+        const uint32_t id = s_cols[c][s];
+        valid &= id != PairFeatureCache::kNullId;
+        h ^= id;
+        h *= kFnvPrime;
+      }
+      if (valid) build[h].push_back(s);
     }
     exec::ParallelFor(pool, n, grain, [&](size_t begin, size_t end, int) {
       const size_t chunk = begin / grain;
-      std::vector<uint32_t> probe;
-      probe.reserve(k);
-      for (size_t r = begin; r < end; ++r) {
-        if (!key_of(r_cols, r, &probe)) continue;
-        auto it = build.find(probe);
-        if (it == build.end()) continue;
-        for (size_t s : it->second) {
-          found[chunk].push_back(TuplePair{r, s});
+      uint64_t hashes[kProbeBatch];
+      uint8_t valid[kProbeBatch];
+      for (size_t b = begin; b < end; b += kProbeBatch) {
+        const size_t m = std::min(kProbeBatch, end - b);
+        ++batches[chunk];
+        for (size_t i = 0; i < m; ++i) {
+          hashes[i] = kFnvBasis;
+          valid[i] = 1;
+        }
+        for (size_t c = 0; c < k; ++c) {
+          const uint32_t* ids = r_cols[c];
+          for (size_t i = 0; i < m; ++i) {
+            const uint32_t id = ids[b + i];
+            valid[i] &=
+                static_cast<uint8_t>(id != PairFeatureCache::kNullId);
+            hashes[i] ^= id;
+            hashes[i] *= kFnvPrime;
+          }
+        }
+        for (size_t i = 0; i < m; ++i) {
+          if (valid[i] == 0) continue;
+          auto it = build.find(hashes[i]);
+          if (it == build.end()) continue;
+          const size_t r = b + i;
+          for (size_t s : it->second) {
+            bool match = true;
+            for (size_t c = 0; c < k; ++c) {
+              if (r_cols[c][r] != s_cols[c][s]) {
+                match = false;
+                break;
+              }
+            }
+            if (match) found[chunk].push_back(TuplePair{r, s});
+          }
         }
       }
     });
@@ -292,7 +410,15 @@ std::vector<TuplePair> InternedKeyJoin(const Relation& r_ext,
   for (std::vector<TuplePair>& f : found) {
     pairs.insert(pairs.end(), f.begin(), f.end());
   }
-  if (interner_values != nullptr) *interner_values = features.distinct_values();
+  if (stats != nullptr) {
+    for (size_t b : batches) stats->probe_batches += b;
+    if (world != nullptr) {
+      stats->encode_ms = world->encode_ms() - encode_ms_before;
+      stats->reuse_hits = world->reuse_hits() - reuse_before;
+    } else {
+      stats->interner_values = features.distinct_values();
+    }
+  }
   return pairs;
 }
 

@@ -92,8 +92,20 @@ class EID_SHARED_IMMUTABLE PairFeatureCache {
  public:
   static constexpr uint32_t kNullId = ValueInterner::kNotInterned;
 
+  /// Private-encoding form: owns its interner and column slices.
   PairFeatureCache(const Relation* r_ext, const Relation* s_ext)
       : r_(r_ext), s_(s_ext) {}
+
+  /// World-backed form (DESIGN.md §4g): column slices and constant ids
+  /// come from the session's columnar world under the given slots, so a
+  /// column the extension or the join already encoded is served as a
+  /// reuse hit instead of being rebuilt. `world` must outlive the cache
+  /// and is mutated (lazy encodes) only during serial rule registration.
+  PairFeatureCache(const Relation* r_ext, const Relation* s_ext,
+                   exec::ColumnarWorld* world, exec::WorldRel r_slot,
+                   exec::WorldRel s_slot)
+      : r_(r_ext), s_(s_ext), world_(world), r_slot_(r_slot),
+        s_slot_(s_slot) {}
 
   /// Interned-id projection of one column (index per that relation's
   /// schema); built on first request.
@@ -103,7 +115,8 @@ class EID_SHARED_IMMUTABLE PairFeatureCache {
   /// Id of a rule constant under the same interner; kNullId for NULL.
   uint32_t InternConstant(const Value& v);
 
-  /// Distinct non-NULL values interned so far (stats).
+  /// Distinct non-NULL values interned privately so far (stats); zero on
+  /// the world-backed form, whose encode/reuse totals live on the world.
   size_t distinct_values() const { return interner_.size(); }
 
  private:
@@ -111,6 +124,9 @@ class EID_SHARED_IMMUTABLE PairFeatureCache {
 
   const Relation* r_;
   const Relation* s_;
+  exec::ColumnarWorld* world_ = nullptr;
+  exec::WorldRel r_slot_ = exec::WorldRel::kRExtended;
+  exec::WorldRel s_slot_ = exec::WorldRel::kSExtended;
   ValueInterner interner_;
   std::unordered_map<size_t, std::vector<uint32_t>> r_columns_;
   std::unordered_map<size_t, std::vector<uint32_t>> s_columns_;
@@ -138,6 +154,10 @@ class EID_SHARED_IMMUTABLE StagedConjunction final
 
   bool has_row_part() const override { return !row_ops_.empty(); }
   Truth RowTruth(size_t r_row) const override;
+  /// Vectorized row pass: evaluates the flat row opcodes op-major over
+  /// the cached id slices (value-fallback ops per row), skipping rows
+  /// already decided kFalse. out[r] == RowTruth(r) for every r.
+  std::vector<Truth> RowTruthAll(size_t n) const override;
   Truth PairTruth(size_t r_row, size_t s_row) const override;
 
  private:
@@ -167,20 +187,34 @@ class EID_SHARED_IMMUTABLE StagedConjunction final
   const Relation* s_ = nullptr;
 };
 
+/// Counters of one InternedKeyJoin call.
+struct KeyJoinStats {
+  size_t interner_values = 0;  // distinct values privately encoded
+  size_t probe_batches = 0;    // vectorized probe blocks executed
+  size_t reuse_hits = 0;       // ids served from the world, not encoded
+  double encode_ms = 0.0;      // world-path column encode time
+};
+
 /// Hash-joins two extended relations on parallel key-column lists using
-/// columnar interned ids: both sides are batch-interned once per column
-/// (NULL checks hoisted out of the probe loop into the column encoding),
-/// build keys of width <= 2 pack into one uint64_t so a probe is a single
-/// integer-hash lookup. Returns pairs in the serial probe's row-major
-/// order for any pool size; `interner_values` (when non-null) receives
-/// the distinct-value count. Pair semantics are identical to the
-/// fingerprint join: rows agree non-NULL on every key column.
+/// columnar interned ids. With a non-null `world`, the key columns are
+/// the session's shared id slices (encoded at most once across extension
+/// / join / rule stages); otherwise a private per-call cache encodes
+/// them. Probes run in batches over the contiguous id columns: a first
+/// pass packs keys and accumulates the branch-free NULL mask
+/// (`valid &= id != kNullId`), a second pass probes only the valid lanes.
+/// Build keys of width <= 2 pack into one uint64_t so a probe is a
+/// single integer-hash lookup; wider keys combine per-column id hashes
+/// columnar (FNV over the id lanes) and verify candidates id-exactly.
+/// Returns pairs in the serial probe's row-major order for any pool
+/// size. Pair semantics are identical to the fingerprint join: rows
+/// agree non-NULL on every key column.
 std::vector<TuplePair> InternedKeyJoin(const Relation& r_ext,
                                        const Relation& s_ext,
                                        const std::vector<size_t>& r_idx,
                                        const std::vector<size_t>& s_idx,
                                        exec::ThreadPool* pool,
-                                       size_t* interner_values);
+                                       exec::ColumnarWorld* world,
+                                       KeyJoinStats* stats);
 
 }  // namespace compile
 }  // namespace eid

@@ -92,7 +92,7 @@ Status AttributeCorrespondence::ValidateAgainst(const Relation& r,
   return Status::Ok();
 }
 
-Result<Relation> AttributeCorrespondence::ToWorldNaming(
+Result<std::vector<std::string>> AttributeCorrespondence::WorldNames(
     const Relation& relation, Side side) const {
   std::vector<std::string> names;
   names.reserve(relation.schema().size());
@@ -118,7 +118,32 @@ Result<Relation> AttributeCorrespondence::ToWorldNaming(
       }
     }
   }
+  return names;
+}
+
+Result<Relation> AttributeCorrespondence::ToWorldNaming(
+    const Relation& relation, Side side) const {
+  EID_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                       WorldNames(relation, side));
   return RenameAll(relation, names);
+}
+
+Result<Relation> AttributeCorrespondence::ToWorldSchema(
+    const Relation& relation, Side side) const {
+  EID_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                       WorldNames(relation, side));
+  std::vector<Attribute> attrs = relation.schema().attributes();
+  for (size_t i = 0; i < attrs.size(); ++i) attrs[i].name = names[i];
+  Schema schema(std::move(attrs));
+  Relation out(relation.name(), schema);
+  for (const KeyDef& key : relation.keys()) {
+    std::vector<std::string> key_names;
+    for (size_t i : key.attribute_indices) {
+      key_names.push_back(schema.attribute(i).name);
+    }
+    EID_RETURN_IF_ERROR(out.DeclareKey(key_names));
+  }
+  return out;
 }
 
 }  // namespace eid

@@ -70,7 +70,18 @@ class AttributeCorrespondence {
   /// names). This produces the uniform naming the matching pipeline uses.
   Result<Relation> ToWorldNaming(const Relation& relation, Side side) const;
 
+  /// Schema-only ToWorldNaming: the renamed relation with its keys
+  /// re-declared but no rows copied. Renaming never changes values or
+  /// column positions, so pipelines that read cells positionally (the
+  /// columnar extension path) use this and index the source rows
+  /// directly, skipping the full-relation copy. Same name computation
+  /// and collision diagnostics as ToWorldNaming.
+  Result<Relation> ToWorldSchema(const Relation& relation, Side side) const;
+
  private:
+  Result<std::vector<std::string>> WorldNames(const Relation& relation,
+                                              Side side) const;
+
   std::vector<AttributeMapping> mappings_;
 };
 

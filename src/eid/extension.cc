@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 #include <set>
+#include <unordered_set>
 
 #include "compile/derivation_program.h"
 #include "relational/algebra.h"
@@ -30,10 +31,22 @@ Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
                                        const IlfdSet& ilfds,
                                        const ExtensionOptions& options,
                                        exec::ThreadPool* pool,
-                                       exec::StageStats* stats) {
+                                       exec::StageStats* stats,
+                                       exec::ColumnarWorld* columnar) {
   exec::StageTimer timer;
-  // 1. Rename into world naming.
-  EID_ASSIGN_OR_RETURN(Relation world, corr.ToWorldNaming(relation, side));
+  const bool columnar_path = options.compile && columnar != nullptr;
+  const double encode_ms_before =
+      columnar_path ? columnar->encode_ms() : 0.0;
+  const size_t reuse_before = columnar_path ? columnar->reuse_hits() : 0;
+
+  // 1. Rename into world naming. Renaming never moves columns or changes
+  // values, so the columnar path renames the schema only and keeps
+  // reading the source rows positionally — no full-relation copy.
+  Result<Relation> world_result = columnar_path
+                                      ? corr.ToWorldSchema(relation, side)
+                                      : corr.ToWorldNaming(relation, side);
+  EID_RETURN_IF_ERROR(world_result.status());
+  Relation world = std::move(world_result).value();
 
   // 2. Determine the columns to append.
   std::vector<std::string> added;
@@ -98,9 +111,12 @@ Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
   // epoch-stamped workspace is the only mutable state; the IlfdSet is
   // read-only during the sweep). Every result lands in its row's slot,
   // so the assembled relation is identical for any thread count.
-  const size_t n = world.size();
+  const size_t n = relation.size();
   const int workers = (pool != nullptr ? pool->threads() : 1);
   const Schema& ext_schema = extended.schema();
+  const size_t base_arity = relation.schema().size();
+  const std::vector<Row>& src_rows =
+      columnar_path ? relation.rows() : world.rows();
 
   // Compiled path: lower the ILFD program once for this schema/options
   // pair; each worker gets its own derivation memo alongside its closure
@@ -123,26 +139,64 @@ Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
                                                 : &ilfds.kb());
   }
 
+  // Columnar sweep setup (serial): bind the program's memo/seed
+  // projection to the side's base slot, and encode the columns the
+  // id-level re-validation and the downstream join will read — the
+  // candidate-key columns and any extended-key column already present in
+  // the source schema. After this the dictionary is read-only until the
+  // serial merge.
+  const exec::WorldRel base_slot =
+      side == Side::kR ? exec::WorldRel::kR : exec::WorldRel::kS;
+  const exec::WorldRel ext_slot =
+      side == Side::kR ? exec::WorldRel::kRExtended
+                       : exec::WorldRel::kSExtended;
+  EID_SHARED_IMMUTABLE compile::ColumnarBinding binding;
+  if (columnar_path) {
+    binding = program->BindColumns(columnar, base_slot, relation);
+    for (const KeyDef& key : extended.keys()) {
+      for (size_t c : key.attribute_indices) {
+        columnar->Column(base_slot, relation, c);
+      }
+    }
+    for (const std::string& a : ext_key.attributes()) {
+      std::optional<size_t> c = ext_schema.IndexOf(a);
+      if (c.has_value() && *c < base_arity) {
+        columnar->Column(base_slot, relation, *c);
+      }
+    }
+  }
+
   std::vector<Row> rows(n);
   std::vector<Derivation> traces(n);
   std::vector<Status> row_status(n);
+  // Applied writes per row — what the id patch-up after AdoptRows needs.
+  std::vector<std::vector<compile::DerivationWrite>> row_writes(
+      columnar_path ? n : 0);
   exec::ParallelFor(pool, n, /*grain=*/0,
                     [&](size_t begin, size_t end, int worker) {
     ClosureEvaluator& evaluator = evaluators[static_cast<size_t>(worker)];
     std::vector<compile::DerivationWrite> writes;
     for (size_t r = begin; r < end; ++r) {
-      Row row = world.row(r);
+      Row row = src_rows[r];
       row.resize(row.size() + added.size(), Value::Null());
       if (program.has_value()) {
         Result<Derivation> derived =
-            program->Derive(row, &evaluator,
-                            &memos[static_cast<size_t>(worker)], &writes);
+            columnar_path
+                ? program->Derive(row, r, binding, &evaluator,
+                                  &memos[static_cast<size_t>(worker)],
+                                  &writes)
+                : program->Derive(row, &evaluator,
+                                  &memos[static_cast<size_t>(worker)],
+                                  &writes);
         if (!derived.ok()) {
           row_status[r] = derived.status();
           continue;
         }
         for (const compile::DerivationWrite& w : writes) {
-          if (row[w.column].is_null()) row[w.column] = w.value;
+          if (row[w.column].is_null()) {
+            row[w.column] = w.value;
+            if (columnar_path) row_writes[r].push_back(w);
+          }
         }
         rows[r] = std::move(row);
         traces[r] = std::move(derived).value();
@@ -164,15 +218,125 @@ Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
       traces[r] = std::move(derived).value();
     }
   });
-  // Merge in row order, surfacing errors exactly as the serial engine
-  // did: row r's derivation error precedes its insert error, which
-  // precedes anything about row r+1.
+  // Merge. The columnar path re-validates at the id layer and bulk-
+  // installs via AdoptRows (the same trusted-bulk contract snapshot
+  // loads use: base cells were validated by the source relation's own
+  // Insert path; only the newly derived writes are fresh data). Anything
+  // suspicious — a failed row, an off-type or NULL write, a write into a
+  // key column, a NULL or duplicate id-level key — drops to the exact
+  // per-row Insert replay below, so diagnostics and their precedence
+  // (row r's derivation error before its insert error, before anything
+  // about row r+1) stay bit-identical to the serial engine.
+  bool fast = columnar_path;
+  if (fast) {
+    for (size_t r = 0; r < n && fast; ++r) fast = row_status[r].ok();
+  }
+  if (fast) {
+    std::vector<char> is_key_col(ext_schema.size(), 0);
+    for (const KeyDef& key : extended.keys()) {
+      for (size_t c : key.attribute_indices) is_key_col[c] = 1;
+    }
+    for (size_t r = 0; r < n && fast; ++r) {
+      for (const compile::DerivationWrite& w : row_writes[r]) {
+        if (w.value.is_null() ||
+            w.value.type() != ext_schema.attribute(w.column).type ||
+            is_key_col[w.column] != 0) {
+          fast = false;
+          break;
+        }
+      }
+    }
+  }
+  if (fast) {
+    // Key uniqueness over packed id keys: equal ids are equal values, so
+    // this accepts exactly the rows the string-fingerprint sets accept.
+    for (const KeyDef& key : extended.keys()) {
+      if (!fast) break;
+      std::vector<const uint32_t*> cols;
+      cols.reserve(key.attribute_indices.size());
+      for (size_t c : key.attribute_indices) {
+        cols.push_back(columnar->Column(base_slot, relation, c).data());
+      }
+      if (cols.size() <= 2) {
+        std::unordered_set<uint64_t> seen;
+        seen.reserve(n * 2);
+        for (size_t r = 0; r < n; ++r) {
+          uint64_t packed = 0;
+          bool has_null = false;
+          for (const uint32_t* col : cols) {
+            const uint32_t id = col[r];
+            has_null |= (id == exec::ColumnarWorld::kNullId);
+            packed = (packed << 32) | id;
+          }
+          if (has_null || !seen.insert(packed).second) {
+            fast = false;
+            break;
+          }
+        }
+      } else {
+        std::unordered_set<std::vector<uint32_t>, compile::InternedKeyHash>
+            seen;
+        seen.reserve(n * 2);
+        std::vector<uint32_t> packed(cols.size());
+        for (size_t r = 0; r < n; ++r) {
+          bool has_null = false;
+          for (size_t i = 0; i < cols.size(); ++i) {
+            packed[i] = cols[i][r];
+            has_null |= (packed[i] == exec::ColumnarWorld::kNullId);
+          }
+          if (has_null || !seen.insert(packed).second) {
+            fast = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+
   size_t values_derived = 0;
-  for (size_t r = 0; r < n; ++r) {
-    EID_RETURN_IF_ERROR(row_status[r]);
-    values_derived += traces[r].derived.size();
-    EID_RETURN_IF_ERROR(extended.Insert(std::move(rows[r])));
-    out.traces.push_back(std::move(traces[r]));
+  if (fast) {
+    for (size_t r = 0; r < n; ++r) values_derived += traces[r].derived.size();
+    out.traces = std::move(traces);
+    extended.AdoptRows(std::move(rows));
+    // Hand the extended relation's id columns to the join and the rule
+    // stages: encoded base columns carry over (writes patched in), and
+    // extension-appended columns start all-NULL and take their derived
+    // ids. Columns never encoded stay lazy — the join encodes them from
+    // the extended relation on demand.
+    const size_t ext_arity = ext_schema.size();
+    std::vector<std::vector<uint32_t>> ext_cols(ext_arity);
+    std::vector<char> have(ext_arity, 0);
+    for (size_t c = 0; c < ext_arity; ++c) {
+      if (c < base_arity) {
+        const std::vector<uint32_t>* ids = columnar->FindColumn(base_slot, c);
+        if (ids == nullptr) continue;
+        ext_cols[c] = *ids;
+        have[c] = 1;
+      } else {
+        ext_cols[c].assign(n, exec::ColumnarWorld::kNullId);
+        have[c] = 1;
+      }
+    }
+    for (size_t r = 0; r < n; ++r) {
+      for (const compile::DerivationWrite& w : row_writes[r]) {
+        if (have[w.column] != 0) {
+          ext_cols[w.column][r] = columnar->dict().GetOrIntern(w.value);
+        }
+      }
+    }
+    for (size_t c = 0; c < ext_arity; ++c) {
+      if (have[c] != 0) columnar->Adopt(ext_slot, c, std::move(ext_cols[c]));
+    }
+  } else {
+    // Merge in row order, surfacing errors exactly as the serial engine
+    // did: row r's derivation error precedes its insert error, which
+    // precedes anything about row r+1.
+    for (size_t r = 0; r < n; ++r) {
+      EID_RETURN_IF_ERROR(row_status[r]);
+      values_derived += traces[r].derived.size();
+      EID_RETURN_IF_ERROR(extended.Insert(std::move(rows[r])));
+      out.traces.push_back(std::move(traces[r]));
+    }
   }
   out.extended = std::move(extended);
   if (stats != nullptr) {
@@ -186,6 +350,10 @@ Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
       stats->memo_hits += memo.hits();
       stats->memo_misses += memo.misses();
       stats->interner_values += memo.interner_size();
+    }
+    if (columnar_path) {
+      stats->columnar_encode_ms = columnar->encode_ms() - encode_ms_before;
+      stats->interner_reuse_hits = columnar->reuse_hits() - reuse_before;
     }
   }
   return out;

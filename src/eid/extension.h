@@ -18,6 +18,7 @@
 
 #include "eid/correspondence.h"
 #include "eid/extended_key.h"
+#include "exec/columnar_world.h"
 #include "exec/stage_stats.h"
 #include "exec/thread_pool.h"
 #include "ilfd/derivation.h"
@@ -65,13 +66,27 @@ Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
 /// over `pool` (one ClosureEvaluator per worker; may be null for the
 /// serial path), and stage counters are recorded into `stats` when
 /// non-null. `options.threads` is ignored — the pool decides.
+///
+/// With a non-null `columnar` (and options.compile), the session's
+/// columnar world drives the sweep (DESIGN.md §4g): source cells are
+/// encoded once into the shared dictionary under the side's base slot,
+/// the derivation memo keys and closure seeds gather pre-encoded ids,
+/// renaming into world naming is schema-only (no row copy), and on the
+/// clean path the extended relation is assembled by AdoptRows after an
+/// id-level re-validation (write types, key NULLs, key uniqueness over
+/// packed id keys) — falling back to the exact per-row Insert replay the
+/// moment anything looks off, so diagnostics and error precedence stay
+/// bit-identical to the serial engine. The extended relation's id
+/// columns are adopted into the side's extended slot for the join and
+/// rule stages to reuse. Results are identical with or without a world.
 Result<ExtensionResult> ExtendRelation(const Relation& relation, Side side,
                                        const AttributeCorrespondence& corr,
                                        const ExtendedKey& ext_key,
                                        const IlfdSet& ilfds,
                                        const ExtensionOptions& options,
                                        exec::ThreadPool* pool,
-                                       exec::StageStats* stats);
+                                       exec::StageStats* stats,
+                                       exec::ColumnarWorld* columnar = nullptr);
 
 }  // namespace eid
 

@@ -50,6 +50,19 @@ Result<IdentificationResult> EntityIdentifier::Identify(
   exec::ThreadPool pool(threads);
   exec::ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
 
+  // Session columnar world (exec/columnar_world.h): one dictionary and
+  // one set of id columns shared by the extension, join and rule stages
+  // below. Seeded from the snapshot when available, so a loaded world
+  // starts with zero re-interning. Compiled path only; the interpreter
+  // stays a world-free differential oracle.
+  exec::ColumnarWorld columnar_world;
+  exec::ColumnarWorld* world_ptr =
+      config_.matcher_options.compile ? &columnar_world : nullptr;
+  if (world_ptr != nullptr &&
+      config_.matcher_options.columnar_seeds != nullptr) {
+    columnar_world.Seed(*config_.matcher_options.columnar_seeds);
+  }
+
   // --- Extension + extended-key matching -------------------------------
   out.uniqueness = Status::Ok();
   if (config_.extended_key.has_value()) {
@@ -61,7 +74,8 @@ Result<IdentificationResult> EntityIdentifier::Identify(
     EID_ASSIGN_OR_RETURN(
         MatcherResult matcher,
         BuildMatchingTable(r, s, config_.correspondence,
-                           *config_.extended_key, config_.ilfds, options));
+                           *config_.extended_key, config_.ilfds, options,
+                           world_ptr));
     out.r_extended = std::move(matcher.r_extension.extended);
     out.s_extended = std::move(matcher.s_extension.extended);
     out.r_traces = std::move(matcher.r_extension.traces);
@@ -80,12 +94,12 @@ Result<IdentificationResult> EntityIdentifier::Identify(
                          ExtendRelation(r, Side::kR, config_.correspondence,
                                         ExtendedKey(std::vector<std::string>{}),
                                         config_.ilfds, ext, pool_ptr,
-                                        &extend_r));
+                                        &extend_r, world_ptr));
     EID_ASSIGN_OR_RETURN(ExtensionResult sx,
                          ExtendRelation(s, Side::kS, config_.correspondence,
                                         ExtendedKey(std::vector<std::string>{}),
                                         config_.ilfds, ext, pool_ptr,
-                                        &extend_s));
+                                        &extend_s, world_ptr));
     out.r_extended = std::move(rx.extended);
     out.s_extended = std::move(sx.extended);
     out.r_traces = std::move(rx.traces);
@@ -131,10 +145,19 @@ Result<IdentificationResult> EntityIdentifier::Identify(
       std::vector<std::unique_ptr<exec::StagedEvaluator>> evaluators(
           plans.size());
       EID_SHARED_IMMUTABLE std::unique_ptr<compile::PairFeatureCache> features;
+      const double encode_ms_before =
+          world_ptr != nullptr ? world_ptr->encode_ms() : 0.0;
+      const size_t reuse_before =
+          world_ptr != nullptr ? world_ptr->reuse_hits() : 0;
       if (compile) {
         exec::StageTimer compile_timer;
-        features = std::make_unique<compile::PairFeatureCache>(
-            &out.r_extended, &out.s_extended);
+        features =
+            world_ptr != nullptr
+                ? std::make_unique<compile::PairFeatureCache>(
+                      &out.r_extended, &out.s_extended, world_ptr,
+                      exec::WorldRel::kRExtended, exec::WorldRel::kSExtended)
+                : std::make_unique<compile::PairFeatureCache>(
+                      &out.r_extended, &out.s_extended);
         for (size_t k = 0; k < config_.identity_rules.size(); ++k) {
           for (bool flipped : {false, true}) {
             const size_t i = k * 2 + (flipped ? 1 : 0);
@@ -161,7 +184,8 @@ Result<IdentificationResult> EntityIdentifier::Identify(
       }
       exec::CandidateGenerator gen(&out.r_extended, &out.s_extended,
                                    &r_index, &s_index,
-                                   config_.matcher_options.amq_seeds.get());
+                                   config_.matcher_options.amq_seeds.get(),
+                                   exec::AmqOptions{}, world_ptr);
       for (size_t i = 0; i < plans.size(); ++i) {
         gen.AddRule(plans[i], evaluators[i].get());
       }
@@ -171,6 +195,12 @@ Result<IdentificationResult> EntityIdentifier::Identify(
       identity.rule_evals = scan.rule_evals;
       identity.amq_rejects = scan.amq_rejects;
       identity.feature_cache_hits = scan.feature_cache_hits;
+      if (world_ptr != nullptr) {
+        identity.columnar_encode_ms =
+            world_ptr->encode_ms() - encode_ms_before;
+        identity.interner_reuse_hits =
+            world_ptr->reuse_hits() - reuse_before;
+      }
       fired.reserve(staged_fired.size());
       for (const exec::FiredPair& f : staged_fired) fired.push_back(f.pair);
     } else {
@@ -240,7 +270,8 @@ Result<IdentificationResult> EntityIdentifier::Identify(
       BuildNegativeMatchingTable(out.r_extended, out.s_extended, rules,
                                  pool_ptr, config_.matcher_options.compile,
                                  config_.matcher_options.staged,
-                                 config_.matcher_options.amq_seeds.get()));
+                                 config_.matcher_options.amq_seeds.get(),
+                                 world_ptr));
   out.stats.Add(out.negative.stats);
 
   // --- Constraint verification ------------------------------------------

@@ -44,7 +44,8 @@ Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
                                                  const ExtendedKey& ext_key,
                                                  exec::ThreadPool* pool,
                                                  exec::StageStats* stats,
-                                                 bool compiled) {
+                                                 bool compiled,
+                                                 exec::ColumnarWorld* world) {
   exec::StageTimer timer;
   std::vector<size_t> r_idx, s_idx;
   for (const std::string& a : ext_key.attributes()) {
@@ -63,16 +64,17 @@ Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
       std::max<size_t>(1, n / (static_cast<size_t>(threads) * 4));
   const size_t num_chunks = n == 0 ? 0 : (n + grain - 1) / grain;
   std::vector<std::vector<TuplePair>> found(num_chunks);
-  size_t interner_values = 0;
+  compile::KeyJoinStats join_stats;
 
   std::vector<TuplePair> pairs;
   if (compiled) {
-    // Columnar interned join (compile/pair_program.h): both key columns
-    // are batch-interned once, per-row NULL checks are hoisted into the
-    // column encoding, and keys of width <= 2 pack into one uint64_t so
-    // each probe is a single integer-hash lookup.
+    // Columnar interned join (compile/pair_program.h): the key columns
+    // come from the session world (encoded at most once across stages)
+    // or a private batch encode, probes run in vectorized blocks, and
+    // keys of width <= 2 pack into one uint64_t so each probe is a
+    // single integer-hash lookup.
     pairs = compile::InternedKeyJoin(r_extended, s_extended, r_idx, s_idx,
-                                     pool, &interner_values);
+                                     pool, world, &join_stats);
   } else {
     std::unordered_map<std::string, std::vector<size_t>> build;
     build.reserve(s_extended.size() * 2);
@@ -111,7 +113,10 @@ Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
     stats->candidate_pairs = pairs.size();
     stats->cross_product = r_extended.size() * s_extended.size();
     stats->wall_ms = timer.ElapsedMs();
-    stats->interner_values = interner_values;
+    stats->interner_values = join_stats.interner_values;
+    stats->probe_batches = join_stats.probe_batches;
+    stats->interner_reuse_hits = join_stats.reuse_hits;
+    stats->columnar_encode_ms = join_stats.encode_ms;
   }
   return pairs;
 }
@@ -121,6 +126,21 @@ Result<MatcherResult> BuildMatchingTable(const Relation& r, const Relation& s,
                                          const ExtendedKey& ext_key,
                                          const IlfdSet& ilfds,
                                          const MatcherOptions& options) {
+  // Standalone entry: the session world lives for this one build.
+  exec::ColumnarWorld world;
+  if (options.compile && options.columnar_seeds != nullptr) {
+    world.Seed(*options.columnar_seeds);
+  }
+  return BuildMatchingTable(r, s, corr, ext_key, ilfds, options,
+                            options.compile ? &world : nullptr);
+}
+
+Result<MatcherResult> BuildMatchingTable(const Relation& r, const Relation& s,
+                                         const AttributeCorrespondence& corr,
+                                         const ExtendedKey& ext_key,
+                                         const IlfdSet& ilfds,
+                                         const MatcherOptions& options,
+                                         exec::ColumnarWorld* world) {
   if (ext_key.empty()) {
     return Status::InvalidArgument("extended key must be non-empty");
   }
@@ -157,17 +177,17 @@ Result<MatcherResult> BuildMatchingTable(const Relation& r, const Relation& s,
   EID_ASSIGN_OR_RETURN(
       result.r_extension,
       ExtendRelation(r, Side::kR, corr, ext_key, ilfds, ext, pool_ptr,
-                     &extend_r));
+                     &extend_r, world));
   EID_ASSIGN_OR_RETURN(
       result.s_extension,
       ExtendRelation(s, Side::kS, corr, ext_key, ilfds, ext, pool_ptr,
-                     &extend_s));
+                     &extend_s, world));
 
   EID_ASSIGN_OR_RETURN(
       std::vector<TuplePair> pairs,
       JoinOnExtendedKey(result.r_extension.extended,
                         result.s_extension.extended, ext_key, pool_ptr,
-                        &key_join, options.compile));
+                        &key_join, options.compile, world));
 
   result.uniqueness = Status::Ok();
   for (const TuplePair& p : pairs) {

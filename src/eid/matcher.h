@@ -91,6 +91,13 @@ struct MatcherOptions {
   /// Either way the filters hold the same fingerprint set, so identify
   /// output is unchanged; only the seeding cost differs.
   std::shared_ptr<const exec::AmqSeeds> amq_seeds;
+  /// Precomputed columnar-world seed (exec/columnar_world.h): the
+  /// snapshot's value dictionary plus dense per-column id matrices for
+  /// the base relations, normally from storage::LoadedWorld::ToConfig.
+  /// When set (and compile is on), the session's columnar world starts
+  /// with every base column already encoded — a zero-re-interning cold
+  /// start. Null encodes lazily from the rows; results are identical.
+  std::shared_ptr<const exec::ColumnarSeeds> columnar_seeds;
 };
 
 /// Builds MT_RS for `r` and `s` under the given extended key and ILFDs.
@@ -99,6 +106,19 @@ Result<MatcherResult> BuildMatchingTable(const Relation& r, const Relation& s,
                                          const ExtendedKey& ext_key,
                                          const IlfdSet& ilfds,
                                          const MatcherOptions& options = {});
+
+/// World-sharing form used by the engine: `world` (may be null) is the
+/// session's columnar world, whose dictionary and column slices are
+/// shared across the extension, join and rule stages so each base /
+/// extended column is encoded at most once per session. The caller seeds
+/// the world (if at all) before calling; only the compiled path reads
+/// it. Results are identical to the default form.
+Result<MatcherResult> BuildMatchingTable(const Relation& r, const Relation& s,
+                                         const AttributeCorrespondence& corr,
+                                         const ExtendedKey& ext_key,
+                                         const IlfdSet& ilfds,
+                                         const MatcherOptions& options,
+                                         exec::ColumnarWorld* world);
 
 /// Joins two already-extended relations on `ext_key` (step 3 alone):
 /// returns the pairs agreeing non-NULL on every extended-key attribute.
@@ -112,14 +132,19 @@ Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
 /// with per-chunk pair buffers merged in index order, so the pair sequence
 /// equals the serial probe's for any thread count. Stage counters land in
 /// `stats` when non-null. `compiled` selects the interned-id join (build
-/// side interns key values serially, probe side does read-only lookups);
-/// off hashes re-serialised string fingerprints per row.
+/// side interns key values serially, probe side does read-only batched
+/// lookups); off hashes re-serialised string fingerprints per row.
+/// `world` (compiled path only) makes the join read the session's shared
+/// id columns under the kRExtended/kSExtended slots instead of encoding
+/// a private copy of the key columns.
 Result<std::vector<TuplePair>> JoinOnExtendedKey(const Relation& r_extended,
                                                  const Relation& s_extended,
                                                  const ExtendedKey& ext_key,
                                                  exec::ThreadPool* pool,
                                                  exec::StageStats* stats,
-                                                 bool compiled = true);
+                                                 bool compiled = true,
+                                                 exec::ColumnarWorld* world =
+                                                     nullptr);
 
 }  // namespace eid
 

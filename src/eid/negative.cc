@@ -20,7 +20,8 @@ Result<NegativeResult> BuildNegativeMatchingTable(
 Result<NegativeResult> BuildNegativeMatchingTable(
     const Relation& r_extended, const Relation& s_extended,
     const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool,
-    bool compile, bool staged, const exec::AmqSeeds* amq_seeds) {
+    bool compile, bool staged, const exec::AmqSeeds* amq_seeds,
+    exec::ColumnarWorld* world) {
   exec::StageTimer timer;
   for (const DistinctnessRule& rule : rules) {
     EID_RETURN_IF_ERROR(rule.Validate());
@@ -55,10 +56,18 @@ Result<NegativeResult> BuildNegativeMatchingTable(
     std::vector<std::unique_ptr<exec::StagedEvaluator>> evaluators(
         plans.size());
     EID_SHARED_IMMUTABLE std::unique_ptr<compile::PairFeatureCache> features;
+    const double encode_ms_before =
+        world != nullptr ? world->encode_ms() : 0.0;
+    const size_t reuse_before = world != nullptr ? world->reuse_hits() : 0;
     if (compile) {
       exec::StageTimer compile_timer;
-      features = std::make_unique<compile::PairFeatureCache>(&r_extended,
-                                                             &s_extended);
+      features =
+          world != nullptr
+              ? std::make_unique<compile::PairFeatureCache>(
+                    &r_extended, &s_extended, world,
+                    exec::WorldRel::kRExtended, exec::WorldRel::kSExtended)
+              : std::make_unique<compile::PairFeatureCache>(&r_extended,
+                                                            &s_extended);
       for (size_t k = 0; k < rules.size(); ++k) {
         for (bool flipped : {false, true}) {
           const size_t i = k * 2 + (flipped ? 1 : 0);
@@ -84,7 +93,8 @@ Result<NegativeResult> BuildNegativeMatchingTable(
     }
 
     exec::CandidateGenerator gen(&r_extended, &s_extended, &r_index,
-                                 &s_index, amq_seeds);
+                                 &s_index, amq_seeds, exec::AmqOptions{},
+                                 compile ? world : nullptr);
     for (size_t i = 0; i < plans.size(); ++i) {
       gen.AddRule(plans[i], evaluators[i].get());
     }
@@ -94,6 +104,10 @@ Result<NegativeResult> BuildNegativeMatchingTable(
     out.stats.rule_evals = scan.rule_evals;
     out.stats.amq_rejects = scan.amq_rejects;
     out.stats.feature_cache_hits = scan.feature_cache_hits;
+    if (compile && world != nullptr) {
+      out.stats.columnar_encode_ms = world->encode_ms() - encode_ms_before;
+      out.stats.interner_reuse_hits = world->reuse_hits() - reuse_before;
+    }
     out.table.Reserve(fired.size());
     out.evidence.reserve(fired.size());
     for (const exec::FiredPair& f : fired) {

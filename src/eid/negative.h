@@ -27,6 +27,7 @@ namespace eid {
 
 namespace exec {
 struct AmqSeeds;
+class ColumnarWorld;
 }  // namespace exec
 
 /// Provenance of one negative pair: which rule certified it, and in which
@@ -64,11 +65,16 @@ Result<NegativeResult> BuildNegativeMatchingTable(
 /// pairs, evidence and ordering are identical on every path. `amq_seeds`
 /// (optional, staged path only) pre-seeds the candidate generator's AMQ
 /// filters from snapshot fingerprint arrays instead of row scans.
+/// `world` (optional, compiled staged path only) is the session's
+/// columnar world with the extended relations under the kRExtended /
+/// kSExtended slots: the feature cache and the generator then read the
+/// shared id columns instead of re-encoding private copies.
 Result<NegativeResult> BuildNegativeMatchingTable(
     const Relation& r_extended, const Relation& s_extended,
     const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool,
     bool compile = true, bool staged = true,
-    const exec::AmqSeeds* amq_seeds = nullptr);
+    const exec::AmqSeeds* amq_seeds = nullptr,
+    exec::ColumnarWorld* world = nullptr);
 
 }  // namespace eid
 

@@ -46,9 +46,10 @@ CandidateGenerator::CandidateGenerator(const Relation* r_ext,
                                        ColumnIndexCache* r_index,
                                        ColumnIndexCache* s_index,
                                        const AmqSeeds* seeds,
-                                       AmqOptions amq_options)
+                                       AmqOptions amq_options,
+                                       ColumnarWorld* world)
     : r_(r_ext), s_(s_ext), r_index_(r_index), s_index_(s_index),
-      seeds_(seeds), r_amq_(amq_options), s_amq_(amq_options),
+      seeds_(seeds), world_(world), r_amq_(amq_options), s_amq_(amq_options),
       r_amq_cols_(r_ext->schema().size(), false),
       s_amq_cols_(s_ext->schema().size(), false) {}
 
@@ -73,6 +74,21 @@ void CandidateGenerator::EnsureAmqColumn(bool r_side, size_t column) {
     }
   }
   const Relation& rel = r_side ? *r_ : *s_;
+  if (world_ != nullptr) {
+    // Columnar path: the shared id column gives distinctness by id and
+    // the dictionary's cached hash — no Value is re-hashed here even
+    // when the column was not encoded yet (the encode hashes it once).
+    const WorldRel slot = r_side ? WorldRel::kRExtended : WorldRel::kSExtended;
+    const std::vector<uint32_t>& ids = world_->Column(slot, rel, column);
+    std::unordered_set<uint32_t> seen;
+    for (uint32_t id : ids) {
+      if (id == ColumnarWorld::kNullId) continue;
+      if (seen.insert(id).second) {
+        amq.Insert(FingerprintKey(column, world_->dict().hash(id)));
+      }
+    }
+    return;
+  }
   // One copy per *distinct* value: the batch sweep never erases, so
   // duplicate copies would only inflate the filter (a 16-value column
   // over 64k rows must not become 64k fingerprints).
@@ -90,9 +106,22 @@ const std::vector<uint64_t>& CandidateGenerator::RColumnHashes(
   auto it = r_col_hashes_.find(column);
   if (it != r_col_hashes_.end()) return it->second;
   std::vector<uint64_t> hashes(r_->size(), 0);
-  for (size_t i = 0; i < r_->size(); ++i) {
-    const Value& v = r_->row(i)[column];
-    if (!v.is_null()) hashes[i] = ValueHash{}(v);
+  if (world_ != nullptr) {
+    // Gather from the dictionary's per-id hash cache over the shared id
+    // column; identical values to the scan below (the dictionary caches
+    // exactly ValueHash of each interned value).
+    const std::vector<uint32_t>& ids =
+        world_->Column(WorldRel::kRExtended, *r_, column);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] != ColumnarWorld::kNullId) {
+        hashes[i] = world_->dict().hash(ids[i]);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < r_->size(); ++i) {
+      const Value& v = r_->row(i)[column];
+      if (!v.is_null()) hashes[i] = ValueHash{}(v);
+    }
   }
   return r_col_hashes_.emplace(column, std::move(hashes)).first->second;
 }
@@ -194,6 +223,19 @@ std::vector<FiredPair> CandidateGenerator::Run(ThreadPool* pool,
     std::iota(all_s_rows_.begin(), all_s_rows_.end(), size_t{0});
   }
 
+  // Stage 3a vectorized: global entries are consulted for every r row,
+  // so their row parts evaluate once here, op-major over the cached id
+  // slices, instead of per (row, entry) inside the sweep. Per-row
+  // entries keep the lazy path — they are consulted for few rows, and a
+  // full-length pass would evaluate rows the entry never sees.
+  std::vector<std::vector<Truth>> global_row_truth(entries_.size());
+  for (uint32_t ei : global_) {
+    const Entry& e = entries_[ei];
+    if (e.residual->has_row_part()) {
+      global_row_truth[ei] = e.residual->RowTruthAll(n);
+    }
+  }
+
   const int threads = pool != nullptr ? pool->threads() : 1;
   const size_t grain =
       std::max<size_t>(1, n / (static_cast<size_t>(threads) * 4));
@@ -243,11 +285,14 @@ std::vector<FiredPair> CandidateGenerator::Run(ThreadPool* pool,
           ei = global_[b++];
         }
         const Entry& e = entries_[ei];
-        // Stage 3a: hoist the row-only conjuncts out of the pair loop.
+        // Stage 3a: hoist the row-only conjuncts out of the pair loop
+        // (already precomputed op-major for global entries).
         size_t pair_evals_here = 0;
         if (e.residual->has_row_part()) {
           ++cc.rule_evals;
-          if (e.residual->RowTruth(r) != Truth::kTrue) continue;
+          const std::vector<Truth>& pre = global_row_truth[ei];
+          const Truth t = pre.empty() ? e.residual->RowTruth(r) : pre[r];
+          if (t != Truth::kTrue) continue;
         }
         auto probe = [&](const std::vector<size_t>& candidates) {
           for (size_t s : candidates) {

@@ -52,6 +52,7 @@
 #include "base/thread_annotations.h"
 #include "exec/amq_filter.h"
 #include "exec/blocking_index.h"
+#include "exec/columnar_world.h"
 #include "exec/thread_pool.h"
 
 namespace eid {
@@ -70,6 +71,15 @@ class EID_SHARED_IMMUTABLE StagedEvaluator {
   /// Kleene conjunction of the row-only conjuncts for r row `r_row`.
   /// Only called when has_row_part().
   virtual Truth RowTruth(size_t r_row) const = 0;
+  /// Vectorized form of RowTruth over every r row in [0, n):
+  /// out[r] == RowTruth(r). The default is the per-row loop; compiled
+  /// evaluators override it with an op-major pass over their cached id
+  /// slices. Only called when has_row_part().
+  virtual std::vector<Truth> RowTruthAll(size_t n) const {
+    std::vector<Truth> out(n, Truth::kTrue);
+    for (size_t r = 0; r < n; ++r) out[r] = RowTruth(r);
+    return out;
+  }
   /// Kleene conjunction of the remaining (pair) conjuncts.
   virtual Truth PairTruth(size_t r_row, size_t s_row) const = 0;
 };
@@ -123,10 +133,18 @@ class CandidateGenerator {
   /// `seeds`, when non-null (and outliving the generator), supplies
   /// per-column fingerprint arrays — e.g. from a loaded snapshot — and
   /// EnsureAmqColumn inserts those instead of scanning the relation.
+  /// `world`, when non-null (and outliving the generator), is the
+  /// session's columnar world with `r_ext`/`s_ext` under the
+  /// kRExtended/kSExtended slots: AMQ seeding and join-probe hashes are
+  /// then gathered from the shared id columns (dedup by id, hashes from
+  /// the dictionary's cache) instead of re-hashing Values row by row.
+  /// The world is mutated (lazy column encodes) only during serial
+  /// AddRule registration.
   CandidateGenerator(const Relation* r_ext, const Relation* s_ext,
                      ColumnIndexCache* r_index, ColumnIndexCache* s_index,
                      const AmqSeeds* seeds = nullptr,
-                     AmqOptions amq_options = {});
+                     AmqOptions amq_options = {},
+                     ColumnarWorld* world = nullptr);
 
   /// Registers the next (rule, orientation). `plan` must be the
   /// PlanBlocking result for the same predicates/orientation and
@@ -178,6 +196,7 @@ class CandidateGenerator {
   ColumnIndexCache* r_index_;
   ColumnIndexCache* s_index_;
   const AmqSeeds* seeds_;
+  ColumnarWorld* world_;
 
   EID_SHARED_IMMUTABLE AmqFilter r_amq_;
   EID_SHARED_IMMUTABLE AmqFilter s_amq_;

@@ -1,0 +1,181 @@
+// Shared columnar interned world (DESIGN.md §4g).
+//
+// The matcher pipeline historically re-encoded the same string-backed
+// rows three times per session: the AtomTable for staged candidates, a
+// compile::ValueInterner per derivation memo, and PairFeatureCache column
+// projections per rule family — so most "compiled" time was interning,
+// not evaluation. A ColumnarWorld is the single id-space those consumers
+// now share: one append-only Value -> dense uint32_t dictionary plus one
+// dense id vector per (relation slot, column), encoded at most once per
+// session. NULL cells encode as kNullId (== ValueDictionary::kNotInterned)
+// so the id layer keeps NULLs explicit: non_null_eq in a hot loop is the
+// branch-free pair `valid &= (id != kNullId); eq = (id_r == id_s)` over
+// contiguous uint32_t columns, and 3-valued semantics are decided by the
+// caller from the precomputed mask, never by re-reading the Value.
+//
+// Threading contract: the dictionary and columns grow only during the
+// serial sections of a stage (compile/bind/build-side). Parallel workers
+// see a fully built structure and only read (EID_SHARED_IMMUTABLE).
+
+#ifndef EID_EXEC_COLUMNAR_WORLD_H_
+#define EID_EXEC_COLUMNAR_WORLD_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "base/thread_annotations.h"
+#include "relational/relation.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace eid {
+namespace exec {
+
+/// Append-only Value -> dense id map with id -> Value and id -> hash
+/// reverse lookups. GetOrIntern mutates; Find/value/hash do not, so a
+/// fully built dictionary may be probed from many threads concurrently
+/// (serial build side, parallel probe side). Ids are assigned in
+/// first-seen order, so preloading a snapshot dictionary (saved in
+/// first-intern order) reproduces the ids a fresh build would assign.
+///
+/// NULL is a regular internable value (storage equality); consumers that
+/// need non_null_eq semantics keep NULL out of the dictionary and use
+/// kNotInterned as their NULL sentinel instead (ColumnarWorld::kNullId).
+class ValueDictionary {
+ public:
+  /// Returned by Find for values never interned. A probe-side value that
+  /// was never interned cannot equal any build-side value.
+  static constexpr uint32_t kNotInterned =
+      std::numeric_limits<uint32_t>::max();
+
+  /// Id of `v`, interning it on first use. try_emplace, not emplace: the
+  /// common case is a hit, and emplace would allocate a node and copy the
+  /// Value before discovering the key exists.
+  uint32_t GetOrIntern(const Value& v) {
+    auto [it, inserted] =
+        ids_.try_emplace(v, static_cast<uint32_t>(ids_.size()));
+    if (inserted) {
+      values_.push_back(&it->first);
+      hashes_.push_back(ValueHash{}(it->first));
+    }
+    return it->second;
+  }
+
+  /// Id of `v` if already interned, else kNotInterned.
+  uint32_t Find(const Value& v) const {
+    auto it = ids_.find(v);
+    return it == ids_.end() ? kNotInterned : it->second;
+  }
+
+  /// Interns `values` in order (the id-stable snapshot handoff).
+  void Preload(const std::vector<Value>& values) {
+    ids_.reserve(ids_.size() + values.size());
+    for (const Value& v : values) GetOrIntern(v);
+  }
+
+  /// The value behind an interned id. `id` must be < size().
+  const Value& value(uint32_t id) const { return *values_[id]; }
+
+  /// ValueHash of value(id), cached at intern time — id columns can be
+  /// turned into fingerprint streams without touching string payloads.
+  uint64_t hash(uint32_t id) const { return hashes_[id]; }
+
+  /// Number of distinct values interned.
+  size_t size() const { return ids_.size(); }
+
+ private:
+  std::unordered_map<Value, uint32_t, ValueHash> ids_;
+  // Pointers into ids_ keys — stable across rehash (node-based map).
+  std::vector<const Value*> values_;
+  std::vector<uint64_t> hashes_;
+};
+
+/// The four relation slots of one matcher session. Slots are fixed by
+/// pipeline role rather than keyed by Relation* because relations move
+/// between stages (ExtensionResult / MatcherResult moves change
+/// addresses while the rows persist).
+enum class WorldRel : size_t { kR = 0, kS = 1, kRExtended = 2, kSExtended = 3 };
+
+inline constexpr size_t kWorldRelCount = 4;
+
+/// Snapshot handoff payload: the saved dictionary in first-intern order
+/// plus the source relations as dense id matrices (column-major, one id
+/// vector per attribute, NULL cells already mapped to kNullId). Seeding a
+/// ColumnarWorld from this makes a snapshot cold start pay zero
+/// re-interning before Identify.
+struct ColumnarSeeds {
+  std::vector<Value> dictionary;
+  std::vector<std::vector<uint32_t>> r_columns;
+  std::vector<std::vector<uint32_t>> s_columns;
+};
+
+/// One id-space for the whole matcher pipeline: the shared dictionary
+/// plus lazily encoded per-column id vectors for the session's four
+/// relation slots. Encode-once is observable: serving an already-encoded
+/// column bumps reuse_hits by its row count instead of re-hashing rows,
+/// and every encode's wall time lands in encode_ms.
+class ColumnarWorld {
+ public:
+  /// NULL sentinel in id columns. Equal to ValueDictionary::kNotInterned,
+  /// so "never interned" and "NULL" coincide: neither can satisfy
+  /// non_null_eq against anything.
+  static constexpr uint32_t kNullId = ValueDictionary::kNotInterned;
+
+  ValueDictionary& dict() { return dict_; }
+  const ValueDictionary& dict() const { return dict_; }
+
+  /// Ids for column `c` of `rel`, which must be the relation currently
+  /// bound to `slot`. Encodes on first request (NULL -> kNullId), serves
+  /// the cached column afterwards. Serial sections only. The returned
+  /// reference's data() stays valid for the session (inner buffers move
+  /// intact when the column table grows).
+  const std::vector<uint32_t>& Column(WorldRel slot, const Relation& rel,
+                                      size_t c);
+
+  /// Already-encoded ids for (slot, c), or nullptr. Const — safe from
+  /// parallel readers once the serial build phase is over.
+  const std::vector<uint32_t>* FindColumn(WorldRel slot, size_t c) const;
+
+  /// Installs externally built ids for (slot, c) — how extension output
+  /// hands its columns to the join without re-encoding. Replaces any
+  /// previous encoding of the column.
+  void Adopt(WorldRel slot, size_t c, std::vector<uint32_t> ids);
+
+  /// Drops every encoded column of `slot` (its relation was replaced).
+  void Reset(WorldRel slot);
+
+  /// Seeds the session from a snapshot: preloads the dictionary (ids
+  /// stay byte-identical to the saved world) and adopts the source
+  /// relation id matrices into the kR / kS slots. Every seeded id counts
+  /// as a reuse hit — it is an encode this session never performs.
+  void Seed(const ColumnarSeeds& seeds);
+
+  /// Total wall time spent encoding Values into ids, in ms.
+  double encode_ms() const { return encode_ms_; }
+
+  /// Ids served without encoding: cached-column rows re-served plus
+  /// snapshot-seeded dictionary entries and column cells.
+  size_t reuse_hits() const { return reuse_hits_; }
+
+ private:
+  struct Slot {
+    // One entry per attribute once touched; empty vector + present=false
+    // means "not encoded yet".
+    std::vector<std::vector<uint32_t>> columns;
+    std::vector<bool> present;
+  };
+
+  // Grown only in serial sections; read-only for parallel workers.
+  ValueDictionary dict_;
+  std::array<Slot, kWorldRelCount> slots_;
+  double encode_ms_ = 0;
+  size_t reuse_hits_ = 0;
+};
+
+}  // namespace exec
+}  // namespace eid
+
+#endif  // EID_EXEC_COLUMNAR_WORLD_H_

@@ -47,6 +47,15 @@ std::string StageStats::ToString() const {
   if (dict_values > 0) {
     out += ", dict_values=" + std::to_string(dict_values);
   }
+  if (probe_batches > 0) {
+    out += ", probe_batches=" + std::to_string(probe_batches);
+  }
+  if (interner_reuse_hits > 0) {
+    out += ", interner_reuse_hits=" + std::to_string(interner_reuse_hits);
+  }
+  if (columnar_encode_ms > 0.0) {
+    out += ", columnar_encode_ms=" + FormatMs(columnar_encode_ms);
+  }
   return out;
 }
 
@@ -67,6 +76,9 @@ std::string StageStats::ToJson() const {
   out += ",\"interner_values\":" + std::to_string(interner_values);
   out += ",\"snapshot_load_ms\":" + FormatMs(snapshot_load_ms);
   out += ",\"dict_values\":" + std::to_string(dict_values);
+  out += ",\"probe_batches\":" + std::to_string(probe_batches);
+  out += ",\"interner_reuse_hits\":" + std::to_string(interner_reuse_hits);
+  out += ",\"columnar_encode_ms\":" + FormatMs(columnar_encode_ms);
   out += "}";
   return out;
 }

@@ -58,6 +58,16 @@ struct EID_PER_WORKER StageStats {
   double snapshot_load_ms = 0.0;  // mmap + decode + index rebuild time
   size_t dict_values = 0;         // dictionary entries decoded
 
+  // Columnar-world counters (exec/columnar_world.h), zero off the
+  // columnar path. These make the encode-once claim observable: reuse
+  // hits are ids served without hashing a Value (cached columns,
+  // snapshot-seeded dictionary/cells), encode_ms is the total time this
+  // stage spent turning Values into ids, and probe_batches counts the
+  // vectorized key-join probe blocks.
+  size_t probe_batches = 0;         // batched join-probe blocks run
+  size_t interner_reuse_hits = 0;   // ids served without re-encoding
+  double columnar_encode_ms = 0.0;  // Value -> id encode time (in wall_ms)
+
   /// One-line human-readable form.
   std::string ToString() const;
   /// JSON object form (stable key order).

@@ -108,7 +108,16 @@ void ThreadPool::ParallelFor(size_t n, size_t grain, const ChunkBody& body) {
 
 void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
                  const ChunkBody& body) {
-  if (pool != nullptr && pool->threads() > 1) {
+  // Serial cutoff: tiny loops pay more for the dispatch (worker wake,
+  // chunk claims, join barrier) than for the iterations — at n=4096 the
+  // identify bench's threads=8 run was slower than threads=1 purely on
+  // this overhead across its many small stage loops. Inline execution
+  // is the single-chunk schedule the serial engine uses, so callers'
+  // position-addressed chunk buffers (chunk = begin / grain) and merged
+  // output are unchanged.
+  if (pool != nullptr && pool->threads() > 1 &&
+      n >= static_cast<size_t>(pool->threads()) *
+               kParallelForMinChunkIterations) {
     pool->ParallelFor(n, grain, body);
   } else if (n > 0) {
     body(0, n, 0);

@@ -107,9 +107,21 @@ class ThreadPool {
   std::exception_ptr first_error_ EID_GUARDED_BY(mu_);
 };
 
-/// Runs `body` over [0, n): on the pool when `pool` is non-null and has
-/// more than one thread, inline otherwise. The common entry point for
-/// engine stages, so every call site handles the serial mode uniformly.
+/// Adaptive serial cutoff of the free ParallelFor below: a loop is only
+/// dispatched to the pool when every worker can get at least this many
+/// iterations (n >= threads * kParallelForMinChunkIterations). Below the
+/// cutoff the wake/claim/join overhead exceeds the loop itself, so the
+/// body runs inline as one chunk — the exact schedule threads=1 uses,
+/// which the engine's determinism contract already covers. Exposed so
+/// tests can exercise the boundary.
+inline constexpr size_t kParallelForMinChunkIterations = 32;
+
+/// Runs `body` over [0, n): on the pool when `pool` is non-null, has
+/// more than one thread, and n clears the serial cutoff above; inline
+/// otherwise. The common entry point for engine stages, so every call
+/// site handles the serial mode uniformly. (ThreadPool::ParallelFor
+/// itself stays cutoff-free: pool edge-case tests and callers that want
+/// the raw schedule keep full semantics.)
 void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
                  const ChunkBody& body);
 

@@ -1,5 +1,6 @@
 #include "logic/kb.h"
 
+#include <algorithm>
 #include <deque>
 
 namespace eid {
@@ -109,6 +110,108 @@ ClosureResult ClosureEvaluator::Run(const AtomSet& seed) {
     }
   }
   return result;
+}
+
+void ClosureEvaluator::RebuildBodyIndex() {
+  // One pass over the clause list — the only pass that chases the
+  // per-clause heap vectors — collecting flat (atom, clause) pairs; a
+  // counting sort then lays out the CSR rows. Pairs arrive in ascending
+  // clause order, which is body_index_'s per-atom insertion order, so the
+  // probe order (and with it every firing order) is identical to the map.
+  const KnowledgeBase& kb = *kb_;
+  const size_t num_clauses = kb.clauses_.size();
+  body_size_.resize(num_clauses);
+  head_begin_.assign(num_clauses + 1, 0);
+  head_atoms_.clear();
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;  // (atom, clause)
+  uint32_t max_atom = 0;
+  for (size_t c = 0; c < num_clauses; ++c) {
+    const Implication& clause = kb.clauses_[c];
+    body_size_[c] = static_cast<uint32_t>(clause.body.size());
+    for (AtomId a : clause.body.ids()) {
+      max_atom = std::max(max_atom, a);
+      pairs.emplace_back(a, static_cast<uint32_t>(c));
+    }
+    for (AtomId h : clause.head.ids()) head_atoms_.push_back(h);
+    head_begin_[c + 1] = static_cast<uint32_t>(head_atoms_.size());
+  }
+  body_begin_.assign(pairs.empty() ? 0 : max_atom + 2, 0);
+  if (!pairs.empty()) {
+    for (const auto& [a, c] : pairs) ++body_begin_[a + 1];
+    for (size_t i = 1; i < body_begin_.size(); ++i) {
+      body_begin_[i] += body_begin_[i - 1];
+    }
+    body_clauses_.resize(pairs.size());
+    std::vector<uint32_t> fill(body_begin_.begin(), body_begin_.end() - 1);
+    for (const auto& [a, c] : pairs) body_clauses_[fill[a]++] = c;
+  }
+  indexed_clauses_ = num_clauses;
+}
+
+const std::vector<DerivedAtom>& ClosureEvaluator::RunDerived(
+    const AtomId* seed, size_t count) {
+  const KnowledgeBase& kb = *kb_;
+  ++epoch_;
+  if (missing_.size() < kb.clauses_.size()) {
+    missing_.resize(kb.clauses_.size(), 0);
+    missing_epoch_.resize(kb.clauses_.size(), 0);
+    fired_epoch_.resize(kb.clauses_.size(), 0);
+  }
+  if (indexed_clauses_ != kb.clauses_.size()) RebuildBodyIndex();
+  derived_.clear();
+  queue_.clear();
+
+  // Dense atom membership in place of Run's AtomSet: stamped = present.
+  auto present = [&](AtomId a) {
+    return a < atom_epoch_.size() && atom_epoch_[a] == epoch_;
+  };
+  auto mark = [&](AtomId a) {
+    if (a >= atom_epoch_.size()) atom_epoch_.resize(a + 1, 0);
+    atom_epoch_[a] = epoch_;
+  };
+  for (size_t i = 0; i < count; ++i) {
+    mark(seed[i]);
+    queue_.push_back(seed[i]);
+  }
+
+  auto fire = [&](size_t clause_index) {
+    if (fired_epoch_[clause_index] == epoch_) return;
+    fired_epoch_[clause_index] = epoch_;
+    const uint32_t head_end = head_begin_[clause_index + 1];
+    for (uint32_t i = head_begin_[clause_index]; i < head_end; ++i) {
+      const AtomId h = head_atoms_[i];
+      if (!present(h)) {
+        mark(h);
+        derived_.push_back(DerivedAtom{clause_index, h});
+        queue_.push_back(h);
+      }
+    }
+  };
+
+  for (size_t f : kb.facts_) fire(f);
+
+  // Identical traversal to Run: the vector-backed FIFO pops in the same
+  // order the deque would, and the CSR rows preserve body_index_'s
+  // per-atom clause order, so firing order — and thus derived_ order —
+  // matches ForwardClosure exactly.
+  const size_t atom_limit = body_begin_.empty() ? 0 : body_begin_.size() - 1;
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    AtomId a = queue_[head];
+    if (a >= atom_limit) continue;
+    const uint32_t end = body_begin_[a + 1];
+    for (uint32_t i = body_begin_[a]; i < end; ++i) {
+      const size_t clause_index = body_clauses_[i];
+      size_t remaining = (missing_epoch_[clause_index] == epoch_)
+                             ? missing_[clause_index]
+                             : body_size_[clause_index];
+      if (remaining == 0) continue;
+      --remaining;
+      missing_[clause_index] = remaining;
+      missing_epoch_[clause_index] = epoch_;
+      if (remaining == 0) fire(clause_index);
+    }
+  }
+  return derived_;
 }
 
 }  // namespace eid

@@ -74,6 +74,14 @@ class KnowledgeBase {
   std::vector<size_t> facts_;
 };
 
+/// One newly derived atom of a closure run: the clause that fired and the
+/// head atom it produced. A run's derivations, in order, fully determine
+/// the firing order and the provenance map restricted to derived atoms.
+struct DerivedAtom {
+  size_t clause = 0;
+  AtomId atom = 0;
+};
+
 /// Amortised forward closure: reusable epoch-stamped workspace so each Run
 /// touches only the clauses the seed actually reaches, not the whole
 /// knowledge base. EID_PER_WORKER: one evaluator per ParallelFor worker
@@ -89,11 +97,46 @@ class EID_PER_WORKER ClosureEvaluator {
   /// Semantics identical to KnowledgeBase::ForwardClosure.
   ClosureResult Run(const AtomSet& seed);
 
+  /// Lean form for per-tuple derivation hot loops: runs the same closure
+  /// as Run(AtomSet(seed)) but materialises only what compiled derivation
+  /// consumes — every (clause, newly derived atom) pair, in Run's order
+  /// (clauses in firing order; within a clause, head atoms in id order).
+  /// `seed` must be sorted and duplicate-free, exactly AtomSet's invariant,
+  /// so the work queue seeds in the same order Run's would. The returned
+  /// span lives in evaluator scratch: valid until the next run, and a warm
+  /// evaluator allocates nothing on this path.
+  const std::vector<DerivedAtom>& RunDerived(const AtomId* seed, size_t count);
+  const std::vector<DerivedAtom>& RunDerived(const std::vector<AtomId>& seed) {
+    return RunDerived(seed.data(), seed.size());
+  }
+
  private:
+  void RebuildBodyIndex();
+
   const KnowledgeBase* kb_;
   std::vector<size_t> missing_;
   std::vector<uint64_t> missing_epoch_;
   std::vector<uint64_t> fired_epoch_;
+  // RunDerived scratch: dense atom membership (epoch-stamped, grown on
+  // first sight of an id), a vector-backed FIFO, and the result buffer.
+  std::vector<uint64_t> atom_epoch_;
+  std::vector<AtomId> queue_;
+  std::vector<DerivedAtom> derived_;
+  // Dense CSR mirror of kb_->body_index_ for RunDerived: atom id a maps
+  // to body_clauses_[body_begin_[a] .. body_begin_[a+1]), in the map's
+  // per-atom insertion order. Per-tuple sweeps probe an atom's clause
+  // list once per derived atom, and the hash find was the hottest
+  // instruction stream of the whole matcher — an array load is not.
+  // body_size_ and the head CSR flatten the per-clause AtomSets the same
+  // way, so the hot loop reads only these contiguous arrays and never
+  // chases an Implication's heap vectors.
+  // Rebuilt whenever the kb has grown (clause count is the version).
+  std::vector<uint32_t> body_begin_;
+  std::vector<uint32_t> body_clauses_;
+  std::vector<uint32_t> body_size_;   // clause -> body atom count
+  std::vector<uint32_t> head_begin_;  // clause -> head CSR row
+  std::vector<AtomId> head_atoms_;
+  size_t indexed_clauses_ = 0;
   uint64_t epoch_ = 0;
 };
 

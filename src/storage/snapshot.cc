@@ -160,7 +160,8 @@ void AppendRuleProgram(const WorldImage& image, DictionaryBuilder* dict,
 // ---------------------------------------------------------------------------
 
 Status ParseRelation(ByteReader* in, const std::vector<Value>& dict,
-                     Relation* out, size_t* rows_loaded) {
+                     Relation* out, size_t* rows_loaded,
+                     std::vector<std::vector<uint32_t>>* columnar = nullptr) {
   std::string name;
   uint32_t attr_count = 0;
   if (!in->GetString(&name) || !in->GetU32(&attr_count)) {
@@ -237,6 +238,13 @@ Status ParseRelation(ByteReader* in, const std::vector<Value>& dict,
   }
   const size_t width = schema.size();
   const size_t dict_size = dict.size();
+  // Columnar capture: the cell ids already are the dictionary's dense
+  // ids, so the columnar-world seed falls out of the decode for free —
+  // only NULL cells are remapped (the snapshot interns NULL as a regular
+  // value; the columnar id layer keeps it out and uses the sentinel).
+  if (columnar != nullptr) {
+    columnar->assign(width, std::vector<uint32_t>(row_count, 0));
+  }
   std::vector<Row> rows(row_count);
   for (uint32_t r = 0; r < row_count; ++r) {
     Row& row = rows[r];
@@ -249,7 +257,12 @@ Status ParseRelation(ByteReader* in, const std::vector<Value>& dict,
         return CorruptError("relation cell references value id " +
                             std::to_string(id) + " beyond dictionary");
       }
-      row.push_back(dict[id]);
+      const Value& v = dict[id];
+      if (columnar != nullptr) {
+        (*columnar)[c][r] =
+            v.is_null() ? exec::ColumnarWorld::kNullId : id;
+      }
+      row.push_back(v);
     }
   }
   *rows_loaded += rows.size();
@@ -753,6 +766,7 @@ IdentifierConfig LoadedWorld::ToConfig() const {
   config.extended_key = extended_key;
   config.ilfds = ilfds;
   config.matcher_options.amq_seeds = amq_seeds;
+  config.matcher_options.columnar_seeds = columnar_seeds;
   return config;
 }
 
@@ -804,20 +818,27 @@ Result<LoadedWorld> LoadSnapshot(const std::string& path) {
   }
   mark("dictionary");
   {
+    world.columnar_seeds = std::make_shared<exec::ColumnarSeeds>();
     using R = RelationRole;
-    const std::pair<R, Relation*> targets[] = {
-        {R::kSourceR, &world.r},
-        {R::kSourceS, &world.s},
-        {R::kExtendedR, &world.r_extended},
-        {R::kExtendedS, &world.s_extended},
+    struct Target {
+      R role;
+      Relation* rel;
+      std::vector<std::vector<uint32_t>>* columnar;
     };
-    for (const auto& [role, rel] : targets) {
+    const Target targets[] = {
+        {R::kSourceR, &world.r, &world.columnar_seeds->r_columns},
+        {R::kSourceS, &world.s, &world.columnar_seeds->s_columns},
+        {R::kExtendedR, &world.r_extended, nullptr},
+        {R::kExtendedS, &world.s_extended, nullptr},
+    };
+    for (const auto& [role, rel, columnar] : targets) {
       EID_ASSIGN_OR_RETURN(
           ByteReader in,
           reader.Section(SectionKind::kRelation, static_cast<uint32_t>(role)));
       EID_RETURN_IF_ERROR(
-          ParseRelation(&in, world.dictionary, rel, &rows_loaded));
+          ParseRelation(&in, world.dictionary, rel, &rows_loaded, columnar));
     }
+    world.columnar_seeds->dictionary = world.dictionary;
   }
   mark("relations");
   {

@@ -122,6 +122,13 @@ struct LoadedWorld {
   /// decoded once at load, then read-only by every engine run seeded
   /// from this world (the shared_ptr is aliased, never mutated through).
   EID_SHARED_IMMUTABLE std::shared_ptr<exec::AmqSeeds> amq_seeds;
+  /// Columnar-world seed (exec/columnar_world.h): the dictionary plus the
+  /// source R/S id matrices captured during relation decode (NULL cells
+  /// mapped to ColumnarWorld::kNullId), ready to hand to
+  /// MatcherOptions::columnar_seeds — a snapshot-loaded session then
+  /// starts with every base column encoded and re-interns nothing.
+  /// EID_SHARED_IMMUTABLE like amq_seeds: decoded once, then read-only.
+  EID_SHARED_IMMUTABLE std::shared_ptr<exec::ColumnarSeeds> columnar_seeds;
   /// Decoded Elias-Fano postings of R'/S' (postings sections).
   PostingColumns r_postings, s_postings;
   /// stage="snapshot_load": wall_ms/snapshot_load_ms = map + decode +

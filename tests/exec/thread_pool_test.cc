@@ -157,6 +157,41 @@ TEST(ThreadPoolTest, ExceptionOnEveryChunkStillReportsOnceAndPoolReuses) {
   }
 }
 
+TEST(ParallelForHelperTest, CutoffBoundaryIsDeterministic) {
+  // The adaptive serial cutoff flips the schedule at
+  // n == threads * kParallelForMinChunkIterations: below it the body
+  // runs inline as one chunk, at and above it the pool claims chunks.
+  // Slot-write output must be identical on both sides of the flip, for
+  // the serial and the 8-worker pool alike.
+  for (int threads : {1, 8}) {
+    ThreadPool pool(threads);
+    const size_t boundary =
+        static_cast<size_t>(threads) * kParallelForMinChunkIterations;
+    for (size_t n : {boundary - 1, boundary, boundary + 1}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " n=" + std::to_string(n));
+      std::vector<size_t> expect(n);
+      for (size_t i = 0; i < n; ++i) expect[i] = i * 31 + 7;
+      std::vector<size_t> got(n, 0);
+      std::atomic<int> max_worker{0};
+      ParallelFor(&pool, n, /*grain=*/8,
+                  [&](size_t begin, size_t end, int w) {
+                    int seen = max_worker.load();
+                    while (w > seen &&
+                           !max_worker.compare_exchange_weak(seen, w)) {
+                    }
+                    for (size_t i = begin; i < end; ++i) got[i] = i * 31 + 7;
+                  });
+      EXPECT_EQ(got, expect);
+      if (n < boundary) {
+        // Below the cutoff the helper must have stayed inline: only
+        // worker 0 ever ran.
+        EXPECT_EQ(max_worker.load(), 0);
+      }
+    }
+  }
+}
+
 TEST(ParallelForHelperTest, NullPoolRunsInline) {
   std::vector<int> order;
   ParallelFor(nullptr, 5, 0, [&](size_t begin, size_t end, int w) {
