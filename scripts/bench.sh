@@ -35,12 +35,12 @@ fi
 if [[ "$FULL" == "1" ]]; then
   DERIVATION_FILTER='BM_(Derivation|Extension)(Compiled|Interpreter)'
   MATCHER_FILTER='BM_Matcher(Compiled|Interpreter)'
-  SCALING_FILTER='BM_ParallelIdentifyBlocked'
+  SCALING_FILTER='BM_ParallelIdentify(Blocked|Scalar)?/|BM_ResidualSweep'
   MIN_TIME=0.2
 else
   DERIVATION_FILTER='BM_Derivation(Compiled|Interpreter)/256$|BM_Extension(Compiled|Interpreter)/1024$'
   MATCHER_FILTER='BM_Matcher(Compiled|Interpreter)/1024$'
-  SCALING_FILTER='BM_ParallelIdentifyBlocked/4096/'
+  SCALING_FILTER='BM_ParallelIdentifyBlocked/4096/|BM_ResidualSweep'
   MIN_TIME=0.05
 fi
 
@@ -91,6 +91,33 @@ END {
                exit 1 }
   if (bad) exit 1
   print "blocked fixtures stayed below the cross product"
+}' BENCH_scaling.json
+
+echo "=== block-evaluator speedup guard (BENCH_scaling.json) ==="
+# The 256-lane block evaluator must stay comfortably ahead of the scalar
+# PairTruth oracle on the residual-dominated sweep: at every n where both
+# records exist the ratio scalar/block must be >= 1.5 (EXPERIMENTS.md S9;
+# the op-major id pass amortises the per-candidate virtual call and
+# short-circuits whole blocks, so parity means the block path died).
+awk '/"name": "residual_(block|scalar)"/ {
+  name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+  n = $0; sub(/.*"n": /, "", n); sub(/[,}].*/, "", n)
+  ns = $0; sub(/.*"ns_op": /, "", ns); sub(/[,}].*/, "", ns)
+  if (name == "residual_block") block[n] = ns + 0
+  else scalar[n] = ns + 0
+}
+END {
+  for (n in block) {
+    if (!(n in scalar)) continue
+    seen = 1
+    ratio = scalar[n] / block[n]
+    printf "n=%s block=%.3fms scalar=%.3fms ratio=%.2fx\n", \
+           n, block[n] / 1e6, scalar[n] / 1e6, ratio
+    if (ratio < 1.5) { print "BLOCK EVALUATOR REGRESSION: ratio < 1.5x"; bad = 1 }
+  }
+  if (!seen) { print "no residual block/scalar pairs in BENCH_scaling.json"; exit 1 }
+  if (bad) exit 1
+  print "block evaluator holds >= 1.5x over the scalar oracle"
 }' BENCH_scaling.json
 
 echo "=== compiled-engine speedup guard (BENCH_matcher.json) ==="

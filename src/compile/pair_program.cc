@@ -1,6 +1,7 @@
 #include "compile/pair_program.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 namespace eid {
@@ -74,6 +75,24 @@ uint32_t PairFeatureCache::InternConstant(const Value& v) {
   return interner_.GetOrIntern(v);
 }
 
+bool PairFeatureCache::RColumnMayNull(size_t column) {
+  auto it = r_may_null_.find(column);
+  if (it != r_may_null_.end()) return it->second;
+  const std::vector<uint32_t>& ids = RColumn(column);
+  const bool may =
+      std::find(ids.begin(), ids.end(), kNullId) != ids.end();
+  return r_may_null_.emplace(column, may).first->second;
+}
+
+bool PairFeatureCache::SColumnMayNull(size_t column) {
+  auto it = s_may_null_.find(column);
+  if (it != s_may_null_.end()) return it->second;
+  const std::vector<uint32_t>& ids = SColumn(column);
+  const bool may =
+      std::find(ids.begin(), ids.end(), kNullId) != ids.end();
+  return s_may_null_.emplace(column, may).first->second;
+}
+
 std::vector<uint32_t> PairFeatureCache::BuildColumn(const Relation& rel,
                                                     size_t column) {
   std::vector<uint32_t> ids(rel.size(), kNullId);
@@ -121,11 +140,20 @@ StagedConjunction StagedConjunction::Compile(
     // they run on the cached id slices; ordering ops need the Values.
     op.id_fast = p.op == CompareOp::kEq || p.op == CompareOp::kNe;
     if (op.id_fast) {
+      op.may_null = false;
       for (Slot* slot : {&op.lhs, &op.rhs}) {
         if (slot->src == Src::kRColumn) {
           slot->ids = &features->RColumn(slot->column);
+          slot->view = features->RColumnView(slot->column);
+          op.may_null |= features->RColumnMayNull(slot->column);
         } else if (slot->src == Src::kSColumn) {
           slot->ids = &features->SColumn(slot->column);
+          slot->view = features->SColumnView(slot->column);
+          op.may_null |= features->SColumnMayNull(slot->column);
+        } else if (slot->src == Src::kConstant) {
+          op.may_null |= slot->const_id == PairFeatureCache::kNullId;
+        } else {
+          op.may_null = true;  // kAbsent resolves to NULL on every lane
         }
       }
     }
@@ -246,6 +274,166 @@ Truth StagedConjunction::PairTruth(size_t r_row, size_t s_row) const {
   return EvaluateOps(pair_ops_, r_row, s_row);
 }
 
+void StagedConjunction::PairTruthBlock(const size_t* r_rows,
+                                       const size_t* s_rows, size_t lanes,
+                                       Truth* out,
+                                       exec::PairBlockStats* stats) const {
+  EID_CHECK(lanes <= exec::kPairBlockLanes);
+  // Small drains lose to the scalar loop's zero setup cost: below the
+  // shared kMinVectorLanes threshold the per-block fixed work (survivor
+  // list init, op lowering, final writeback) dominates the per-lane win.
+  // The dense generator's per-probe drains average ~34 lanes, so this
+  // keeps the partial-drain regime at scalar speed while full
+  // accumulator blocks vectorize.
+  if (lanes < exec::kMinVectorLanes) {
+    for (size_t i = 0; i < lanes; ++i) {
+      out[i] = PairTruth(r_rows[i], s_rows[i]);
+    }
+    return;
+  }
+  constexpr uint32_t kNull = PairFeatureCache::kNullId;
+  // Op-major with lane compaction: each id_fast op gathers and masks
+  // only the lanes still alive after the previous ops, so the total
+  // work is proportional to what the scalar early-exit loop does — a
+  // block where every lane dies on the first op touches each lane once.
+  // Conjunction truth is order-independent (And is commutative and ops
+  // have no side effects), so running the id_fast ops first and the
+  // value-fallback ops after on the survivors is bit-identical to the
+  // scalar loop: final = alive ? (unknown ? kUnknown : kTrue) : kFalse
+  // either way.
+  uint16_t idx[exec::kPairBlockLanes];      // still-alive lane indices
+  uint8_t unknown[exec::kPairBlockLanes];   // lane saw a NULL operand
+  for (size_t i = 0; i < lanes; ++i) idx[i] = static_cast<uint16_t>(i);
+  std::memset(unknown, 0, lanes);
+
+  size_t value_ops = 0;
+  size_t id_ops = 0;
+  for (const Op& op : pair_ops_) (op.id_fast ? id_ops : value_ops) += 1;
+
+  // One slot of an id op, lowered for lane fetches: a gather through
+  // the candidate row array (column slices) or a broadcast id
+  // (constants; kAbsent broadcasts the NULL sentinel).
+  struct LaneSrc {
+    const uint32_t* view = nullptr;  // nullptr => broadcast cval
+    const size_t* rows = nullptr;
+    uint32_t cval = kNull;
+  };
+  auto lower = [&](const Slot& slot) {
+    LaneSrc f;
+    switch (slot.src) {
+      case Src::kRColumn: f.view = slot.view.data; f.rows = r_rows; break;
+      case Src::kSColumn: f.view = slot.view.data; f.rows = s_rows; break;
+      case Src::kConstant: f.cval = slot.const_id; break;
+      case Src::kAbsent: break;
+    }
+    return f;
+  };
+
+  size_t live = lanes;
+  size_t id_done = 0;
+  for (const Op& op : pair_ops_) {
+    if (!op.id_fast) continue;
+    const LaneSrc lf = lower(op.lhs);
+    const LaneSrc rf = lower(op.rhs);
+    const uint8_t want_eq = op.op == CompareOp::kEq ? 1 : 0;
+    size_t w = 0;
+    if (!op.may_null) {
+      // Compile proved no operand can be NULL (column slices scanned,
+      // constants checked), so no lane can go kUnknown here: fused
+      // gather + mask + compact with the Kleene NULL plumbing stripped.
+      // may_null == false implies both slots are column slices or
+      // non-NULL constants; broadcast constants keep view == nullptr
+      // and fall through to the general loop below, so both views are
+      // non-null in practice — but guard anyway for the constant case.
+      const uint32_t* lv = lf.view;
+      const uint32_t* rv = rf.view;
+      if (lv != nullptr && rv != nullptr) {
+        const size_t* lr = lf.rows;
+        const size_t* rr = rf.rows;
+        for (size_t j = 0; j < live; ++j) {
+          const uint16_t i = idx[j];
+          idx[w] = i;
+          w += static_cast<size_t>(
+              static_cast<uint8_t>(lv[lr[i]] == rv[rr[i]]) ^ want_eq ^ 1u);
+        }
+        live = w;
+        ++id_done;
+        if (live == 0) break;
+        continue;
+      }
+    }
+    // General form: broadcast slots and NULL ids feed the branch-free
+    // Kleene mask. A lane survives unless the op is definitively
+    // kFalse on it (non-NULL operands disagreeing with the op's
+    // polarity); NULL operands mark kUnknown and keep the lane.
+    for (size_t j = 0; j < live; ++j) {
+      const uint16_t i = idx[j];
+      const uint32_t l = lf.view != nullptr ? lf.view[lf.rows[i]] : lf.cval;
+      const uint32_t r = rf.view != nullptr ? rf.view[rf.rows[i]] : rf.cval;
+      const uint8_t is_null =
+          static_cast<uint8_t>(l == kNull) | static_cast<uint8_t>(r == kNull);
+      const uint8_t is_false = static_cast<uint8_t>(1 - is_null) &
+                               (static_cast<uint8_t>(l == r) ^ want_eq);
+      unknown[i] |= is_null;
+      idx[w] = i;
+      w += static_cast<size_t>(1 - is_false);
+    }
+    live = w;
+    ++id_done;
+    if (live == 0) break;
+  }
+
+  if (live == 0 && stats != nullptr && (id_done < id_ops || value_ops > 0)) {
+    // Every lane is already kFalse; the remaining ops cannot change
+    // that (And(kFalse, t) == kFalse) — the block-level analogue of the
+    // scalar early exit. Counted only when ops were actually skipped.
+    ++stats->early_exits;
+  }
+  if (live > 0 && value_ops > 0) {
+    // Ordering / cross-type conjuncts need the Values (the raw rows the
+    // derivation closure filled): scalar per surviving lane, with the
+    // same per-lane early kFalse exit as EvaluateOps.
+    static const Value kNullValue;
+    if (stats != nullptr) stats->scalar_fallbacks += live;
+    size_t w = 0;
+    for (size_t j = 0; j < live; ++j) {
+      const uint16_t i = idx[j];
+      const size_t r_row = r_rows[i];
+      const size_t s_row = s_rows[i];
+      auto resolve = [&](const Slot& slot) -> const Value& {
+        switch (slot.src) {
+          case Src::kRColumn: return r_->row(r_row)[slot.column];
+          case Src::kSColumn: return s_->row(s_row)[slot.column];
+          case Src::kConstant: return slot.constant;
+          case Src::kAbsent: return kNullValue;
+        }
+        return kNullValue;
+      };
+      bool lane_alive = true;
+      for (const Op& op : pair_ops_) {
+        if (op.id_fast) continue;
+        const Truth t =
+            CompareValues(resolve(op.lhs), op.op, resolve(op.rhs));
+        if (t == Truth::kFalse) {
+          lane_alive = false;
+          break;
+        }
+        if (t == Truth::kUnknown) unknown[i] = 1;
+      }
+      if (lane_alive) idx[w++] = i;
+    }
+    live = w;
+  }
+
+  // Lanes dropped from idx are kFalse; survivors split on the
+  // accumulated NULL flag.
+  for (size_t i = 0; i < lanes; ++i) out[i] = Truth::kFalse;
+  for (size_t j = 0; j < live; ++j) {
+    const uint16_t i = idx[j];
+    out[i] = unknown[i] != 0 ? Truth::kUnknown : Truth::kTrue;
+  }
+}
+
 namespace {
 
 // Rows per vectorized probe block: the pack/mask pass streams this many
@@ -288,8 +476,14 @@ std::vector<TuplePair> InternedKeyJoin(const Relation& r_ext,
 
   const size_t n = r_ext.size();
   const int threads = pool != nullptr ? pool->threads() : 1;
-  const size_t grain =
-      std::max<size_t>(1, n / (static_cast<size_t>(threads) * 4));
+  // Adaptive serial cutoff (same rationale as ParallelFor's): a chunk
+  // below a few probe batches fragments the 256-lane packing into
+  // partial blocks and pays per-chunk buffer overhead that exceeds the
+  // probes themselves. Clamping the grain makes small joins run as a
+  // handful of full-batch chunks — n <= 4·kProbeBatch is one serial
+  // chunk — while large joins keep threads·4 chunks for stealing.
+  const size_t grain = std::max<size_t>(
+      kProbeBatch * 4, n / (static_cast<size_t>(threads) * 4));
   const size_t num_chunks = n == 0 ? 0 : (n + grain - 1) / grain;
   std::vector<std::vector<TuplePair>> found(num_chunks);
   std::vector<size_t> batches(num_chunks, 0);

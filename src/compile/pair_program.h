@@ -112,8 +112,27 @@ class EID_SHARED_IMMUTABLE PairFeatureCache {
   const std::vector<uint32_t>& RColumn(size_t column);
   const std::vector<uint32_t>& SColumn(size_t column);
 
+  /// Contiguous views of the same projections — the block evaluator's
+  /// gather sources for either orientation. Stable for the session
+  /// (world-backed and private slices both keep data() valid).
+  exec::IdColumnView RColumnView(size_t column) {
+    const std::vector<uint32_t>& ids = RColumn(column);
+    return exec::IdColumnView{ids.data(), ids.size()};
+  }
+  exec::IdColumnView SColumnView(size_t column) {
+    const std::vector<uint32_t>& ids = SColumn(column);
+    return exec::IdColumnView{ids.data(), ids.size()};
+  }
+
   /// Id of a rule constant under the same interner; kNullId for NULL.
   uint32_t InternConstant(const Value& v);
+
+  /// Whether the column's id slice contains the NULL sentinel. Scanned
+  /// once per column and memoized; StagedConjunction::Compile asks so
+  /// the block evaluator can strip NULL handling from provably
+  /// non-NULL ops.
+  bool RColumnMayNull(size_t column);
+  bool SColumnMayNull(size_t column);
 
   /// Distinct non-NULL values interned privately so far (stats); zero on
   /// the world-backed form, whose encode/reuse totals live on the world.
@@ -130,6 +149,8 @@ class EID_SHARED_IMMUTABLE PairFeatureCache {
   ValueInterner interner_;
   std::unordered_map<size_t, std::vector<uint32_t>> r_columns_;
   std::unordered_map<size_t, std::vector<uint32_t>> s_columns_;
+  std::unordered_map<size_t, bool> r_may_null_;
+  std::unordered_map<size_t, bool> s_may_null_;
 };
 
 /// One rule antecedent compiled for the staged candidate generator: the
@@ -159,6 +180,15 @@ class EID_SHARED_IMMUTABLE StagedConjunction final
   /// already decided kFalse. out[r] == RowTruth(r) for every r.
   std::vector<Truth> RowTruthAll(size_t n) const override;
   Truth PairTruth(size_t r_row, size_t s_row) const override;
+  /// Vectorized pair pass over one candidate block (ISSUE 10 /
+  /// DESIGN.md §4h): id_fast ops run op-major — gather the two id lanes
+  /// for the whole block, fold a branch-free Kleene mask into the
+  /// per-lane accumulator, stop once no lane can still be kTrue — and
+  /// value-fallback ops run scalar on the lanes still alive after the
+  /// id pass. out[i] == PairTruth(r_rows[i], s_rows[i]) on every lane.
+  void PairTruthBlock(const size_t* r_rows, const size_t* s_rows,
+                      size_t lanes, Truth* out,
+                      exec::PairBlockStats* stats) const override;
 
  private:
   enum class Src : uint8_t { kRColumn, kSColumn, kConstant, kAbsent };
@@ -167,8 +197,10 @@ class EID_SHARED_IMMUTABLE StagedConjunction final
     size_t column = 0;
     Value constant;
     // Interned fast path: the column's id slice (kRColumn/kSColumn) or
-    // the constant's id; unused for value-fallback ops.
+    // the constant's id; unused for value-fallback ops. `view` is the
+    // contiguous form of `ids` (the block evaluator's gather source).
     const std::vector<uint32_t>* ids = nullptr;
+    exec::IdColumnView view;
     uint32_t const_id = PairFeatureCache::kNullId;
   };
   struct Op {
@@ -176,6 +208,11 @@ class EID_SHARED_IMMUTABLE StagedConjunction final
     CompareOp op = CompareOp::kEq;
     Slot rhs;
     bool id_fast = false;  // kEq/kNe over interned ids
+    // Whether any operand can be the NULL sentinel (kAbsent slot, NULL
+    // constant, or a column slice holding a NULL id — checked against
+    // the feature cache at Compile). When false the block evaluator
+    // runs this op's lanes with the kUnknown plumbing stripped out.
+    bool may_null = true;
   };
 
   Truth EvaluateOps(const std::vector<Op>& ops, size_t r_row,

@@ -185,7 +185,8 @@ Result<IdentificationResult> EntityIdentifier::Identify(
       exec::CandidateGenerator gen(&out.r_extended, &out.s_extended,
                                    &r_index, &s_index,
                                    config_.matcher_options.amq_seeds.get(),
-                                   exec::AmqOptions{}, world_ptr);
+                                   exec::AmqOptions{}, world_ptr,
+                                   config_.matcher_options.block_eval);
       for (size_t i = 0; i < plans.size(); ++i) {
         gen.AddRule(plans[i], evaluators[i].get());
       }
@@ -195,6 +196,9 @@ Result<IdentificationResult> EntityIdentifier::Identify(
       identity.rule_evals = scan.rule_evals;
       identity.amq_rejects = scan.amq_rejects;
       identity.feature_cache_hits = scan.feature_cache_hits;
+      identity.pair_blocks = scan.pair_blocks;
+      identity.block_early_exits = scan.block_early_exits;
+      identity.block_scalar_fallbacks = scan.block_scalar_fallbacks;
       if (world_ptr != nullptr) {
         identity.columnar_encode_ms =
             world_ptr->encode_ms() - encode_ms_before;
@@ -271,7 +275,8 @@ Result<IdentificationResult> EntityIdentifier::Identify(
                                  pool_ptr, config_.matcher_options.compile,
                                  config_.matcher_options.staged,
                                  config_.matcher_options.amq_seeds.get(),
-                                 world_ptr));
+                                 world_ptr,
+                                 config_.matcher_options.block_eval));
   out.stats.Add(out.negative.stats);
 
   // --- Constraint verification ------------------------------------------

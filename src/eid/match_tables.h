@@ -17,10 +17,9 @@
 #ifndef EID_EID_MATCH_TABLES_H_
 #define EID_EID_MATCH_TABLES_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "relational/relation.h"
@@ -51,6 +50,58 @@ struct TuplePairHash {
   }
 };
 
+/// Flat open-addressing membership set over row-index pairs, packed into
+/// one uint64_t per entry (32 bits per side — a relation of 4G rows is
+/// far beyond the in-RAM world this engine serves, and Pack checks).
+/// A dense NMT inserts tens of millions of pairs; the node-based
+/// std::unordered_set paid one allocation plus pointer chases per pair,
+/// which dominated dense `identify` runs. Here an insert is one
+/// linear-probe over a contiguous power-of-two array and teardown is a
+/// single free.
+class PackedPairSet {
+ public:
+  static uint64_t Pack(const TuplePair& p);
+
+  /// Pre-sizes for `n` pairs (NMT construction knows the fired-pair
+  /// count up front; growth doubles otherwise).
+  void Reserve(size_t n);
+
+  /// Inserts `key`; returns false if it was already present.
+  bool Insert(uint64_t key);
+  bool Contains(uint64_t key) const;
+
+  /// Warms the cache line of `key`'s home slot. Bulk loaders issue this a
+  /// few keys ahead of Insert: the table is far larger than cache for a
+  /// dense NMT, and without the hint every insert stalls on one
+  /// dependent DRAM access.
+  void PrefetchSlot(uint64_t key) const {
+    if (!slots_.empty()) {
+      __builtin_prefetch(slots_.data() + (MixKey(key) & mask_), 1, 0);
+    }
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  static constexpr uint64_t kEmpty = ~0ull;  // Pack() can never produce it
+
+  /// splitmix64 finalizer — the probe hash. Full-avalanche so consecutive
+  /// row pairs (the NMT's row-major insertion order) spread across the
+  /// table instead of clustering a linear probe.
+  static uint64_t MixKey(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  void Grow(size_t min_slots);
+
+  std::vector<uint64_t> slots_;  // kEmpty-filled, power-of-two length
+  uint64_t mask_ = 0;
+  size_t size_ = 0;
+};
+
 /// A matching (or negative-matching) table over row-index pairs.
 class MatchTable {
  public:
@@ -74,6 +125,16 @@ class MatchTable {
   /// table unchanged; re-adding an existing pair is idempotent OK.
   Status Add(TuplePair pair);
 
+  /// Bulk form of Add for negative tables: `n` pairs read `stride` bytes
+  /// apart starting at `first` (the NMT fold consumes fired-pair records
+  /// that embed the TuplePair as their first member). Same semantics as
+  /// n calls to Add — duplicates are skipped idempotently — but the
+  /// membership probes are issued with a prefetch pipeline: a dense NMT's
+  /// probe table far exceeds cache, and the serial Add loop stalled on
+  /// one dependent DRAM access per pair.
+  Status AddNegativeBatch(const TuplePair* first, size_t n,
+                          size_t stride = sizeof(TuplePair));
+
   /// Pre-sizes the pair store and lookup structures for `n` pairs (NMT
   /// construction knows the fired-pair count up front).
   void Reserve(size_t n);
@@ -81,8 +142,12 @@ class MatchTable {
   bool Contains(const TuplePair& pair) const;
 
   /// True if the given R (S) row already participates in some pair.
-  bool HasR(size_t r_index) const { return by_r_.count(r_index) > 0; }
-  bool HasS(size_t s_index) const { return by_s_.count(s_index) > 0; }
+  bool HasR(size_t r_index) const {
+    return r_index < by_r_.size() && by_r_[r_index] != kNoPair;
+  }
+  bool HasS(size_t s_index) const {
+    return s_index < by_s_.size() && by_s_[s_index] != kNoPair;
+  }
 
   /// The S row matched with R row `r_index`, if any. For negative tables
   /// (where several pairs may share an index) the first added is returned.
@@ -100,14 +165,33 @@ class MatchTable {
   static Status CheckConsistency(const MatchTable& mt, const MatchTable& nmt);
 
  private:
+  static constexpr size_t kNoPair = SIZE_MAX;
+
+  /// One-time switch from sorted-order membership to the hash set, built
+  /// from the pairs already stored; called on the first out-of-order Add.
+  void MigrateToHash();
+
   bool negative_ = false;
+  // True while every added pair has been strictly greater (row-major)
+  // than its predecessor — the order the staged fold emits and snapshots
+  // serialize. While it holds, membership is a binary search over
+  // `pairs_` and no side structure is maintained at all: building a hash
+  // set over a dense NMT's tens of millions of pairs was the single
+  // hottest site in dense `identify` profiles, and nothing probes NMT
+  // membership often enough during identification to repay it.
+  bool sorted_ = true;
   std::vector<TuplePair> pairs_;
-  // Membership set: Contains must stay O(1) even for negative tables,
-  // whose NMT grows with the pair cross product.
-  std::unordered_set<TuplePair, TuplePairHash> members_;
-  // First pair index per side, for uniqueness checks and lookups.
-  std::unordered_map<size_t, size_t> by_r_;
-  std::unordered_map<size_t, size_t> by_s_;
+  // Hash membership, populated by MigrateToHash on the first
+  // out-of-order Add (incremental updates) and authoritative from then
+  // on. Flat open addressing: the node-based std::unordered_set paid an
+  // allocation plus pointer chases per pair.
+  PackedPairSet members_;
+  // First pair index per side (kNoPair = absent), for uniqueness checks
+  // and lookups. Row indices are dense and bounded by the relation
+  // sizes, so a flat vector beats a hash map: the NMT path writes these
+  // once per pair.
+  std::vector<size_t> by_r_;
+  std::vector<size_t> by_s_;
 };
 
 }  // namespace eid

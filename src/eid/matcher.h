@@ -85,6 +85,15 @@ struct MatcherOptions {
   /// bit-identical (the staged filters over-approximate, never
   /// under-approximate, and emission order is preserved).
   bool staged = true;
+  /// Master switch for block-vectorized residual evaluation (see
+  /// StagedEvaluator::PairTruthBlock, DESIGN.md §4h): the staged sweeps
+  /// drain surviving candidates in fixed-size pair blocks and compiled
+  /// residuals evaluate them op-major over the columnar id slices. Off
+  /// evaluates one scalar PairTruth per pair, kept as the block path's
+  /// differential oracle; fired pairs, evidence and the
+  /// engine-invariant counters are bit-identical either way. Only
+  /// meaningful when `staged` is on.
+  bool block_eval = true;
   /// Precomputed AMQ filter contents for the staged sweeps, normally
   /// from a loaded snapshot (storage::LoadedWorld::ToConfig wires them
   /// up). Null builds the filters by scanning the extended relations.

@@ -21,7 +21,7 @@ Result<NegativeResult> BuildNegativeMatchingTable(
     const Relation& r_extended, const Relation& s_extended,
     const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool,
     bool compile, bool staged, const exec::AmqSeeds* amq_seeds,
-    exec::ColumnarWorld* world) {
+    exec::ColumnarWorld* world, bool block_eval) {
   exec::StageTimer timer;
   for (const DistinctnessRule& rule : rules) {
     EID_RETURN_IF_ERROR(rule.Validate());
@@ -94,7 +94,7 @@ Result<NegativeResult> BuildNegativeMatchingTable(
 
     exec::CandidateGenerator gen(&r_extended, &s_extended, &r_index,
                                  &s_index, amq_seeds, exec::AmqOptions{},
-                                 compile ? world : nullptr);
+                                 compile ? world : nullptr, block_eval);
     for (size_t i = 0; i < plans.size(); ++i) {
       gen.AddRule(plans[i], evaluators[i].get());
     }
@@ -104,14 +104,23 @@ Result<NegativeResult> BuildNegativeMatchingTable(
     out.stats.rule_evals = scan.rule_evals;
     out.stats.amq_rejects = scan.amq_rejects;
     out.stats.feature_cache_hits = scan.feature_cache_hits;
+    out.stats.pair_blocks = scan.pair_blocks;
+    out.stats.block_early_exits = scan.block_early_exits;
+    out.stats.block_scalar_fallbacks = scan.block_scalar_fallbacks;
     if (compile && world != nullptr) {
       out.stats.columnar_encode_ms = world->encode_ms() - encode_ms_before;
       out.stats.interner_reuse_hits = world->reuse_hits() - reuse_before;
     }
-    out.table.Reserve(fired.size());
+    // The generator emits unique pairs in sorted row-major order, so the
+    // batch fold stays on the table's sorted fast path: a pure append
+    // with no membership hashing — building a probe table over a dense
+    // NMT's tens of millions of pairs dominated dense `identify` runs.
+    if (!fired.empty()) {
+      EID_RETURN_IF_ERROR(out.table.AddNegativeBatch(
+          &fired.front().pair, fired.size(), sizeof(exec::FiredPair)));
+    }
     out.evidence.reserve(fired.size());
     for (const exec::FiredPair& f : fired) {
-      EID_RETURN_IF_ERROR(out.table.Add(f.pair));
       out.evidence.push_back(NegativePairEvidence{
           f.pair, f.priority / 2, (f.priority & 1) != 0});
     }

@@ -68,13 +68,16 @@ Result<NegativeResult> BuildNegativeMatchingTable(
 /// `world` (optional, compiled staged path only) is the session's
 /// columnar world with the extended relations under the kRExtended /
 /// kSExtended slots: the feature cache and the generator then read the
-/// shared id columns instead of re-encoding private copies.
+/// shared id columns instead of re-encoding private copies. `block_eval`
+/// (staged path only) drains residual candidates in fixed-size
+/// PairTruthBlock batches; off evaluates one scalar PairTruth per pair —
+/// the block path's differential oracle, identical output either way.
 Result<NegativeResult> BuildNegativeMatchingTable(
     const Relation& r_extended, const Relation& s_extended,
     const std::vector<DistinctnessRule>& rules, exec::ThreadPool* pool,
     bool compile = true, bool staged = true,
     const exec::AmqSeeds* amq_seeds = nullptr,
-    exec::ColumnarWorld* world = nullptr);
+    exec::ColumnarWorld* world = nullptr, bool block_eval = true);
 
 }  // namespace eid
 

@@ -47,9 +47,10 @@ CandidateGenerator::CandidateGenerator(const Relation* r_ext,
                                        ColumnIndexCache* s_index,
                                        const AmqSeeds* seeds,
                                        AmqOptions amq_options,
-                                       ColumnarWorld* world)
+                                       ColumnarWorld* world, bool block_eval)
     : r_(r_ext), s_(s_ext), r_index_(r_index), s_index_(s_index),
-      seeds_(seeds), world_(world), r_amq_(amq_options), s_amq_(amq_options),
+      seeds_(seeds), world_(world), block_eval_(block_eval),
+      r_amq_(amq_options), s_amq_(amq_options),
       r_amq_cols_(r_ext->schema().size(), false),
       s_amq_cols_(s_ext->schema().size(), false) {}
 
@@ -248,6 +249,9 @@ std::vector<FiredPair> CandidateGenerator::Run(ThreadPool* pool,
     size_t rule_evals = 0;
     size_t amq_rejects = 0;
     size_t feature_cache_hits = 0;
+    size_t pair_blocks = 0;
+    size_t block_early_exits = 0;
+    size_t block_scalar_fallbacks = 0;
   };
   std::vector<ChunkCounts> counts(num_chunks);
 
@@ -258,6 +262,10 @@ std::vector<FiredPair> CandidateGenerator::Run(ThreadPool* pool,
     std::vector<size_t> stamp;   // s -> last r row that fired (r, s)
     std::vector<uint32_t> best;  // s -> lowest firing priority for that r
     std::vector<size_t> touched;
+    // Block-path lane buffers (filled per probe, drained per block).
+    size_t lane_r[kPairBlockLanes];
+    size_t lane_s[kPairBlockLanes];
+    Truth lane_out[kPairBlockLanes];
   };
   std::vector<Scratch> scratch(static_cast<size_t>(std::max(threads, 1)));
   for (Scratch& sc : scratch) {
@@ -295,19 +303,64 @@ std::vector<FiredPair> CandidateGenerator::Run(ThreadPool* pool,
           if (t != Truth::kTrue) continue;
         }
         auto probe = [&](const std::vector<size_t>& candidates) {
+          // Small probes skip the lane buffering outright: with fewer
+          // candidates than kMinVectorLanes even a full drain would take
+          // the evaluator's scalar fallback, so staging lanes and reading
+          // the out array back is pure overhead on top of the same
+          // PairTruth calls. Inline scalar here is bit-identical
+          // (PairTruthBlock == PairTruth lane-by-lane by contract).
+          if (!block_eval_ || candidates.size() < kMinVectorLanes) {
+            // Scalar oracle path: one PairTruth call per candidate.
+            for (size_t s : candidates) {
+              // Already fired at a lower priority: the first-wins fold
+              // could not change, so skip the evaluation entirely.
+              if (sc.stamp[s] == r) continue;
+              ++cc.candidate_pairs;
+              ++cc.rule_evals;
+              ++pair_evals_here;
+              if (e.residual->PairTruth(r, s) == Truth::kTrue) {
+                sc.stamp[s] = r;
+                sc.best[s] = e.priority;
+                sc.touched.push_back(s);
+              }
+            }
+            return;
+          }
+          // Block path: surviving candidates accumulate into fixed-size
+          // lane blocks, drained through PairTruthBlock. Stamps are read
+          // at accumulation and written at drain — equivalent to the
+          // scalar interleaving because one probe's candidate list holds
+          // distinct s rows, and every drain completes before the next
+          // entry of this r row consults the stamps, so the
+          // first-(rule,orientation)-wins fold is unchanged.
+          size_t lanes = 0;
+          auto drain = [&] {
+            ++cc.pair_blocks;
+            PairBlockStats bs;
+            e.residual->PairTruthBlock(sc.lane_r, sc.lane_s, lanes,
+                                       sc.lane_out, &bs);
+            cc.block_early_exits += bs.early_exits;
+            cc.block_scalar_fallbacks += bs.scalar_fallbacks;
+            for (size_t i = 0; i < lanes; ++i) {
+              if (sc.lane_out[i] == Truth::kTrue) {
+                const size_t s = sc.lane_s[i];
+                sc.stamp[s] = r;
+                sc.best[s] = e.priority;
+                sc.touched.push_back(s);
+              }
+            }
+            lanes = 0;
+          };
           for (size_t s : candidates) {
-            // Already fired at a lower priority: the first-wins fold
-            // could not change, so skip the evaluation entirely.
             if (sc.stamp[s] == r) continue;
             ++cc.candidate_pairs;
             ++cc.rule_evals;
             ++pair_evals_here;
-            if (e.residual->PairTruth(r, s) == Truth::kTrue) {
-              sc.stamp[s] = r;
-              sc.best[s] = e.priority;
-              sc.touched.push_back(s);
-            }
+            sc.lane_r[lanes] = r;
+            sc.lane_s[lanes] = s;
+            if (++lanes == kPairBlockLanes) drain();
           }
+          if (lanes > 0) drain();
         };
         if (e.has_join) {
           const Value& v = r_->row(r)[e.r_col];
@@ -328,9 +381,24 @@ std::vector<FiredPair> CandidateGenerator::Run(ThreadPool* pool,
           cc.feature_cache_hits += pair_evals_here;
         }
       }
-      std::sort(sc.touched.begin(), sc.touched.end());
-      for (size_t s : sc.touched) {
-        found[chunk].push_back(FiredPair{TuplePair{r, s}, sc.best[s]});
+      // Emit this row's firings in ascending s order. `touched` is
+      // duplicate-free (the stamp gates every push) but unsorted across
+      // entries. Dense rows — a Prop-1 NMT touches nearly every s — are
+      // emitted by scanning the stamp array in order, which is linear and
+      // branch-predictable; sorting ~|S| indices per row was the second
+      // hottest site in dense `identify` profiles. Sparse rows keep the
+      // sort: a full stamp scan would dwarf their few touches.
+      if (sc.touched.size() * 8 >= s_n) {
+        for (size_t s = 0; s < s_n; ++s) {
+          if (sc.stamp[s] == r) {
+            found[chunk].push_back(FiredPair{TuplePair{r, s}, sc.best[s]});
+          }
+        }
+      } else {
+        std::sort(sc.touched.begin(), sc.touched.end());
+        for (size_t s : sc.touched) {
+          found[chunk].push_back(FiredPair{TuplePair{r, s}, sc.best[s]});
+        }
       }
       sc.touched.clear();
     }
@@ -347,6 +415,9 @@ std::vector<FiredPair> CandidateGenerator::Run(ThreadPool* pool,
     local.rule_evals += cc.rule_evals;
     local.amq_rejects += cc.amq_rejects;
     local.feature_cache_hits += cc.feature_cache_hits;
+    local.pair_blocks += cc.pair_blocks;
+    local.block_early_exits += cc.block_early_exits;
+    local.block_scalar_fallbacks += cc.block_scalar_fallbacks;
   }
   if (stats != nullptr) *stats = local;
   return out;

@@ -58,6 +58,28 @@
 namespace eid {
 namespace exec {
 
+/// Lanes per residual pair block. Surviving candidates accumulate into
+/// fixed-size (r_row, s_row) blocks and the residual conjunction is
+/// evaluated op-major over the whole block (PairTruthBlock below). 256
+/// lanes keep the per-block scratch (two id lanes + two mask bytes per
+/// lane) inside L1 while amortizing the per-op slot resolution.
+inline constexpr size_t kPairBlockLanes = 256;
+
+/// Below this many lanes the fixed per-block setup (slot lowering, mask
+/// init, lane compaction bookkeeping) outweighs the op-major win — dense
+/// sweeps drain mostly-partial blocks of a few dozen lanes. Both the
+/// evaluator's PairTruthBlock and the generator's probe loop route
+/// batches under this size through the scalar PairTruth path, which is
+/// bit-identical lane-by-lane.
+inline constexpr size_t kMinVectorLanes = 64;
+
+/// Counters of one PairTruthBlock call, folded into StagedScanStats by
+/// the generator. Evaluators without a vectorized path leave them zero.
+struct PairBlockStats {
+  size_t early_exits = 0;       // op loops cut short: no lane still true
+  size_t scalar_fallbacks = 0;  // lanes routed through the value path
+};
+
 /// Evaluates the residual (non-covered) conjuncts of one rule antecedent
 /// for one orientation. Implementations must be EID_SHARED_IMMUTABLE:
 /// constructed serially, then safe for concurrent read-only use (the
@@ -82,6 +104,20 @@ class EID_SHARED_IMMUTABLE StagedEvaluator {
   }
   /// Kleene conjunction of the remaining (pair) conjuncts.
   virtual Truth PairTruth(size_t r_row, size_t s_row) const = 0;
+  /// Vectorized form of PairTruth over `lanes` candidate pairs:
+  /// out[i] == PairTruth(r_rows[i], s_rows[i]) for every lane, with
+  /// `lanes` <= kPairBlockLanes. The default is the per-lane scalar
+  /// loop; compiled evaluators override it with an op-major pass over
+  /// contiguous id columns (branch-free Kleene masks, early exit when
+  /// no lane can still be kTrue). Overrides must be bit-identical to
+  /// the scalar loop — conjunction truth is order-independent, so
+  /// reordering ops inside the block is safe, dropping lanes is not.
+  virtual void PairTruthBlock(const size_t* r_rows, const size_t* s_rows,
+                              size_t lanes, Truth* out,
+                              PairBlockStats* stats) const {
+    (void)stats;
+    for (size_t i = 0; i < lanes; ++i) out[i] = PairTruth(r_rows[i], s_rows[i]);
+  }
 };
 
 /// Interpreter-backed StagedEvaluator: splits the predicate list by the
@@ -107,12 +143,17 @@ class InterpretedResidual final : public StagedEvaluator {
   bool flipped_;
 };
 
-/// Counters of one staged sweep. All engine- and thread-count-invariant.
+/// Counters of one staged sweep. All thread-count-invariant; the
+/// block_* pair is evaluator-dependent (zero on the interpreted path,
+/// which has no vectorized override), the rest engine-invariant too.
 struct StagedScanStats {
   size_t candidate_pairs = 0;      // pairs a residual was evaluated on
   size_t rule_evals = 0;           // row-part + pair-part evaluations
   size_t amq_rejects = 0;          // AMQ probe misses (killed in stage 2)
   size_t feature_cache_hits = 0;   // pair evals reusing a hoisted row part
+  size_t pair_blocks = 0;          // PairTruthBlock drains (block path)
+  size_t block_early_exits = 0;    // blocks whose op loop exited early
+  size_t block_scalar_fallbacks = 0;  // lanes through the value path
   bool indexed = false;            // some live entry probes a join index
 };
 
@@ -139,12 +180,16 @@ class CandidateGenerator {
   /// then gathered from the shared id columns (dedup by id, hashes from
   /// the dictionary's cache) instead of re-hashing Values row by row.
   /// The world is mutated (lazy column encodes) only during serial
-  /// AddRule registration.
+  /// AddRule registration. `block_eval` drains residual candidates in
+  /// kPairBlockLanes-sized PairTruthBlock batches; off calls the scalar
+  /// PairTruth per pair (the differential oracle for the block path —
+  /// fired pairs, evidence and the engine-invariant counters are
+  /// identical either way).
   CandidateGenerator(const Relation* r_ext, const Relation* s_ext,
                      ColumnIndexCache* r_index, ColumnIndexCache* s_index,
                      const AmqSeeds* seeds = nullptr,
                      AmqOptions amq_options = {},
-                     ColumnarWorld* world = nullptr);
+                     ColumnarWorld* world = nullptr, bool block_eval = true);
 
   /// Registers the next (rule, orientation). `plan` must be the
   /// PlanBlocking result for the same predicates/orientation and
@@ -197,6 +242,7 @@ class CandidateGenerator {
   ColumnIndexCache* s_index_;
   const AmqSeeds* seeds_;
   ColumnarWorld* world_;
+  bool block_eval_;
 
   EID_SHARED_IMMUTABLE AmqFilter r_amq_;
   EID_SHARED_IMMUTABLE AmqFilter s_amq_;

@@ -93,6 +93,17 @@ class ValueDictionary {
   std::vector<uint64_t> hashes_;
 };
 
+/// Borrowed contiguous view of one encoded id column — the gather
+/// source for block-vectorized evaluation: a lane load is data[row]
+/// with no vector-header indirection. The underlying buffer's data()
+/// stays valid for the session (ColumnarWorld::Column's contract), so
+/// views captured at compile time are safe to read from every worker.
+struct IdColumnView {
+  const uint32_t* data = nullptr;
+  size_t size = 0;
+  uint32_t operator[](size_t row) const { return data[row]; }
+};
+
 /// The four relation slots of one matcher session. Slots are fixed by
 /// pipeline role rather than keyed by Relation* because relations move
 /// between stages (ExtensionResult / MatcherResult moves change
@@ -134,6 +145,14 @@ class ColumnarWorld {
   /// intact when the column table grows).
   const std::vector<uint32_t>& Column(WorldRel slot, const Relation& rel,
                                       size_t c);
+
+  /// Contiguous view of Column(slot, rel, c) — either orientation slot;
+  /// encodes on first request like Column. The view's data stays valid
+  /// for the session.
+  IdColumnView ColumnView(WorldRel slot, const Relation& rel, size_t c) {
+    const std::vector<uint32_t>& ids = Column(slot, rel, c);
+    return IdColumnView{ids.data(), ids.size()};
+  }
 
   /// Already-encoded ids for (slot, c), or nullptr. Const — safe from
   /// parallel readers once the serial build phase is over.

@@ -48,6 +48,14 @@ struct EID_PER_WORKER StageStats {
   size_t amq_rejects = 0;         // probes killed by the AMQ pre-filter
   size_t feature_cache_hits = 0;  // pair evals reusing a hoisted row part
 
+  // Block-vectorized residual counters (StagedEvaluator::PairTruthBlock,
+  // DESIGN.md §4h), zero on the scalar residual path. The block_* pair
+  // is evaluator-dependent (the interpreter has no vectorized override);
+  // pair_blocks is thread- and engine-invariant like the stage counters.
+  size_t pair_blocks = 0;             // residual blocks drained
+  size_t block_early_exits = 0;       // blocks whose op loop cut short
+  size_t block_scalar_fallbacks = 0;  // lanes through the value path
+
   // Compiled-execution counters (src/compile/), zero on interpreted runs.
   double compile_ms = 0.0;     // rule-program compilation time (in wall_ms)
   size_t memo_hits = 0;        // derivation memo cache hits

@@ -33,6 +33,13 @@ class DictionaryBuilder {
     return it->second;
   }
 
+  /// Pre-sizes the intern table; the save path passes a bound derived
+  /// from the relation cell counts so interning never rehashes mid-save.
+  void Reserve(size_t n) {
+    ids_.reserve(n);
+    values_.reserve(n);
+  }
+
   size_t size() const { return values_.size(); }
   const std::vector<Value>& values() const { return values_; }
 

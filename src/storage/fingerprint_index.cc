@@ -1,7 +1,7 @@
 #include "storage/fingerprint_index.h"
 
 #include <algorithm>
-#include <map>
+#include <utility>
 
 #include "exec/amq_filter.h"
 
@@ -11,27 +11,75 @@ namespace storage {
 FingerprintIndex FingerprintIndex::Build(const Relation& relation) {
   FingerprintIndex index;
   index.columns_.resize(relation.schema().size());
+  std::vector<std::pair<uint64_t, uint32_t>> cells;
   for (size_t c = 0; c < relation.schema().size(); ++c) {
-    // std::map keeps fingerprints sorted as buckets fill; row ids arrive
-    // in ascending order by construction.
-    std::map<uint64_t, std::vector<uint32_t>> buckets;
+    // One flat (fingerprint, row) array sorted once yields the same
+    // sorted-bucket walk a std::map produced, without a node allocation
+    // and rebalance per cell — the map build dominated snapshot saves.
+    // The sort is stable on equal pairs by construction (rows ascend),
+    // and adjacent duplicates — one row's column hashing to one
+    // fingerprint twice — collapse during the run walk.
+    cells.clear();
     for (size_t r = 0; r < relation.size(); ++r) {
       const Value& v = relation.row(r)[c];
       if (v.is_null()) continue;
-      const uint64_t fp = exec::FingerprintKey(c, ValueHash{}(v));
-      std::vector<uint32_t>& bucket = buckets[fp];
-      const uint32_t row = static_cast<uint32_t>(r);
-      // Repeated values of one row's column and hash collisions both land
-      // here; keep each row id once.
-      if (bucket.empty() || bucket.back() != row) bucket.push_back(row);
+      cells.emplace_back(exec::FingerprintKey(c, ValueHash{}(v)),
+                         static_cast<uint32_t>(r));
     }
+    std::sort(cells.begin(), cells.end());
     Column& col = index.columns_[c];
-    col.fps.reserve(buckets.size());
-    col.offsets.reserve(buckets.size() + 1);
     col.offsets.push_back(0);
-    for (const auto& [fp, rows] : buckets) {
+    for (size_t i = 0; i < cells.size();) {
+      const uint64_t fp = cells[i].first;
       col.fps.push_back(fp);
-      col.rows.insert(col.rows.end(), rows.begin(), rows.end());
+      uint32_t last_row = UINT32_MAX;
+      for (; i < cells.size() && cells[i].first == fp; ++i) {
+        if (cells[i].second != last_row) col.rows.push_back(cells[i].second);
+        last_row = cells[i].second;
+      }
+      col.offsets.push_back(static_cast<uint32_t>(col.rows.size()));
+    }
+  }
+  return index;
+}
+
+FingerprintIndex FingerprintIndex::Build(const Relation& relation,
+                                         const std::vector<uint32_t>& ids,
+                                         size_t dict_size) {
+  constexpr uint32_t kNoCell = 0xFFFFFFFFu;
+  FingerprintIndex index;
+  const size_t cols = relation.schema().size();
+  index.columns_.resize(cols);
+  // Value-id -> fingerprint memo, valid per column via the epoch stamp
+  // (fingerprints mix the column index, so they cannot be shared across
+  // columns even for one dictionary id).
+  std::vector<uint64_t> fp_memo(dict_size);
+  std::vector<uint32_t> fp_epoch(dict_size, 0);
+  std::vector<std::pair<uint64_t, uint32_t>> cells;
+  for (size_t c = 0; c < cols; ++c) {
+    const uint32_t epoch = static_cast<uint32_t>(c) + 1;
+    cells.clear();
+    for (size_t r = 0; r < relation.size(); ++r) {
+      const uint32_t id = ids[r * cols + c];
+      if (id == kNoCell) continue;
+      if (fp_epoch[id] != epoch) {
+        fp_epoch[id] = epoch;
+        fp_memo[id] =
+            exec::FingerprintKey(c, ValueHash{}(relation.row(r)[c]));
+      }
+      cells.emplace_back(fp_memo[id], static_cast<uint32_t>(r));
+    }
+    std::sort(cells.begin(), cells.end());
+    Column& col = index.columns_[c];
+    col.offsets.push_back(0);
+    for (size_t i = 0; i < cells.size();) {
+      const uint64_t fp = cells[i].first;
+      col.fps.push_back(fp);
+      uint32_t last_row = UINT32_MAX;
+      for (; i < cells.size() && cells[i].first == fp; ++i) {
+        if (cells[i].second != last_row) col.rows.push_back(cells[i].second);
+        last_row = cells[i].second;
+      }
       col.offsets.push_back(static_cast<uint32_t>(col.rows.size()));
     }
   }

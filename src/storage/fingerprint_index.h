@@ -44,6 +44,15 @@ class FingerprintIndex {
   /// fingerprint per column.
   static FingerprintIndex Build(const Relation& relation);
 
+  /// Same index, built against a row-major interned-id matrix of the
+  /// relation (0xFFFFFFFF marks NULL cells; ids < dict_size): each
+  /// distinct id per column hashes its Value once instead of once per
+  /// cell, which is what the snapshot save path wants on low-cardinality
+  /// columns. Bit-identical to Build(relation).
+  static FingerprintIndex Build(const Relation& relation,
+                                const std::vector<uint32_t>& ids,
+                                size_t dict_size);
+
   size_t column_count() const { return columns_.size(); }
   const Column& column(size_t i) const { return columns_[i]; }
 

@@ -23,6 +23,7 @@
 #ifndef EID_STORAGE_FORMAT_H_
 #define EID_STORAGE_FORMAT_H_
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -130,8 +131,17 @@ class ByteWriter {
  private:
   template <typename T>
   void PutLe(T v) {
-    for (size_t i = 0; i < sizeof(T); ++i) {
-      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    // Snapshot sections put one integer per relation cell; the byte-loop
+    // form paid a capacity check per byte. On a little-endian host the
+    // in-memory representation already is the wire form.
+    if constexpr (std::endian::native == std::endian::little) {
+      char tmp[sizeof(T)];
+      std::memcpy(tmp, &v, sizeof(T));
+      buf_.append(tmp, sizeof(T));
+    } else {
+      for (size_t i = 0; i < sizeof(T); ++i) {
+        buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+      }
     }
   }
 

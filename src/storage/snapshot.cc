@@ -1,9 +1,9 @@
 #include "storage/snapshot.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -21,8 +21,14 @@ namespace {
 // Section encoders (layouts documented in DESIGN.md §4e)
 // ---------------------------------------------------------------------------
 
+// Sentinel for NULL cells in the row-major id matrices AppendRelation
+// hands to the postings and fingerprint encoders (the dictionary interns
+// NULL under a regular id, but those encoders skip NULL cells).
+constexpr uint32_t kNoCell = 0xFFFFFFFFu;
+
 void AppendRelation(const Relation& rel, DictionaryBuilder* dict,
-                    ByteWriter* out) {
+                    ByteWriter* out,
+                    std::vector<uint32_t>* ids_out = nullptr) {
   out->PutString(rel.name());
   out->PutU32(static_cast<uint32_t>(rel.schema().size()));
   for (const Attribute& a : rel.schema().attributes()) {
@@ -37,27 +43,50 @@ void AppendRelation(const Relation& rel, DictionaryBuilder* dict,
     }
   }
   out->PutU32(static_cast<uint32_t>(rel.size()));
+  if (ids_out != nullptr) ids_out->reserve(rel.size() * rel.schema().size());
   for (const Row& row : rel.rows()) {
-    for (const Value& v : row) out->PutU32(dict->Intern(v));
+    for (const Value& v : row) {
+      const uint32_t id = dict->Intern(v);
+      out->PutU32(id);
+      if (ids_out != nullptr) ids_out->push_back(v.is_null() ? kNoCell : id);
+    }
   }
 }
 
-void AppendPostings(const Relation& rel, DictionaryBuilder* dict,
+void AppendPostings(const Relation& rel, const std::vector<uint32_t>& ids,
                     ByteWriter* out) {
   const uint32_t universe = static_cast<uint32_t>(rel.size());
-  out->PutU32(static_cast<uint32_t>(rel.schema().size()));
+  const size_t cols = rel.schema().size();
+  out->PutU32(static_cast<uint32_t>(cols));
   out->PutU32(universe);
-  for (size_t c = 0; c < rel.schema().size(); ++c) {
+  std::vector<uint64_t> cells;
+  std::vector<uint32_t> rows;
+  for (size_t c = 0; c < cols; ++c) {
     // value id -> ascending row ids; NULL cells are not posted (mirrors
-    // ColumnIndex::Build, whose buckets these lists reconstruct).
-    std::map<uint32_t, std::vector<uint32_t>> buckets;
+    // ColumnIndex::Build, whose buckets these lists reconstruct). One
+    // flat (value id << 32 | row) array sorted once gives the same
+    // sorted-bucket walk as a std::map, without a node allocation and
+    // rebalance per cell — the map build dominated snapshot saves. Ids
+    // come from the matrix AppendRelation built, so no cell is hashed
+    // or interned a second time.
+    cells.clear();
     for (size_t r = 0; r < rel.size(); ++r) {
-      const Value& v = rel.row(r)[c];
-      if (v.is_null()) continue;
-      buckets[dict->Intern(v)].push_back(static_cast<uint32_t>(r));
+      const uint32_t id = ids[r * cols + c];
+      if (id == kNoCell) continue;
+      cells.push_back((static_cast<uint64_t>(id) << 32) | r);
     }
-    out->PutU32(static_cast<uint32_t>(buckets.size()));
-    for (const auto& [value_id, rows] : buckets) {
+    std::sort(cells.begin(), cells.end());
+    size_t distinct = 0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i == 0 || (cells[i] >> 32) != (cells[i - 1] >> 32)) ++distinct;
+    }
+    out->PutU32(static_cast<uint32_t>(distinct));
+    for (size_t i = 0; i < cells.size();) {
+      const uint32_t value_id = static_cast<uint32_t>(cells[i] >> 32);
+      rows.clear();
+      for (; i < cells.size() && (cells[i] >> 32) == value_id; ++i) {
+        rows.push_back(static_cast<uint32_t>(cells[i]));
+      }
       out->PutU32(value_id);
       EliasFanoAppend(EliasFanoEncode(rows, universe), out);
     }
@@ -584,25 +613,43 @@ Status WriteSnapshot(const WorldImage& image, const std::string& path) {
         {R::kExtendedR, image.r_extended},
         {R::kExtendedS, image.s_extended},
     };
+    size_t cell_estimate = 0;
+    for (const auto& [role, rel] : relations) {
+      cell_estimate += rel->size() * rel->schema().size();
+    }
+    dict.Reserve(cell_estimate / 2);
+    // The extended relations' id matrices are captured once here and
+    // reused by the postings and fingerprint encoders below, so each
+    // R'/S' cell is hashed and interned exactly once per save.
+    std::vector<uint32_t> extended_ids[2];
     for (const auto& [role, rel] : relations) {
       ByteWriter w;
-      AppendRelation(*rel, &dict, &w);
+      std::vector<uint32_t>* ids =
+          role == R::kExtendedR   ? &extended_ids[0]
+          : role == R::kExtendedS ? &extended_ids[1]
+                                  : nullptr;
+      AppendRelation(*rel, &dict, &w, ids);
       add(SectionKind::kRelation, static_cast<uint32_t>(role), std::move(w));
     }
     // Blocking accelerators only for the extended relations: every pair
     // sweep (key join, identity, distinctness) runs over R'/S'.
-    for (const auto& [role, rel] :
-         {std::pair<R, const Relation*>{R::kExtendedR, image.r_extended},
-          std::pair<R, const Relation*>{R::kExtendedS, image.s_extended}}) {
+    for (const auto& [i, role, rel] :
+         {std::tuple<size_t, R, const Relation*>{0, R::kExtendedR,
+                                                 image.r_extended},
+          std::tuple<size_t, R, const Relation*>{1, R::kExtendedS,
+                                                 image.s_extended}}) {
       ByteWriter w;
-      AppendPostings(*rel, &dict, &w);
+      AppendPostings(*rel, extended_ids[i], &w);
       add(SectionKind::kPostings, static_cast<uint32_t>(role), std::move(w));
     }
-    for (const auto& [role, rel] :
-         {std::pair<R, const Relation*>{R::kExtendedR, image.r_extended},
-          std::pair<R, const Relation*>{R::kExtendedS, image.s_extended}}) {
+    for (const auto& [i, role, rel] :
+         {std::tuple<size_t, R, const Relation*>{0, R::kExtendedR,
+                                                 image.r_extended},
+          std::tuple<size_t, R, const Relation*>{1, R::kExtendedS,
+                                                 image.s_extended}}) {
       ByteWriter w;
-      FingerprintIndex::Build(*rel).AppendTo(&w);
+      FingerprintIndex::Build(*rel, extended_ids[i], dict.size())
+          .AppendTo(&w);
       add(SectionKind::kFingerprints, static_cast<uint32_t>(role),
           std::move(w));
     }

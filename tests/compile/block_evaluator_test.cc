@@ -1,0 +1,222 @@
+// Differential property test for the block-vectorized residual
+// evaluator (ISSUE 10 / DESIGN.md §4h): for every residual engine,
+// PairTruthBlock must agree with the scalar PairTruth lane for lane —
+// across all three Kleene truth values, NULL-id lanes, full and partial
+// blocks, all-kUnknown blocks, and value-fallback (ordering) conjuncts
+// that run scalar after the op-major id pass. Also pins the block
+// counters: pure-id programs never fall back, ordering conjuncts always
+// do, and a first op that kills every lane early-exits the block.
+// This test runs under the tsan/asan presets (scripts/check.sh).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../test_util.h"
+#include "compile/pair_program.h"
+#include "exec/blocking_index.h"
+#include "exec/candidate_generator.h"
+#include "rules/identity_rule.h"
+
+namespace eid {
+namespace compile {
+namespace {
+
+using ::eid::exec::kPairBlockLanes;
+using ::eid::exec::PairBlockStats;
+using ::eid::testing::MakeRelation;
+
+std::vector<Predicate> Preds(const std::string& text) {
+  Result<std::vector<Predicate>> parsed = ParsePredicateConjunction(text);
+  EID_CHECK(parsed.ok());
+  return *parsed;
+}
+
+/// Both residual engines for one rule orientation, compiled exactly the
+/// way the identifier's staged path builds them (the interpreted engine
+/// exercises the StagedEvaluator base-class block default).
+struct Engines {
+  std::unique_ptr<PairFeatureCache> features;
+  std::unique_ptr<exec::StagedEvaluator> compiled;
+  std::unique_ptr<exec::StagedEvaluator> interpreted;
+};
+
+Engines BuildEngines(const Relation& r, const Relation& s,
+                     const std::string& rule, bool flipped) {
+  std::vector<Predicate> preds = Preds(rule);
+  exec::BlockingPlan plan =
+      exec::PlanBlocking(preds, r.schema(), s.schema(), flipped);
+  EID_CHECK(!plan.impossible);
+  Engines e;
+  e.features = std::make_unique<PairFeatureCache>(&r, &s);
+  e.compiled = std::make_unique<StagedConjunction>(StagedConjunction::Compile(
+      preds, plan.coverage, r, s, flipped, e.features.get()));
+  e.interpreted = std::make_unique<exec::InterpretedResidual>(
+      preds, plan.coverage, &r, &s, flipped);
+  return e;
+}
+
+/// Feeds every (r, s) pair row-major through PairTruthBlock in blocks of
+/// `lanes_per_block` and asserts each lane equals the scalar PairTruth.
+/// Returns the accumulated block stats of the run.
+PairBlockStats ExpectBlocksMatchScalar(const exec::StagedEvaluator& eval,
+                                       const Relation& r, const Relation& s,
+                                       size_t lanes_per_block) {
+  EID_CHECK(lanes_per_block <= kPairBlockLanes);
+  std::vector<size_t> r_rows;
+  std::vector<size_t> s_rows;
+  PairBlockStats total;
+  Truth out[kPairBlockLanes];
+  auto drain = [&] {
+    PairBlockStats bs;
+    eval.PairTruthBlock(r_rows.data(), s_rows.data(), r_rows.size(), out,
+                        &bs);
+    total.early_exits += bs.early_exits;
+    total.scalar_fallbacks += bs.scalar_fallbacks;
+    for (size_t i = 0; i < r_rows.size(); ++i) {
+      EXPECT_EQ(out[i], eval.PairTruth(r_rows[i], s_rows[i]))
+          << "lane " << i << " pair (" << r_rows[i] << ", " << s_rows[i]
+          << ")";
+    }
+    r_rows.clear();
+    s_rows.clear();
+  };
+  for (size_t i = 0; i < r.size(); ++i) {
+    for (size_t j = 0; j < s.size(); ++j) {
+      r_rows.push_back(i);
+      s_rows.push_back(j);
+      if (r_rows.size() == lanes_per_block) drain();
+    }
+  }
+  if (!r_rows.empty()) drain();  // partial final block
+  return total;
+}
+
+/// 20 rows per side so a full sweep is one complete 256-lane block plus
+/// a partial one. Rows 16..19 carry NULL city (kUnknown id lanes) and
+/// the phone column is NULL throughout R (all-kUnknown programs).
+Relation SideR() {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({"n" + std::to_string(i % 4),
+                    i < 16 ? "c" + std::to_string(i % 3) : "null",
+                    std::to_string(i), "null"});
+  }
+  return MakeRelation("R", {"name", "city", "score", "phone"}, {}, rows);
+}
+
+Relation SideS() {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({"n" + std::to_string(i % 5),
+                    i < 16 ? "c" + std::to_string(i % 4) : "null",
+                    std::to_string(19 - i), "p" + std::to_string(i)});
+  }
+  return MakeRelation("S", {"name", "city", "score", "phone"}, {}, rows);
+}
+
+const char* const kRules[] = {
+    // Pure id residual (kNe is never a blocking join, so nothing is
+    // covered): kTrue/kFalse/kUnknown all occur over the NULL city rows.
+    "e1.city != e2.city",
+    // Multi-op id residual — op-major over two id conjuncts.
+    "e1.city != e2.city & e1.name != e2.name",
+    // Join-covered equality plus an id residual conjunct.
+    "e1.name = e2.name & e1.city = e2.city",
+    // Ordering conjunct: id pass first, scalar value fallback after.
+    "e1.name = e2.name & e1.score < e2.score",
+    // Value fallback only.
+    "e1.score < e2.score",
+    // All-kUnknown residual: phone is NULL on every R row (the = form
+    // is join-covered and leaves an empty — vacuously kTrue — residual).
+    "e1.phone = e2.phone",
+    "e1.phone != e2.phone",
+};
+
+TEST(BlockEvaluatorTest, BlockMatchesScalarLaneByLane) {
+  const Relation r = SideR();
+  const Relation s = SideS();
+  for (const char* rule : kRules) {
+    for (bool flipped : {false, true}) {
+      SCOPED_TRACE(std::string(rule) + (flipped ? " (flipped)" : ""));
+      Engines e = BuildEngines(r, s, rule, flipped);
+      ExpectBlocksMatchScalar(*e.compiled, r, s, kPairBlockLanes);
+      ExpectBlocksMatchScalar(*e.interpreted, r, s, kPairBlockLanes);
+    }
+  }
+}
+
+TEST(BlockEvaluatorTest, PartialAndSingleLaneBlocks) {
+  const Relation r = SideR();
+  const Relation s = SideS();
+  for (const char* rule : kRules) {
+    SCOPED_TRACE(rule);
+    Engines e = BuildEngines(r, s, rule, /*flipped=*/false);
+    for (size_t lanes : {size_t{1}, size_t{7}, size_t{100}}) {
+      ExpectBlocksMatchScalar(*e.compiled, r, s, lanes);
+      ExpectBlocksMatchScalar(*e.interpreted, r, s, lanes);
+    }
+  }
+}
+
+TEST(BlockEvaluatorTest, PureIdProgramNeverFallsBack) {
+  const Relation r = SideR();
+  const Relation s = SideS();
+  Engines e = BuildEngines(r, s, "e1.city != e2.city", /*flipped=*/false);
+  PairBlockStats stats =
+      ExpectBlocksMatchScalar(*e.compiled, r, s, kPairBlockLanes);
+  EXPECT_EQ(stats.scalar_fallbacks, 0u);
+}
+
+TEST(BlockEvaluatorTest, OrderingConjunctFallsBackOnSurvivingLanes) {
+  const Relation r = SideR();
+  const Relation s = SideS();
+  Engines e = BuildEngines(r, s, "e1.score < e2.score", /*flipped=*/false);
+  PairBlockStats stats =
+      ExpectBlocksMatchScalar(*e.compiled, r, s, kPairBlockLanes);
+  // No id conjunct precedes it, so every lane of every block reaches the
+  // scalar value pass.
+  EXPECT_EQ(stats.scalar_fallbacks,
+            static_cast<size_t>(r.size() * s.size()));
+}
+
+TEST(BlockEvaluatorTest, DeadFirstOpShortCircuitsTheBlock) {
+  // Every row shares one city, so `city != city` kills all lanes at the
+  // first op and the remaining conjunct must not be gathered at all.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 8; ++i) {
+    rows.push_back({"n" + std::to_string(i), "same"});
+  }
+  const Relation r = MakeRelation("R", {"name", "city"}, {}, rows);
+  const Relation s = MakeRelation("S", {"name", "city"}, {}, rows);
+  Engines e = BuildEngines(r, s, "e1.city != e2.city & e1.name != e2.name",
+                           /*flipped=*/false);
+  PairBlockStats stats =
+      ExpectBlocksMatchScalar(*e.compiled, r, s, kPairBlockLanes);
+  EXPECT_GE(stats.early_exits, 1u);
+  EXPECT_EQ(stats.scalar_fallbacks, 0u);
+}
+
+TEST(BlockEvaluatorTest, AllUnknownBlock) {
+  // kNe stays residual (never a blocking join), and phone is NULL on
+  // every R row, so each lane's id compare sees a NULL operand.
+  const Relation r = SideR();
+  const Relation s = SideS();
+  Engines e = BuildEngines(r, s, "e1.phone != e2.phone", /*flipped=*/false);
+  std::vector<size_t> r_rows(kPairBlockLanes, 0);
+  std::vector<size_t> s_rows(kPairBlockLanes);
+  for (size_t i = 0; i < kPairBlockLanes; ++i) s_rows[i] = i % s.size();
+  Truth out[kPairBlockLanes];
+  PairBlockStats bs;
+  e.compiled->PairTruthBlock(r_rows.data(), s_rows.data(), kPairBlockLanes,
+                             out, &bs);
+  for (size_t i = 0; i < kPairBlockLanes; ++i) {
+    EXPECT_EQ(out[i], Truth::kUnknown) << "lane " << i;
+  }
+}
+
+}  // namespace
+}  // namespace compile
+}  // namespace eid
